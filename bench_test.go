@@ -1,0 +1,95 @@
+// Benchmarks: one per paper artifact (see the experiment index in
+// DESIGN.md) plus end-to-end simulator throughput. Each experiment
+// benchmark regenerates its table/figure at a reduced scale; run
+// cmd/experiments for the full-scale artifacts.
+package arcsim_test
+
+import (
+	"testing"
+
+	"arcsim"
+	"arcsim/internal/bench"
+)
+
+// benchCfg keeps per-iteration work bounded so `go test -bench=.`
+// finishes in minutes.
+func benchCfg() bench.Config {
+	return bench.Config{Scale: 0.1, Seed: 1, Cores: 16, CoreSweep: []int{8, 16}}
+}
+
+func runExperiment(b *testing.B, id string) {
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		// A fresh runner per iteration: the memo would otherwise turn
+		// iterations 2..N into no-ops.
+		r := bench.NewRunner(benchCfg())
+		out, err := e.Run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Body == "" {
+			b.Fatal("empty artifact")
+		}
+	}
+}
+
+// One benchmark per table/figure of the evaluation.
+
+func BenchmarkT1SystemConfig(b *testing.B)   { runExperiment(b, "T1") }
+func BenchmarkT2WorkloadTable(b *testing.B)  { runExperiment(b, "T2") }
+func BenchmarkF1RuntimeAt32(b *testing.B)    { runExperiment(b, "F1") }
+func BenchmarkF2Scalability(b *testing.B)    { runExperiment(b, "F2") }
+func BenchmarkF3NoCTraffic(b *testing.B)     { runExperiment(b, "F3") }
+func BenchmarkF4OffChipTraffic(b *testing.B) { runExperiment(b, "F4") }
+func BenchmarkF5Energy(b *testing.B)         { runExperiment(b, "F5") }
+func BenchmarkF6AIMSweep(b *testing.B)       { runExperiment(b, "F6") }
+func BenchmarkF7Saturation(b *testing.B)     { runExperiment(b, "F7") }
+func BenchmarkF8Latency(b *testing.B)        { runExperiment(b, "F8") }
+func BenchmarkT3Conflicts(b *testing.B)      { runExperiment(b, "T3") }
+func BenchmarkA1Ablations(b *testing.B)      { runExperiment(b, "A1") }
+func BenchmarkA2MOESI(b *testing.B)          { runExperiment(b, "A2") }
+func BenchmarkA3Granularity(b *testing.B)    { runExperiment(b, "A3") }
+func BenchmarkR1SeedRobustness(b *testing.B) { runExperiment(b, "R1") }
+
+// BenchmarkSimulatorThroughput measures end-to-end simulated events per
+// second for each design on a representative workload.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for _, proto := range arcsim.Protocols() {
+		proto := proto
+		b.Run(string(proto), func(b *testing.B) {
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				rep, err := arcsim.Run(arcsim.Config{
+					Protocol: proto,
+					Workload: "x264",
+					Cores:    16,
+					Scale:    0.25,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += rep.Events
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkWorkloadGeneration measures trace generation cost.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := arcsim.Run(arcsim.Config{
+			Protocol: arcsim.Mesi,
+			Workload: "blackscholes",
+			Cores:    8,
+			Scale:    0.05,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = rep
+	}
+}

@@ -1,0 +1,162 @@
+// Command arcsim runs one simulation: a catalog workload (or a trace
+// file) on one of the four designs, printing a human-readable report or
+// JSON.
+//
+// Examples:
+//
+//	arcsim -workload x264 -protocol arc -cores 32
+//	arcsim -workload racy-sharing -protocol ce+ -failstop
+//	arcsim -trace run.arct -protocol mesi -cores 8 -json
+//	arcsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"arcsim"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "catalog workload name (see -list)")
+		traceF   = flag.String("trace", "", "ARCT trace file to run instead of a catalog workload")
+		protocol = flag.String("protocol", "arc", "design: mesi, ce, ce+, arc")
+		cores    = flag.Int("cores", 8, "core count (threads are pinned 1:1)")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		seed     = flag.Int64("seed", 1, "workload generation seed")
+		aim      = flag.Int("aim", 0, "AIM entries override for ce+/arc (0 = default 32768)")
+		failstop = flag.Bool("failstop", false, "halt at the first region conflict")
+		verify   = flag.Bool("verify", false, "cross-check conflicts against the golden oracle")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+		list     = flag.Bool("list", false, "list catalog workloads and exit")
+		machineF = flag.String("machine", "", "machine description JSON (see -dump-machine)")
+		dumpM    = flag.Bool("dump-machine", false, "print the default machine JSON for -cores and exit")
+		compare  = flag.Bool("compare", false, "run the workload under all four designs and print a comparison")
+	)
+	flag.Parse()
+
+	if *dumpM {
+		data, err := arcsim.DefaultMachineJSON(*cores)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(data)
+		return
+	}
+
+	if *list {
+		fmt.Println("catalog workloads:")
+		for _, w := range arcsim.Workloads() {
+			tag := ""
+			if w.Racy {
+				tag = " [racy]"
+			}
+			fmt.Printf("  %-14s %s%s\n", w.Name, w.Description, tag)
+		}
+		return
+	}
+
+	cfg := arcsim.Config{
+		Protocol:         arcsim.Protocol(*protocol),
+		Cores:            *cores,
+		Workload:         *workload,
+		Scale:            *scale,
+		Seed:             *seed,
+		AIMEntries:       *aim,
+		FailStop:         *failstop,
+		VerifyWithOracle: *verify,
+	}
+	if *machineF != "" {
+		data, err := os.ReadFile(*machineF)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.MachineJSON = data
+	}
+
+	if *compare {
+		if *workload == "" {
+			fatal(fmt.Errorf("-compare needs -workload"))
+		}
+		runCompare(cfg)
+		return
+	}
+
+	var (
+		rep *arcsim.Report
+		err error
+	)
+	switch {
+	case *traceF != "":
+		var f *os.File
+		f, err = os.Open(*traceF)
+		if err != nil {
+			fatal(err)
+		}
+		var tr *arcsim.Trace
+		tr, err = arcsim.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		rep, err = arcsim.RunTrace(cfg, tr)
+	case *workload != "":
+		rep, err = arcsim.Run(cfg)
+	default:
+		fatal(fmt.Errorf("need -workload or -trace (use -list for workloads)"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(rep)
+	if n := len(rep.Conflicts); n > 0 {
+		max := n
+		if max > 10 {
+			max = 10
+		}
+		for _, c := range rep.Conflicts[:max] {
+			fmt.Printf("    %s\n", c)
+		}
+		if n > max {
+			fmt.Printf("    ... and %d more\n", n-max)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "arcsim:", err)
+	os.Exit(1)
+}
+
+// runCompare runs the workload under every design and prints one row per
+// design, normalized to the MESI baseline.
+func runCompare(cfg arcsim.Config) {
+	fmt.Printf("%-6s %12s %8s %14s %14s %12s %10s\n",
+		"design", "cycles", "norm", "flit-hops", "off-chip B", "energy uJ", "conflicts")
+	var base *arcsim.Report
+	for _, proto := range arcsim.Protocols() {
+		cfg.Protocol = proto
+		rep, err := arcsim.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if proto == arcsim.Mesi {
+			base = rep
+		}
+		fmt.Printf("%-6s %12d %7.3fx %14d %14d %12.1f %10d\n",
+			proto, rep.Cycles, float64(rep.Cycles)/float64(base.Cycles),
+			rep.NoCFlitHops, rep.OffChipBytes, rep.TotalEnergyPJ/1e6, len(rep.Conflicts))
+	}
+}

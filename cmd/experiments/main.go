@@ -1,0 +1,105 @@
+// Command experiments regenerates the paper's tables and figures (see the
+// experiment index in DESIGN.md) and can rewrite EXPERIMENTS.md.
+//
+// Examples:
+//
+//	experiments                     # run everything at the quick scale
+//	experiments -run F1,F3          # selected experiments
+//	experiments -scale 1 -cores 32  # full evaluation scale
+//	experiments -md EXPERIMENTS.md  # also write the markdown record
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"arcsim/internal/bench"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "comma-separated experiment IDs (T1,T2,F1..F8,T3,A1..A3,R1) or 'all'")
+		scale   = flag.Float64("scale", 0.25, "workload scale (1.0 = full evaluation)")
+		cores   = flag.Int("cores", 32, "core count for per-workload figures")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		sweep   = flag.String("sweep", "8,16,32,64", "core counts for scalability experiments")
+		mdPath  = flag.String("md", "", "write the markdown record (EXPERIMENTS.md) to this path")
+		outDir  = flag.String("out", "", "also write each experiment's artifact to <dir>/<ID>.txt")
+		verbose = flag.Bool("v", false, "print one line per simulation run")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Cores: *cores}
+	for _, s := range strings.Split(*sweep, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fatal(fmt.Errorf("bad -sweep entry %q: %v", s, err))
+		}
+		cfg.CoreSweep = append(cfg.CoreSweep, n)
+	}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+	runner := bench.NewRunner(cfg)
+
+	var selected []bench.Experiment
+	if *run == "all" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				fatal(fmt.Errorf("unknown experiment %q", id))
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	start := time.Now()
+	var outs []*bench.Output
+	fails := 0
+	for _, e := range selected {
+		out, err := e.Run(runner)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %v", e.ID, err))
+		}
+		outs = append(outs, out)
+		fmt.Println(out.Render())
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := fmt.Sprintf("%s/%s.txt", *outDir, e.ID)
+			if err := os.WriteFile(path, []byte(out.Render()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		for _, c := range out.Checks {
+			if !c.Pass {
+				fails++
+			}
+		}
+	}
+	fmt.Printf("regenerated %d experiments in %v; %d shape-check failure(s)\n",
+		len(outs), time.Since(start).Round(time.Millisecond), fails)
+
+	if *mdPath != "" {
+		md := bench.Markdown(cfg, outs)
+		if err := os.WriteFile(*mdPath, []byte(md), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *mdPath)
+	}
+	if fails > 0 {
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command tracegen generates catalog workload traces as ARCT files and
+// inspects existing trace files.
+//
+// Examples:
+//
+//	tracegen -workload canneal -cores 16 -o canneal.arct
+//	tracegen -inspect canneal.arct
+//	tracegen -characterize -cores 32   # print the workload table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"arcsim/internal/stats"
+	"arcsim/internal/trace"
+	"arcsim/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "", "catalog workload to generate")
+		cores   = flag.Int("cores", 8, "thread count")
+		scale   = flag.Float64("scale", 1.0, "workload scale")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		out     = flag.String("o", "", "output ARCT file (default <workload>.arct)")
+		inspect = flag.String("inspect", "", "ARCT file to characterize instead of generating")
+		char    = flag.Bool("characterize", false, "print the characteristics table for the whole catalog")
+	)
+	flag.Parse()
+
+	switch {
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := trace.ReadFrom(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			fatal(fmt.Errorf("trace is structurally invalid: %w", err))
+		}
+		fmt.Println(trace.Characterize(tr))
+
+	case *char:
+		t := stats.NewTable(
+			fmt.Sprintf("workload characteristics (%d threads, scale %.2f, seed %d)", *cores, *scale, *seed),
+			"workload", "events", "reads", "writes", "regions", "avg region", "lines", "shared%")
+		for _, spec := range workload.Catalog() {
+			tr := spec.Build(workload.Params{Threads: *cores, Seed: *seed, Scale: *scale})
+			c := trace.Characterize(tr)
+			t.AddRow(c.Name,
+				stats.FormatCount(uint64(c.Events)),
+				stats.FormatCount(uint64(c.Reads)),
+				stats.FormatCount(uint64(c.Writes)),
+				stats.FormatCount(uint64(c.Regions)),
+				fmt.Sprintf("%.1f", c.AvgRegionLen),
+				stats.FormatCount(uint64(c.DistinctLines)),
+				fmt.Sprintf("%.1f", 100*c.SharedFrac))
+		}
+		fmt.Print(t.Render())
+
+	case *wl != "":
+		spec, ok := workload.ByName(*wl)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *wl))
+		}
+		tr := spec.Build(workload.Params{Threads: *cores, Seed: *seed, Scale: *scale})
+		path := *out
+		if path == "" {
+			path = *wl + ".arct"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteTo(f, tr); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %s\n", path, trace.Characterize(tr))
+
+	default:
+		fatal(fmt.Errorf("need -workload, -inspect, or -characterize"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+// Quickstart: run one workload on the MESI baseline and on ARC, and
+// compare the cost of always-on region conflict detection.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"arcsim"
+)
+
+func main() {
+	cfg := arcsim.Config{
+		Workload: "bodytrack",
+		Cores:    16,
+		Scale:    0.25,
+	}
+
+	cfg.Protocol = arcsim.Mesi
+	baseline, err := arcsim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg.Protocol = arcsim.ARC
+	detecting, err := arcsim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(baseline)
+	fmt.Println(detecting)
+	fmt.Printf("always-on region conflict detection with ARC costs %.1f%% run time\n",
+		100*(float64(detecting.Cycles)/float64(baseline.Cycles)-1))
+	fmt.Printf("and %.1f%% on-chip traffic over the MESI baseline.\n",
+		100*(float64(detecting.NoCFlitHops)/float64(baseline.NoCFlitHops)-1))
+}

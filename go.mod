@@ -1,0 +1,3 @@
+module arcsim
+
+go 1.22

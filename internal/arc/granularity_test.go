@@ -1,0 +1,72 @@
+package arc
+
+import (
+	"math/rand"
+	"testing"
+
+	"arcsim/internal/core"
+)
+
+// TestWordGranularityMatchesWidenedOracle: word-granularity ARC equals
+// the byte-precise oracle applied to word-widened accesses.
+func TestWordGranularityMatchesWidenedOracle(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		cores := 2 + int(seed%3)
+		m := tiny(cores)
+		p := New(m)
+		p.WordGranularity = true
+		g := core.NewGolden(cores)
+		rng := rand.New(rand.NewSource(seed))
+		now := uint64(0)
+		for i := 0; i < 400; i++ {
+			c := core.CoreID(rng.Intn(cores))
+			if rng.Intn(12) == 0 {
+				now += p.Boundary(now, c)
+				m.NextRegion(c)
+				g.Boundary(c)
+				continue
+			}
+			line := core.Line(rng.Intn(12))
+			off := uint(rng.Intn(core.LineSize))
+			size := uint8(1 << rng.Intn(4))
+			if off+uint(size) > core.LineSize {
+				off = core.LineSize - uint(size)
+			}
+			k := core.Read
+			if rng.Intn(2) == 0 {
+				k = core.Write
+			}
+			a := acc(k, line.Base()+core.Addr(off), size)
+			now += p.Access(now, c, a)
+			g.Access(c, core.WidenAccess(a))
+		}
+		if ok, diff := m.Conflicts.Equal(g.Set()); !ok {
+			t.Fatalf("seed %d cores=%d: word-ARC != widened oracle: %s", seed, cores, diff)
+		}
+	}
+}
+
+func TestWordGranularityFalseSharing(t *testing.T) {
+	run := func(word bool) int {
+		m := tiny(2)
+		p := New(m)
+		p.WordGranularity = word
+		p.Access(0, 0, acc(core.Write, 0x1000, 1))
+		p.Access(10, 1, acc(core.Write, 0x1001, 1))
+		return m.Conflicts.Len()
+	}
+	if got := run(false); got != 0 {
+		t.Errorf("byte granularity flagged disjoint bytes: %d", got)
+	}
+	if got := run(true); got != 1 {
+		t.Errorf("word granularity conflicts = %d, want 1", got)
+	}
+	if New(tiny(2)).Name() != "arc" {
+		t.Error("name regression")
+	}
+	p := New(tiny(2))
+	p.WordGranularity = true
+	if p.Name() != "arc-word" {
+		t.Errorf("word variant name = %q", p.Name())
+	}
+}

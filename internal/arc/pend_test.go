@@ -1,0 +1,167 @@
+package arc
+
+import (
+	"testing"
+
+	"arcsim/internal/core"
+)
+
+// The pend/eager admission protocol deserves direct unit coverage beyond
+// the oracle fuzz: these tests pin down the *cost* behaviour — who
+// communicates when — which the fuzz (correctness-only) cannot see.
+
+func TestConcurrentReadersAllPend(t *testing.T) {
+	m := tiny(4)
+	p := New(m)
+	// Make the line shared-class with a write history: c0 writes, c1
+	// touches (recall), then everyone's region ends.
+	p.Access(0, 0, acc(core.Write, 0x1000, 8))
+	p.Access(10, 1, acc(core.Write, 0x1008, 8))
+	for c := core.CoreID(0); c < 4; c++ {
+		p.Boundary(20+uint64(c), c)
+		m.NextRegion(c)
+	}
+	// Now four concurrent readers: every one must defer (pend), with no
+	// recalls and no eager joins.
+	recalls := m.Counters["arc.pend_recalls"]
+	joins := m.Counters["arc.eager_joins"]
+	for c := core.CoreID(0); c < 4; c++ {
+		p.Access(100+uint64(c)*10, c, acc(core.Read, 0x1000, 8))
+	}
+	if got := m.Counters["arc.pends"]; got < 4 {
+		t.Errorf("pends = %d, want >= 4 (all readers defer)", got)
+	}
+	if m.Counters["arc.pend_recalls"] != recalls {
+		t.Error("concurrent readers triggered recalls")
+	}
+	if m.Counters["arc.eager_joins"] != joins {
+		t.Error("concurrent readers joined eagerly")
+	}
+	if m.Conflicts.Len() != 0 {
+		t.Errorf("read-read flagged: %v", m.Conflicts.Conflicts())
+	}
+}
+
+func TestWriterJoinRecallsAllReadPends(t *testing.T) {
+	m := tiny(4)
+	p := New(m)
+	// Shared-class line with three live read-pends.
+	p.Access(0, 0, acc(core.Write, 0x1000, 8))
+	p.Access(10, 1, acc(core.Read, 0x1008, 8))
+	for c := core.CoreID(0); c < 4; c++ {
+		p.Boundary(20+uint64(c), c)
+		m.NextRegion(c)
+	}
+	for c := core.CoreID(0); c < 3; c++ {
+		p.Access(100+uint64(c)*10, c, acc(core.Read, 0x1000+core.Addr(c)*8, 8))
+	}
+	// Core 3 writes: all three pends must be recalled and the byte
+	// overlap with core 0's read detected.
+	p.Access(200, 3, acc(core.Write, 0x1000, 8))
+	if got := m.Counters["arc.pend_recalls"]; got < 3 {
+		t.Errorf("pend recalls = %d, want >= 3", got)
+	}
+	if m.Conflicts.Len() != 1 {
+		t.Fatalf("conflicts = %d, want 1 (write vs core 0's read)", m.Conflicts.Len())
+	}
+	// All reader copies are now eager.
+	for c := 0; c < 3; c++ {
+		if l := m.L1[c].Peek(core.LineOf(0x1000)); l == nil || l.State != lineSharedEager {
+			t.Errorf("core %d copy state after writer join: %+v", c, l)
+		}
+	}
+}
+
+func TestPendUpgradeOnFirstLocalWrite(t *testing.T) {
+	m := tiny(2)
+	p := New(m)
+	// Shared-class line; c0 read-pends it; c1 read-pends it too.
+	p.Access(0, 0, acc(core.Write, 0x2000, 8))
+	p.Access(10, 1, acc(core.Write, 0x2008, 8))
+	for c := core.CoreID(0); c < 2; c++ {
+		p.Boundary(20+uint64(c), c)
+		m.NextRegion(c)
+	}
+	p.Access(100, 0, acc(core.Read, 0x2000, 8))
+	p.Access(110, 1, acc(core.Read, 0x2010, 8))
+	if m.Counters["arc.pend_upgrades"] != 0 {
+		t.Fatal("reads caused pend upgrades")
+	}
+	// c0's first local write: upgrade, recall of c1's pend, conflict
+	// check of the write against c1's reads (no overlap here).
+	p.Access(120, 0, acc(core.Write, 0x2008, 8))
+	if m.Counters["arc.pend_upgrades"] != 1 {
+		t.Errorf("pend upgrades = %d, want 1", m.Counters["arc.pend_upgrades"])
+	}
+	if m.Conflicts.Len() != 0 {
+		t.Fatalf("disjoint write flagged: %v", m.Conflicts.Conflicts())
+	}
+	// c0's write overlapping c1's read must now be caught (c0 is eager).
+	p.Access(130, 0, acc(core.Write, 0x2010, 8))
+	if m.Conflicts.Len() != 1 {
+		t.Fatalf("conflicts = %d, want 1 (eager write vs c1's read)", m.Conflicts.Len())
+	}
+	// c0's further writes to the same bytes send nothing new.
+	regs := m.Counters["arc.registrations"]
+	p.Access(140, 0, acc(core.Write, 0x2010, 8))
+	if m.Counters["arc.registrations"] != regs {
+		t.Error("re-write re-registered")
+	}
+}
+
+func TestPendUpgradeAloneStaysDeferred(t *testing.T) {
+	m := tiny(2)
+	p := New(m)
+	// Shared-class line, nobody else live.
+	p.Access(0, 0, acc(core.Write, 0x3000, 8))
+	p.Access(10, 1, acc(core.Write, 0x3008, 8))
+	for c := core.CoreID(0); c < 2; c++ {
+		p.Boundary(20+uint64(c), c)
+		m.NextRegion(c)
+	}
+	joinsBefore := m.Counters["arc.eager_joins"]
+	p.Access(100, 0, acc(core.Read, 0x3000, 8)) // read-pend
+	p.Access(110, 0, acc(core.Write, 0x3000, 8))
+	if m.Counters["arc.pend_upgrades"] != 1 {
+		t.Fatalf("pend upgrades = %d", m.Counters["arc.pend_upgrades"])
+	}
+	if m.Counters["arc.eager_joins"] != joinsBefore {
+		t.Error("lone writer went eager")
+	}
+	// The copy stays deferred: further writes are silent.
+	msgs := m.Mesh.Stats.Messages
+	p.Access(120, 0, acc(core.Write, 0x3001, 1))
+	p.Access(130, 0, acc(core.Read, 0x3004, 4))
+	if m.Mesh.Stats.Messages != msgs {
+		t.Error("deferred writer generated traffic")
+	}
+	// A later reader must still see the deferred writer's bits (recall).
+	p.Access(200, 1, acc(core.Read, 0x3000, 4))
+	if m.Conflicts.Len() != 1 {
+		t.Fatalf("conflicts = %d, want 1 (reader vs deferred writer)", m.Conflicts.Len())
+	}
+}
+
+func TestRePendAfterEagerKeepsWriteVisibility(t *testing.T) {
+	// The regression behind the liveWriter predicate fix: a core whose
+	// eager write bits are registered re-pends after eviction+refetch;
+	// a later reader must still treat the line as written.
+	m := tiny(2)
+	p := New(m)
+	// Make line 0 shared with c0 eager-registered write bits: c1 is
+	// live (with disjoint bytes) at c0's write join.
+	p.Access(0, 1, acc(core.Write, 0x8, 8)) // private to c1, bytes 8-15
+	p.Access(5, 0, acc(core.Write, 0, 4))   // recall -> shared, both eager
+	p.Boundary(10, 1)                       // c1's region ends; c0.r0 stays live
+	m.NextRegion(1)
+	// Evict c0's copy (set 0 of its tiny L1: lines 0, 4, 8) and refetch
+	// with a read: c0 re-pends with write bits already registered.
+	p.Access(20, 0, acc(core.Read, 4*64, 8))
+	p.Access(30, 0, acc(core.Read, 8*64, 8))
+	p.Access(40, 0, acc(core.Read, 0, 8)) // refetch, re-pend
+	// c1 (new region) reads the bytes c0 wrote: must conflict.
+	p.Access(50, 1, acc(core.Read, 0, 4))
+	if m.Conflicts.Len() != 1 {
+		t.Fatalf("conflicts = %d, want 1 (re-pend hid registered writes)", m.Conflicts.Len())
+	}
+}

@@ -1,0 +1,247 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's (reconstructed) evaluation — see the
+// experiment index in DESIGN.md. Each experiment produces a rendered
+// text artifact plus a set of shape checks: the qualitative claims from
+// the paper's abstract that the measured numbers must reproduce (who
+// wins, roughly by how much, where the crossovers fall).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"arcsim/internal/machine"
+	"arcsim/internal/protocols"
+	"arcsim/internal/sim"
+	"arcsim/internal/trace"
+	"arcsim/internal/workload"
+)
+
+// Config scales the harness.
+type Config struct {
+	// Scale multiplies workload sizes. 1.0 is the full evaluation;
+	// the default 0.25 regenerates every artifact in minutes.
+	Scale float64
+	// Seed drives workload generation.
+	Seed int64
+	// Cores is the core count for the per-workload figures (F1,
+	// F3-F5); the paper reports these at 32 cores.
+	Cores int
+	// CoreSweep is the scalability axis (F2, F7).
+	CoreSweep []int
+	// Progress, when non-nil, receives one line per simulation run.
+	Progress io.Writer
+}
+
+func (c Config) normalized() Config {
+	if c.Scale <= 0 {
+		c.Scale = 0.25
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Cores == 0 {
+		c.Cores = 32
+	}
+	if len(c.CoreSweep) == 0 {
+		c.CoreSweep = []int{8, 16, 32, 64}
+	}
+	return c
+}
+
+type runKey struct {
+	workload string
+	proto    string
+	cores    int
+	aim      int
+}
+
+// Runner executes and memoizes simulation runs; experiments that share
+// configurations (F1/F3/F4/F5 all reuse the 32-core suite runs) pay for
+// them once.
+type Runner struct {
+	cfg  Config
+	memo map[runKey]*sim.Result
+}
+
+// NewRunner builds a runner.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{cfg: cfg.normalized(), memo: make(map[runKey]*sim.Result)}
+}
+
+// Cfg returns the normalized configuration.
+func (r *Runner) Cfg() Config { return r.cfg }
+
+// Result runs (or returns the memoized result of) one simulation.
+// aimEntries 0 selects the design default; oracle-checking is off for
+// performance runs (protocol correctness is covered by the test suite).
+func (r *Runner) Result(wl, proto string, cores, aimEntries int) (*sim.Result, error) {
+	return r.result(wl, proto, cores, aimEntries, false)
+}
+
+// CheckedResult is Result with the golden-oracle cross-check enabled
+// (used by T3).
+func (r *Runner) CheckedResult(wl, proto string, cores, aimEntries int) (*sim.Result, error) {
+	return r.result(wl, proto, cores, aimEntries, true)
+}
+
+func (r *Runner) result(wl, proto string, cores, aimEntries int, oracle bool) (*sim.Result, error) {
+	key := runKey{wl, proto, cores, aimEntries}
+	if res, ok := r.memo[key]; ok {
+		return res, nil
+	}
+	params := workload.Params{Threads: cores, Seed: r.cfg.Seed, Scale: r.cfg.Scale}
+	var tr *trace.Trace
+	switch wl {
+	case "falseshare":
+		// The A3 false-sharing kernel lives outside the catalog (it is
+		// DRF at byte granularity but not a suite member).
+		tr = workload.FalseSharing(params)
+	case "aimstress":
+		// The F6 metadata-pressure kernel, also outside the catalog.
+		tr = workload.AIMStress(params)
+	default:
+		spec, ok := workload.ByName(wl)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown workload %q", wl)
+		}
+		tr = spec.Build(params)
+	}
+
+	mcfg := machine.Default(cores)
+	if aimEntries > 0 {
+		mcfg.AIM.Entries = aimEntries
+	}
+	m, p, err := protocols.Build(proto, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(m, p, tr, sim.Options{CheckWithOracle: oracle})
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s/%s/%d: %w", wl, proto, cores, err)
+	}
+	if r.cfg.Progress != nil {
+		fmt.Fprintf(r.cfg.Progress, "  ran %-14s %-10s %2d cores: %12d cycles, %d conflicts\n",
+			wl, proto, cores, res.Cycles, res.Conflicts)
+	}
+	r.memo[key] = res
+	return res, nil
+}
+
+// Normalized returns proto's metric divided by the MESI baseline's for
+// the same workload and core count.
+func (r *Runner) Normalized(wl, proto string, cores int, metric func(*sim.Result) float64) (float64, error) {
+	base, err := r.Result(wl, protocols.MESI, cores, 0)
+	if err != nil {
+		return 0, err
+	}
+	res, err := r.Result(wl, proto, cores, 0)
+	if err != nil {
+		return 0, err
+	}
+	b := metric(base)
+	if b == 0 {
+		return 0, fmt.Errorf("bench: zero baseline metric for %s@%d", wl, cores)
+	}
+	return metric(res) / b, nil
+}
+
+// Metric selectors shared by the experiments.
+var (
+	MetricCycles  = func(r *sim.Result) float64 { return float64(r.Cycles) }
+	MetricFlitHop = func(r *sim.Result) float64 { return float64(r.NoC.FlitHops) }
+	MetricOffChip = func(r *sim.Result) float64 { return float64(r.DRAM.Bytes()) }
+	MetricEnergy  = func(r *sim.Result) float64 { return r.TotalEnergyPJ }
+)
+
+// Check is one qualitative shape assertion tied to a paper claim.
+type Check struct {
+	Desc   string
+	Pass   bool
+	Detail string
+}
+
+// Output is one experiment's rendered artifact.
+type Output struct {
+	ID    string
+	Title string
+	// Claim cites the abstract's statement the experiment exercises.
+	Claim  string
+	Body   string
+	Checks []Check
+}
+
+// Render produces the full text form including check outcomes.
+func (o *Output) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", o.ID, o.Title)
+	if o.Claim != "" {
+		fmt.Fprintf(&b, "Paper claim: %s\n", o.Claim)
+	}
+	b.WriteByte('\n')
+	b.WriteString(o.Body)
+	if len(o.Checks) > 0 {
+		b.WriteString("\nShape checks:\n")
+		for _, c := range o.Checks {
+			status := "PASS"
+			if !c.Pass {
+				status = "FAIL"
+			}
+			fmt.Fprintf(&b, "  [%s] %s", status, c.Desc)
+			if c.Detail != "" {
+				fmt.Fprintf(&b, " (%s)", c.Detail)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Passed reports whether every shape check passed.
+func (o *Output) Passed() bool {
+	for _, c := range o.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*Runner) (*Output, error)
+}
+
+// All returns the experiments in the order of the index in DESIGN.md.
+func All() []Experiment {
+	return []Experiment{
+		{"T1", "Simulated system parameters", runT1},
+		{"T2", "Workload characteristics", runT2},
+		{"F1", "Execution time normalized to MESI (per workload)", runF1},
+		{"F2", "Scalability: geomean normalized runtime vs core count", runF2},
+		{"F3", "On-chip interconnect traffic normalized to MESI", runF3},
+		{"F4", "Off-chip memory traffic normalized to MESI", runF4},
+		{"F5", "Energy normalized to MESI (with component breakdown)", runF5},
+		{"F6", "AIM capacity sensitivity", runF6},
+		{"F7", "NoC saturation vs core count", runF7},
+		{"F8", "Access latency distribution", runF8},
+		{"T3", "Conflicts detected on racy workloads", runT3},
+		{"A1", "ARC ablation: line classification", runA1},
+		{"A2", "Coherence substrate: MESI vs MOESI", runA2},
+		{"A3", "Metadata granularity: byte vs word", runA3},
+		{"R1", "Seed robustness", runR1},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

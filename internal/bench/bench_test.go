@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"arcsim/internal/protocols"
+)
+
+// quickCfg keeps unit-test experiments fast; the full-scale shape test
+// below uses the real defaults.
+func quickCfg() Config {
+	return Config{Scale: 0.03, Seed: 1, Cores: 4, CoreSweep: []int{2, 4}}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("experiments = %d, want 15", len(all))
+	}
+	ids := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate ID %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	if _, ok := ByID("f1"); !ok {
+		t.Error("ByID not case-insensitive")
+	}
+	if _, ok := ByID("F99"); ok {
+		t.Error("phantom experiment found")
+	}
+}
+
+func TestRunnerMemoization(t *testing.T) {
+	r := NewRunner(quickCfg())
+	a, err := r.Result("dedup", protocols.MESI, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Result("dedup", protocols.MESI, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second run not memoized")
+	}
+	c, err := r.Result("dedup", protocols.MESI, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different core count hit the memo")
+	}
+}
+
+func TestRunnerUnknownWorkload(t *testing.T) {
+	r := NewRunner(quickCfg())
+	if _, err := r.Result("nope", protocols.MESI, 4, 0); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestNormalizedBaselineIsOne(t *testing.T) {
+	r := NewRunner(quickCfg())
+	v, err := r.Normalized("dedup", protocols.MESI, 4, MetricCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1.0 {
+		t.Errorf("MESI normalized to itself = %f", v)
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	r := NewRunner(quickCfg())
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(r)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if out.ID != e.ID {
+				t.Errorf("output ID %q", out.ID)
+			}
+			body := out.Render()
+			if !strings.Contains(body, e.ID) || len(body) < 100 {
+				t.Errorf("thin output:\n%s", body)
+			}
+		})
+	}
+}
+
+func TestOutputRender(t *testing.T) {
+	o := &Output{
+		ID: "X1", Title: "test", Claim: "claimed",
+		Body: "body\n",
+		Checks: []Check{
+			{Desc: "good", Pass: true},
+			{Desc: "bad", Pass: false, Detail: "numbers"},
+		},
+	}
+	s := o.Render()
+	for _, want := range []string{"X1", "claimed", "body", "[PASS] good", "[FAIL] bad", "(numbers)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	if o.Passed() {
+		t.Error("Passed() with a failing check")
+	}
+}
+
+// TestShapeChecksFullScale regenerates the entire evaluation at the
+// standard harness scale and requires every paper-shape check to pass —
+// the repository's reproduction statement, enforced in CI.
+func TestShapeChecksFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale regeneration (~10s); run without -short")
+	}
+	r := NewRunner(Config{})
+	_, outs, err := RunAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(All()) {
+		t.Fatalf("ran %d experiments", len(outs))
+	}
+	for _, o := range outs {
+		for _, c := range o.Checks {
+			if !c.Pass {
+				t.Errorf("%s: FAIL %s (%s)", o.ID, c.Desc, c.Detail)
+			}
+		}
+	}
+}

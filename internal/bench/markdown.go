@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markdown renders the experiment outputs as the EXPERIMENTS.md record:
+// the per-experiment paper-claim vs. measured-shape comparison.
+func Markdown(cfg Config, outs []*Output) string {
+	cfg = cfg.normalized()
+	var b strings.Builder
+	b.WriteString("# EXPERIMENTS — paper vs. measured\n\n")
+	b.WriteString("Reproduction record for *Rethinking Support for Region Conflict\n")
+	b.WriteString("Exceptions* (IPDPS 2019). Each section names the paper claim an\n")
+	b.WriteString("experiment exercises (reconstructed from the abstract — see the\n")
+	b.WriteString("source-text caveat in DESIGN.md), shows the regenerated artifact,\n")
+	b.WriteString("and records the shape checks. Absolute numbers are not comparable\n")
+	b.WriteString("to the paper (different simulator, synthetic workloads); the shape\n")
+	b.WriteString("— who wins, by roughly what factor, where crossovers fall — is the\n")
+	b.WriteString("reproduction target.\n\n")
+	fmt.Fprintf(&b, "Harness configuration: scale %.2f, %d cores for per-workload\n",
+		cfg.Scale, cfg.Cores)
+	fmt.Fprintf(&b, "figures, core sweep %v, seed %d.\n\n", cfg.CoreSweep, cfg.Seed)
+	b.WriteString("Regenerate with:\n\n")
+	fmt.Fprintf(&b, "    go run ./cmd/experiments -scale %g -cores %d -md EXPERIMENTS.md\n\n",
+		cfg.Scale, cfg.Cores)
+
+	total, passed := 0, 0
+	for _, o := range outs {
+		for _, c := range o.Checks {
+			total++
+			if c.Pass {
+				passed++
+			}
+		}
+	}
+	fmt.Fprintf(&b, "**Shape checks: %d/%d passing.**\n\n", passed, total)
+
+	for _, o := range outs {
+		fmt.Fprintf(&b, "## %s: %s\n\n", o.ID, o.Title)
+		if o.Claim != "" {
+			fmt.Fprintf(&b, "*Paper claim:* %s\n\n", o.Claim)
+		}
+		if len(o.Checks) > 0 {
+			b.WriteString("| check | result | measured |\n|---|---|---|\n")
+			for _, c := range o.Checks {
+				status := "PASS"
+				if !c.Pass {
+					status = "**FAIL**"
+				}
+				fmt.Fprintf(&b, "| %s | %s | %s |\n", c.Desc, status, c.Detail)
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteString("```\n")
+		b.WriteString(strings.TrimRight(o.Body, "\n"))
+		b.WriteString("\n```\n\n")
+	}
+	return b.String()
+}

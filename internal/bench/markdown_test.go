@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarkdown(t *testing.T) {
+	outs := []*Output{
+		{
+			ID: "F1", Title: "Runtime", Claim: "who wins",
+			Body: "figure body\n",
+			Checks: []Check{
+				{Desc: "ordering", Pass: true, Detail: "a<b"},
+				{Desc: "competitive", Pass: false, Detail: "numbers"},
+			},
+		},
+		{ID: "T1", Title: "Params", Body: "table\n"},
+	}
+	md := Markdown(Config{Scale: 0.5, Cores: 16}, outs)
+	for _, want := range []string{
+		"# EXPERIMENTS",
+		"Shape checks: 1/2 passing",
+		"## F1: Runtime",
+		"*Paper claim:* who wins",
+		"| ordering | PASS | a<b |",
+		"| competitive | **FAIL** | numbers |",
+		"```\nfigure body\n```",
+		"## T1: Params",
+		"-scale 0.5 -cores 16",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}

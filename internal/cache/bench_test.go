@@ -1,0 +1,52 @@
+package cache
+
+import (
+	"testing"
+
+	"arcsim/internal/core"
+)
+
+func benchCache(hash bool) *Cache {
+	return New(Config{Name: "b", SizeBytes: 32 << 10, Ways: 8, IndexHash: hash})
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := benchCache(false)
+	c.Insert(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Lookup(42) == nil {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkLookupMiss(b *testing.B) {
+	c := benchCache(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Lookup(core.Line(i)) != nil {
+			b.Fatal("hit")
+		}
+	}
+}
+
+func BenchmarkInsertEvictCycle(b *testing.B) {
+	c := benchCache(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line := core.Line(i)
+		if c.Peek(line) == nil {
+			c.Insert(line)
+		}
+	}
+}
+
+func BenchmarkHashedIndex(b *testing.B) {
+	c := benchCache(true)
+	c.Insert(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(42)
+	}
+}

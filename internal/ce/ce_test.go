@@ -1,0 +1,248 @@
+package ce
+
+import (
+	"math/rand"
+	"testing"
+
+	"arcsim/internal/aim"
+	"arcsim/internal/core"
+	"arcsim/internal/machine"
+)
+
+// tiny builds a small machine; withAIM selects CE+ (true) or CE (false).
+func tiny(cores int, withAIM bool) *machine.Machine {
+	cfg := machine.Default(cores)
+	cfg.L1SizeBytes = 8 * core.LineSize // 4 sets x 2 ways
+	cfg.L1Ways = 2
+	cfg.LLCSliceBytes = 32 * core.LineSize
+	cfg.LLCWays = 2
+	if withAIM {
+		cfg.AIM = aim.Config{Entries: 16 * cores, Ways: 4, Latency: 3}
+	} else {
+		cfg.AIM = aim.Config{}
+	}
+	return machine.New(cfg)
+}
+
+func acc(k core.AccessKind, a core.Addr, sz uint8) core.Access {
+	return core.Access{Kind: k, Addr: a, Size: sz}
+}
+
+func TestNames(t *testing.T) {
+	if New(tiny(2, false)).Name() != "ce" {
+		t.Error("AIM-less protocol not named ce")
+	}
+	if New(tiny(2, true)).Name() != "ce+" {
+		t.Error("AIM protocol not named ce+")
+	}
+}
+
+func TestDetectsWriteReadConflict(t *testing.T) {
+	m := tiny(2, true)
+	p := New(m)
+	p.Access(0, 0, acc(core.Write, 0x1000, 8))
+	p.Access(10, 1, acc(core.Read, 0x1000, 8))
+	if m.Conflicts.Len() != 1 {
+		t.Fatalf("conflicts = %d, want 1", m.Conflicts.Len())
+	}
+	c := m.Conflicts.Conflicts()[0]
+	if c.First != (core.RegionID{Core: 0, Seq: 0}) || c.Second != (core.RegionID{Core: 1, Seq: 0}) {
+		t.Errorf("wrong attribution: %v", c)
+	}
+	if !c.FirstWrote {
+		t.Errorf("FirstWrote lost: %v", c)
+	}
+	if len(m.Exceptions) != 1 {
+		t.Errorf("exceptions = %d", len(m.Exceptions))
+	}
+}
+
+func TestNoConflictCases(t *testing.T) {
+	t.Run("read-read", func(t *testing.T) {
+		m := tiny(2, true)
+		p := New(m)
+		p.Access(0, 0, acc(core.Read, 0x1000, 8))
+		p.Access(10, 1, acc(core.Read, 0x1000, 8))
+		if m.Conflicts.Len() != 0 {
+			t.Errorf("conflicts = %d", m.Conflicts.Len())
+		}
+	})
+	t.Run("disjoint bytes", func(t *testing.T) {
+		m := tiny(2, true)
+		p := New(m)
+		p.Access(0, 0, acc(core.Write, 0x1000, 8))
+		p.Access(10, 1, acc(core.Write, 0x1008, 8))
+		if m.Conflicts.Len() != 0 {
+			t.Errorf("false sharing flagged: %v", m.Conflicts.Conflicts())
+		}
+	})
+	t.Run("region ended", func(t *testing.T) {
+		m := tiny(2, true)
+		p := New(m)
+		p.Access(0, 0, acc(core.Write, 0x1000, 8))
+		p.Boundary(5, 0)
+		m.NextRegion(0)
+		p.Access(10, 1, acc(core.Read, 0x1000, 8))
+		if m.Conflicts.Len() != 0 {
+			t.Errorf("conflict with ended region: %v", m.Conflicts.Conflicts())
+		}
+	})
+}
+
+func TestHitTimeDetectionViaRemoteBits(t *testing.T) {
+	m := tiny(2, true)
+	p := New(m)
+	// Core 0 reads bytes 0-7. Core 1 writes bytes 8-15: no byte clash,
+	// but the fetch invalidates core 0's copy and caches its read bits.
+	p.Access(0, 0, acc(core.Read, 0x1000, 8))
+	p.Access(10, 1, acc(core.Write, 0x1008, 8))
+	if m.Conflicts.Len() != 0 {
+		t.Fatalf("premature conflict: %v", m.Conflicts.Conflicts())
+	}
+	// Core 1 now writes bytes 0-7 as a pure M-state hit: the cached
+	// remote bits must flag it and the table must attribute it.
+	p.Access(20, 1, acc(core.Write, 0x1000, 8))
+	if m.Conflicts.Len() != 1 {
+		t.Fatalf("hit-time conflict missed (conflicts=%d)", m.Conflicts.Len())
+	}
+	if m.Counters["ce.hit_suspects"] == 0 {
+		t.Error("hit-suspect path not exercised")
+	}
+}
+
+func TestEvictionSpillPreservesDetection(t *testing.T) {
+	m := tiny(2, false) // CE: spills go straight to DRAM
+	p := New(m)
+	// Core 0 reads line 0, then forces it out of its tiny L1 (4 sets x
+	// 2 ways: lines 0, 4, 8 share set 0).
+	p.Access(0, 0, acc(core.Read, 0, 8))
+	p.Access(10, 0, acc(core.Read, 4*64, 8))
+	p.Access(20, 0, acc(core.Read, 8*64, 8))
+	if m.Counters["ce.spills"] == 0 {
+		t.Fatal("eviction did not spill metadata")
+	}
+	if m.Mem.Stats.MetadataBytes == 0 {
+		t.Fatal("CE spill did not reach memory")
+	}
+	// Core 1 writes the evicted line: conflict must be found in the
+	// in-memory table.
+	p.Access(30, 1, acc(core.Write, 0, 8))
+	if m.Conflicts.Len() != 1 {
+		t.Fatalf("conflict lost across eviction (conflicts=%d)", m.Conflicts.Len())
+	}
+}
+
+func TestBoundaryScrubsSpills(t *testing.T) {
+	m := tiny(2, false)
+	p := New(m)
+	p.Access(0, 0, acc(core.Write, 0, 8))
+	p.Access(10, 0, acc(core.Read, 4*64, 8))
+	p.Access(20, 0, acc(core.Read, 8*64, 8)) // spills line 0
+	spills := m.Counters["ce.spills"]
+	if spills == 0 {
+		t.Fatal("setup: no spill")
+	}
+	lat := p.Boundary(30, 0)
+	m.NextRegion(0)
+	if m.Counters["ce.region_clears"] == 0 {
+		t.Error("boundary did not scrub the table")
+	}
+	if lat <= gangClearCycles {
+		t.Error("scrub latency not charged")
+	}
+	if len(p.memTable) != 0 {
+		t.Errorf("memTable still has %d entries after scrub", len(p.memTable))
+	}
+	// After the scrub, core 1 writing line 0 must be conflict-free.
+	p.Access(40, 1, acc(core.Write, 0, 8))
+	if m.Conflicts.Len() != 0 {
+		t.Errorf("stale metadata caused conflict: %v", m.Conflicts.Conflicts())
+	}
+}
+
+func TestCEPlusUsesAIM(t *testing.T) {
+	run := func(withAIM bool) (metaDRAM uint64) {
+		m := tiny(2, withAIM)
+		p := New(m)
+		// Repeatedly force metadata traffic on the same line.
+		for i := 0; i < 20; i++ {
+			p.Access(uint64(i*100), 0, acc(core.Write, 0, 8))
+			p.Access(uint64(i*100+50), 1, acc(core.Write, 0, 8))
+		}
+		return m.Mem.Stats.MetadataBytes
+	}
+	ce := run(false)
+	cePlus := run(true)
+	if cePlus >= ce {
+		t.Errorf("CE+ metadata DRAM bytes (%d) not below CE (%d)", cePlus, ce)
+	}
+	if ce == 0 {
+		t.Error("CE produced no metadata traffic")
+	}
+}
+
+func TestMESIInvariantsHoldUnderCE(t *testing.T) {
+	m := tiny(4, true)
+	p := New(m)
+	rng := rand.New(rand.NewSource(7))
+	now := uint64(0)
+	for i := 0; i < 1500; i++ {
+		c := core.CoreID(rng.Intn(4))
+		if rng.Intn(20) == 0 {
+			now += p.Boundary(now, c)
+			m.NextRegion(c)
+			continue
+		}
+		a := core.Addr(rng.Intn(48)) * 16
+		k := core.Read
+		if rng.Intn(2) == 0 {
+			k = core.Write
+		}
+		now += p.Access(now, c, acc(k, a, 8))
+		if err := p.Mesi().CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}
+
+// TestMatchesGoldenOracle drives random schedules through CE and the
+// oracle in lockstep and requires identical conflict sets — the paper's
+// soundness+completeness claim for the design. Both coherence substrates
+// (MESI and MOESI) are covered.
+func TestMatchesGoldenOracle(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		for _, withAIM := range []bool{false, true} {
+			cores := 2 + int(seed%3)
+			m := tiny(cores, withAIM)
+			p := New(m)
+			p.Mesi().UseOwned = seed%2 == 0 // alternate MESI / MOESI
+			g := core.NewGolden(cores)
+			rng := rand.New(rand.NewSource(seed))
+			now := uint64(0)
+			for i := 0; i < 400; i++ {
+				c := core.CoreID(rng.Intn(cores))
+				if rng.Intn(12) == 0 {
+					now += p.Boundary(now, c)
+					m.NextRegion(c)
+					g.Boundary(c)
+					continue
+				}
+				// Small pool of lines and offsets to force overlap,
+				// plus set-conflicting lines to force spills.
+				line := core.Line(rng.Intn(12))
+				off := uint(rng.Intn(8)) * 8
+				size := uint8(1 << rng.Intn(4))
+				k := core.Read
+				if rng.Intn(2) == 0 {
+					k = core.Write
+				}
+				a := acc(k, line.Base()+core.Addr(off), size)
+				now += p.Access(now, c, a)
+				g.Access(c, a)
+			}
+			if ok, diff := m.Conflicts.Equal(g.Set()); !ok {
+				t.Fatalf("seed %d aim=%v cores=%d: CE != golden: %s", seed, withAIM, cores, diff)
+			}
+		}
+	}
+}

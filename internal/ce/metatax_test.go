@@ -1,0 +1,45 @@
+package ce
+
+import (
+	"testing"
+
+	"arcsim/internal/coherence"
+	"arcsim/internal/core"
+)
+
+// TestMetaTaxOnCoherenceMessages: CE's access bits ride on every data
+// response, invalidation ack, and writeback — the same coherence activity
+// must move strictly more bytes under CE than under plain MESI.
+func TestMetaTaxOnCoherenceMessages(t *testing.T) {
+	drive := func(run func(now uint64, c core.CoreID, acc core.Access)) {
+		// Ping-pong writes plus a read-sharing episode and an eviction.
+		for i := 0; i < 30; i++ {
+			run(uint64(i*100), core.CoreID(i%2), acc(core.Write, 0x1000, 8))
+		}
+		run(4000, 0, acc(core.Read, 0x1000, 8))
+		run(4100, 1, acc(core.Read, 0x1000, 8))
+		// Force a dirty eviction at core 0 (4-set L1: lines collide).
+		run(4200, 0, acc(core.Write, 0, 8))
+		run(4300, 0, acc(core.Read, 4*64, 8))
+		run(4400, 0, acc(core.Read, 8*64, 8))
+	}
+
+	mMesi := tiny(2, false)
+	eng := coherence.New(mMesi)
+	drive(func(now uint64, c core.CoreID, a core.Access) { eng.Access(now, c, a) })
+
+	mCE := tiny(2, false)
+	p := New(mCE)
+	drive(func(now uint64, c core.CoreID, a core.Access) { p.Access(now, c, a) })
+
+	if mCE.Mesh.Stats.Bytes <= mMesi.Mesh.Stats.Bytes {
+		t.Errorf("CE on-chip bytes %d not above MESI %d (metadata tax missing)",
+			mCE.Mesh.Stats.Bytes, mMesi.Mesh.Stats.Bytes)
+	}
+	// Same message count: the tax rides on existing messages' payloads
+	// (spill messages are the only extras).
+	if mCE.Mesh.Stats.Messages < mMesi.Mesh.Stats.Messages {
+		t.Errorf("CE sent fewer messages (%d) than MESI (%d)",
+			mCE.Mesh.Stats.Messages, mMesi.Mesh.Stats.Messages)
+	}
+}

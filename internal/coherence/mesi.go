@@ -1,0 +1,480 @@
+// Package coherence implements the eager write-invalidation MESI directory
+// protocol that the paper's baseline machine and the CE/CE+ designs run
+// on. The directory is embedded in the LLC slices (one slice per tile,
+// address-interleaved homes); the LLC is inclusive of the L1s.
+//
+// Engine.Access both performs the protocol transition and records an
+// AccessTrace describing everything that happened (remote copies touched,
+// evictions, LLC misses). The Conflict Exceptions layer (internal/ce)
+// consumes the trace to move metadata and detect conflicts without
+// re-implementing MESI.
+package coherence
+
+import (
+	"fmt"
+
+	"arcsim/internal/cache"
+	"arcsim/internal/core"
+	"arcsim/internal/machine"
+)
+
+// L1 line states. Absence from the cache is Invalid.
+const (
+	// StateS: shared, clean, possibly other copies.
+	StateS uint8 = iota + 1
+	// StateE: exclusive, clean.
+	StateE
+	// StateM: exclusive, dirty.
+	StateM
+	// StateO: owned — dirty but shared (MOESI only): this copy supplies
+	// data to readers without writing the LLC back.
+	StateO
+)
+
+// StateName renders an L1 state for diagnostics.
+func StateName(s uint8) string {
+	switch s {
+	case StateS:
+		return "S"
+	case StateE:
+		return "E"
+	case StateM:
+		return "M"
+	case StateO:
+		return "O"
+	}
+	return fmt.Sprintf("?%d", s)
+}
+
+// RemoteCopy is a snapshot of another core's L1 line that the current
+// transaction invalidated or downgraded, taken before the action. The CE
+// layer reads the snapshot's access bits.
+type RemoteCopy struct {
+	Core core.CoreID
+	// Snapshot is the line as it was before invalidation/downgrade.
+	Snapshot cache.Line
+	// Invalidated reports whether the copy was removed (true) or
+	// downgraded to S (false).
+	Invalidated bool
+}
+
+// AccessTrace describes one Access transaction for layered designs.
+type AccessTrace struct {
+	Line core.Line
+	Home int
+	// L1Hit: the access completed from the local L1 (including S-state
+	// write upgrades, which set Upgrade too).
+	L1Hit bool
+	// Upgrade: a write hit an S-state line and consulted the directory.
+	Upgrade bool
+	// Remote lists the copies this transaction invalidated/downgraded
+	// (at other cores), excluding inclusion-victim invalidations.
+	Remote []RemoteCopy
+	// L1Evicted/L1Victim describe the local fill victim.
+	L1Evicted bool
+	L1Victim  cache.Line
+	// LLCMiss: the home slice missed and fetched the line from memory.
+	LLCMiss bool
+	// InclusionVictims are L1 copies (any core) invalidated because the
+	// LLC evicted their line to make room.
+	InclusionVictims []RemoteCopy
+	// InclusionVictimLine is the line the LLC evicted, if any.
+	InclusionEvicted    bool
+	InclusionVictimLine core.Line
+}
+
+// DirectoryInvolved reports whether the transaction consulted the home
+// directory (miss or upgrade) — the moments CE piggybacks metadata on.
+func (t *AccessTrace) DirectoryInvolved() bool { return !t.L1Hit || t.Upgrade }
+
+func (t *AccessTrace) reset(line core.Line, home int) {
+	t.Line = line
+	t.Home = home
+	t.L1Hit = false
+	t.Upgrade = false
+	t.Remote = t.Remote[:0]
+	t.L1Evicted = false
+	t.L1Victim = cache.Line{}
+	t.LLCMiss = false
+	t.InclusionVictims = t.InclusionVictims[:0]
+	t.InclusionEvicted = false
+	t.InclusionVictimLine = 0
+}
+
+// Engine is the MESI protocol engine; it implements machine.Protocol and
+// is the baseline design ("mesi") of the evaluation.
+type Engine struct {
+	M *machine.Machine
+	// MetaTax is added to the payload of every data response,
+	// invalidation acknowledgement, and writeback. The CE layer sets it
+	// to the access-bits record size: in Conflict Exceptions the bits
+	// are part of the line state and travel with every coherence
+	// message. Zero for the plain MESI baseline.
+	MetaTax int
+	// UseOwned enables the MOESI Owned state: an exclusive dirty holder
+	// answering a read keeps the dirty line (O) and supplies data
+	// cache-to-cache, avoiding the LLC writeback that plain MESI pays
+	// on every M->S downgrade.
+	UseOwned bool
+	// Trace is the trace of the most recent Access call. It is a reused
+	// buffer: layered designs must consume it before the next Access.
+	Trace AccessTrace
+}
+
+// New builds an engine over m.
+func New(m *machine.Machine) *Engine { return &Engine{M: m} }
+
+// Name implements machine.Protocol.
+func (e *Engine) Name() string {
+	if e.UseOwned {
+		return "moesi"
+	}
+	return "mesi"
+}
+
+// Boundary implements machine.Protocol. Plain MESI does no region work.
+func (e *Engine) Boundary(now uint64, c core.CoreID) uint64 { return 0 }
+
+// Access implements machine.Protocol.
+func (e *Engine) Access(now uint64, c core.CoreID, acc core.Access) uint64 {
+	m := e.M
+	r := int(c)
+	line := acc.Line()
+	home := m.HomeTile(line)
+	e.Trace.reset(line, home)
+
+	lat := m.L1Tick(c)
+	l1 := m.L1[r].Lookup(line)
+	if l1 != nil {
+		e.Trace.L1Hit = true
+		if acc.Kind == core.Read || l1.State == StateE || l1.State == StateM {
+			// Read hit in any state; write hit in E/M. E->M is silent.
+			// (O behaves like S for writes: ownership of a *shared*
+			// dirty line does not confer write permission.)
+			if acc.Kind == core.Write {
+				l1.State = StateM
+				l1.Dirty = true
+			}
+			return lat
+		}
+		// Write hit in S: upgrade through the directory.
+		e.Trace.Upgrade = true
+		lat += e.upgrade(now+lat, c, line, home, l1)
+		return lat
+	}
+
+	// L1 miss: fetch through the home directory.
+	lat += e.fetch(now+lat, c, acc, line, home)
+	return lat
+}
+
+// upgrade handles a write hit on an S line: invalidate the other sharers
+// and take ownership.
+func (e *Engine) upgrade(now uint64, c core.CoreID, line core.Line, home int, l1 *cache.Line) uint64 {
+	m := e.M
+	r := int(c)
+	lat := m.Send(now, r, home, machine.CtrlBytes) // UpgradeReq
+	lat += m.LLCTick(home)
+
+	dir := m.LLC[home].Peek(line)
+	if dir == nil {
+		// Inclusion guarantees a directory entry for any S copy.
+		panic(fmt.Sprintf("coherence: S copy of %#x with no directory entry", uint64(line)))
+	}
+	lat += e.invalidateSharers(now+lat, c, line, home, dir)
+	dir.Sharers = 1 << uint(r)
+	dir.Owner = int16(r)
+	l1.State = StateM
+	l1.Dirty = true
+	m.Inc("mesi.upgrades", 1)
+	return lat
+}
+
+// invalidateSharers sends invalidations to every sharer other than the
+// requester and collects their acks; it returns the added latency (the
+// slowest invalidation leg) and appends snapshots to the trace.
+func (e *Engine) invalidateSharers(now uint64, c core.CoreID, line core.Line, home int, dir *cache.Line) uint64 {
+	m := e.M
+	r := int(c)
+	var worst uint64
+	for o := 0; o < m.Cfg.Cores; o++ {
+		if o == r || dir.Sharers&(1<<uint(o)) == 0 {
+			continue
+		}
+		legA := m.Send(now, home, o, machine.CtrlBytes)             // Inv
+		legB := m.Send(now+legA, o, r, machine.CtrlBytes+e.MetaTax) // InvAck carries bits
+		if legA+legB > worst {
+			worst = legA + legB
+		}
+		m.Inc("mesi.invalidations", 1)
+		if ol, ok := m.L1[o].Invalidate(line); ok {
+			e.Trace.Remote = append(e.Trace.Remote, RemoteCopy{
+				Core: core.CoreID(o), Snapshot: ol, Invalidated: true,
+			})
+		}
+	}
+	return worst
+}
+
+// fetch handles an L1 miss (GetS for reads, GetM for writes).
+func (e *Engine) fetch(now uint64, c core.CoreID, acc core.Access, line core.Line, home int) uint64 {
+	m := e.M
+	r := int(c)
+	write := acc.Kind == core.Write
+
+	lat := m.Send(now, r, home, machine.CtrlBytes) // GetS/GetM
+	lat += m.LLCTick(home)
+
+	dir := m.LLC[home].Lookup(line)
+	dataSupplied := false
+	if dir == nil {
+		dir, lat = e.llcFill(now+lat, line, home, lat)
+	} else {
+		// Owner intervention: fetch the line from the exclusive holder.
+		if dir.Owner != cache.NoOwner && int(dir.Owner) != r {
+			suppLat, supplied := e.ownerIntervention(now+lat, c, line, home, dir, write)
+			lat += suppLat
+			dataSupplied = supplied
+		}
+		if write {
+			lat += e.invalidateSharers(now+lat, c, line, home, dir)
+		}
+	}
+
+	// Data response from home if the owner did not supply it.
+	if !dataSupplied {
+		lat += m.Send(now+lat, home, r, machine.DataBytes+e.MetaTax)
+	}
+
+	// Directory update and local fill.
+	var newState uint8
+	if write {
+		dir.Sharers = 1 << uint(r)
+		dir.Owner = int16(r)
+		newState = StateM
+	} else {
+		switch {
+		case dir.Sharers == 0 && dir.Owner == cache.NoOwner:
+			dir.Owner = int16(r) // exclusive clean grant
+			dir.Sharers = 1 << uint(r)
+			newState = StateE
+		case e.UseOwned && dir.Owner != cache.NoOwner && int(dir.Owner) != r:
+			// MOESI: the previous owner retained the line in O.
+			dir.Sharers |= 1 << uint(r)
+			newState = StateS
+		default:
+			dir.Sharers |= 1 << uint(r)
+			dir.Owner = cache.NoOwner
+			newState = StateS
+		}
+	}
+
+	slot, victim, evicted := m.L1[r].Insert(line)
+	if evicted {
+		e.Trace.L1Evicted = true
+		e.Trace.L1Victim = victim
+		e.writebackVictim(now+lat, r, victim)
+	}
+	slot.State = newState
+	slot.Dirty = write
+	return lat
+}
+
+// llcFill allocates the line at the home slice, handling the inclusive
+// eviction of the victim, and fetches data from memory.
+func (e *Engine) llcFill(now uint64, line core.Line, home int, lat0 uint64) (*cache.Line, uint64) {
+	m := e.M
+	e.Trace.LLCMiss = true
+	lat := lat0
+
+	slot, victim, evicted := m.LLC[home].Insert(line)
+	if evicted {
+		e.Trace.InclusionEvicted = true
+		e.Trace.InclusionVictimLine = victim.Tag
+		dirty := victim.Dirty
+		// Inclusive LLC: recall/invalidate every L1 copy of the victim.
+		// Recall traffic is charged; its latency is hidden behind the
+		// memory fetch below (victim handling is off the critical path).
+		holders := victim.Sharers
+		if victim.Owner != cache.NoOwner {
+			holders |= 1 << uint(victim.Owner)
+		}
+		for o := 0; o < m.Cfg.Cores; o++ {
+			if holders&(1<<uint(o)) == 0 {
+				continue
+			}
+			ol, ok := m.L1[o].Invalidate(victim.Tag)
+			if !ok {
+				continue // silently evicted earlier
+			}
+			m.Send(now, home, o, machine.CtrlBytes) // recall
+			resp := machine.CtrlBytes
+			if ol.Dirty {
+				resp = machine.DataBytes
+				dirty = true
+			}
+			m.Send(now, o, home, resp)
+			m.Inc("mesi.inclusion_invalidations", 1)
+			e.Trace.InclusionVictims = append(e.Trace.InclusionVictims, RemoteCopy{
+				Core: core.CoreID(o), Snapshot: ol, Invalidated: true,
+			})
+		}
+		if dirty {
+			m.DRAMData(now, victim.Tag, true) // writeback, off critical path
+		}
+		m.Inc("mesi.llc_evictions", 1)
+	}
+
+	lat += m.DRAMData(now, line, false)
+	slot.Dirty = false
+	return slot, lat
+}
+
+// ownerIntervention forwards the request to the exclusive owner, which
+// downgrades (reads) or invalidates (writes) its copy and supplies data
+// directly to the requester. Returns added latency and whether data was
+// supplied by the owner.
+func (e *Engine) ownerIntervention(now uint64, c core.CoreID, line core.Line, home int, dir *cache.Line, write bool) (uint64, bool) {
+	m := e.M
+	r := int(c)
+	o := int(dir.Owner)
+
+	legFwd := m.Send(now, home, o, machine.CtrlBytes) // Fwd-GetS/GetM
+	ol := m.L1[o].Peek(line)
+	if ol == nil {
+		// Stale owner: the copy was silently evicted (clean E). Clear
+		// ownership and let the home supply data.
+		dir.Owner = cache.NoOwner
+		dir.Sharers &^= 1 << uint(o)
+		m.Inc("mesi.stale_owner", 1)
+		return legFwd + m.Send(now+legFwd, o, home, machine.CtrlBytes), false
+	}
+
+	snap := *ol
+	if write {
+		if snap.Dirty && !e.UseOwned {
+			// Owner writes the dirty line back to the home slice. In
+			// MOESI the writer takes the dirty data directly instead.
+			m.Send(now+legFwd, o, home, machine.DataBytes+e.MetaTax)
+			dir.Dirty = true
+			m.Inc("mesi.owner_writebacks", 1)
+		}
+		m.L1[o].Invalidate(line)
+		dir.Sharers &^= 1 << uint(o)
+		dir.Owner = cache.NoOwner
+		e.Trace.Remote = append(e.Trace.Remote, RemoteCopy{Core: core.CoreID(o), Snapshot: snap, Invalidated: true})
+	} else if e.UseOwned && snap.Dirty {
+		// MOESI: the owner keeps the dirty line in Owned state and
+		// supplies data cache-to-cache; no LLC writeback, ownership
+		// retained at the directory.
+		ol.State = StateO
+		dir.Sharers |= 1 << uint(o)
+		m.Inc("mesi.owned_retains", 1)
+		e.Trace.Remote = append(e.Trace.Remote, RemoteCopy{Core: core.CoreID(o), Snapshot: snap, Invalidated: false})
+	} else {
+		if snap.Dirty {
+			m.Send(now+legFwd, o, home, machine.DataBytes+e.MetaTax)
+			dir.Dirty = true
+			m.Inc("mesi.owner_writebacks", 1)
+		}
+		ol.State = StateS
+		ol.Dirty = false
+		dir.Sharers |= 1 << uint(o)
+		dir.Owner = cache.NoOwner
+		e.Trace.Remote = append(e.Trace.Remote, RemoteCopy{Core: core.CoreID(o), Snapshot: snap, Invalidated: false})
+	}
+	m.Inc("mesi.interventions", 1)
+
+	// Cache-to-cache transfer to the requester.
+	legData := m.Send(now+legFwd, o, r, machine.DataBytes+e.MetaTax)
+	return legFwd + legData, true
+}
+
+// writebackVictim handles an L1 capacity eviction: dirty lines write back
+// to the home slice; clean lines are dropped silently (the directory
+// remains a conservative superset).
+func (e *Engine) writebackVictim(now uint64, r int, victim cache.Line) {
+	m := e.M
+	if !victim.Dirty {
+		m.Inc("mesi.silent_evictions", 1)
+		return
+	}
+	home := m.HomeTile(victim.Tag)
+	m.Send(now, r, home, machine.DataBytes+e.MetaTax)
+	m.Inc("mesi.l1_writebacks", 1)
+	if dir := m.LLC[home].Peek(victim.Tag); dir != nil {
+		dir.Dirty = true
+		if int(dir.Owner) == r {
+			dir.Owner = cache.NoOwner
+		}
+		dir.Sharers &^= 1 << uint(r)
+	} else {
+		// Inclusion should make this impossible; tolerate by writing
+		// straight to memory and recording the anomaly.
+		m.DRAMData(now, victim.Tag, true)
+		m.Inc("mesi.inclusion_anomalies", 1)
+	}
+}
+
+// CheckInvariants validates the protocol's global invariants; tests call
+// it after every simulated event on small configurations.
+//
+//   - SWMR: for each line, either at most one core holds it in E/M and no
+//     other core holds it at all, or all copies are in S.
+//   - Inclusion: every L1-resident line has an entry at its home slice.
+//   - Directory soundness: the sharer set is a superset of the true copy
+//     holders, and an E/M copy's holder is the registered owner.
+func (e *Engine) CheckInvariants() error {
+	m := e.M
+	type holder struct {
+		core  int
+		state uint8
+	}
+	holders := make(map[core.Line][]holder)
+	for c := 0; c < m.Cfg.Cores; c++ {
+		var err error
+		m.L1[c].ForEach(func(l *cache.Line) {
+			if err != nil {
+				return
+			}
+			holders[l.Tag] = append(holders[l.Tag], holder{c, l.State})
+			dir := m.LLC[m.HomeTile(l.Tag)].Peek(l.Tag)
+			if dir == nil {
+				err = fmt.Errorf("inclusion violated: line %#x in L1 %d but not in LLC", uint64(l.Tag), c)
+				return
+			}
+			if dir.Sharers&(1<<uint(c)) == 0 && int(dir.Owner) != c {
+				err = fmt.Errorf("directory unsound: line %#x held by core %d but not registered", uint64(l.Tag), c)
+				return
+			}
+			if (l.State == StateE || l.State == StateM || l.State == StateO) && int(dir.Owner) != c {
+				err = fmt.Errorf("directory unsound: line %#x in %s at core %d but owner=%d",
+					uint64(l.Tag), StateName(l.State), c, dir.Owner)
+			}
+			if l.State == StateO && !e.UseOwned {
+				err = fmt.Errorf("O state on line %#x without MOESI enabled", uint64(l.Tag))
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for line, hs := range holders {
+		exclusive, owned := 0, 0
+		for _, h := range hs {
+			switch h.state {
+			case StateE, StateM:
+				exclusive++
+			case StateO:
+				owned++
+			}
+		}
+		if exclusive > 1 || (exclusive == 1 && len(hs) > 1) {
+			return fmt.Errorf("SWMR violated on line %#x: %v", uint64(line), hs)
+		}
+		if owned > 1 {
+			return fmt.Errorf("multiple Owned copies of line %#x: %v", uint64(line), hs)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,277 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"arcsim/internal/aim"
+	"arcsim/internal/core"
+	"arcsim/internal/machine"
+)
+
+// tiny builds a deliberately small machine so tests can force evictions.
+func tiny(cores int) *machine.Machine {
+	cfg := machine.Default(cores)
+	cfg.L1SizeBytes = 8 * core.LineSize // 4 sets x 2 ways
+	cfg.L1Ways = 2
+	cfg.LLCSliceBytes = 32 * core.LineSize // 16 sets x 2 ways
+	cfg.LLCWays = 2
+	cfg.AIM = aim.Config{} // disabled; MESI needs none
+	return machine.New(cfg)
+}
+
+func rd(a core.Addr) core.Access { return core.Access{Kind: core.Read, Addr: a, Size: 8} }
+func wrAcc(a core.Addr) core.Access {
+	return core.Access{Kind: core.Write, Addr: a, Size: 8}
+}
+
+func TestColdReadGetsExclusive(t *testing.T) {
+	m := tiny(2)
+	e := New(m)
+	e.Access(0, 0, rd(0x1000))
+	l := m.L1[0].Peek(core.LineOf(0x1000))
+	if l == nil || l.State != StateE {
+		t.Fatalf("state = %v, want E", l)
+	}
+	if !e.Trace.LLCMiss {
+		t.Error("cold miss did not reach memory")
+	}
+	if m.Mem.Stats.Reads != 1 {
+		t.Errorf("DRAM reads = %d", m.Mem.Stats.Reads)
+	}
+}
+
+func TestSilentEToM(t *testing.T) {
+	m := tiny(2)
+	e := New(m)
+	e.Access(0, 0, rd(0x1000))
+	msgs := m.Mesh.Stats.Messages
+	e.Access(10, 0, wrAcc(0x1000))
+	if m.Mesh.Stats.Messages != msgs {
+		t.Error("E->M transition generated traffic")
+	}
+	l := m.L1[0].Peek(core.LineOf(0x1000))
+	if l.State != StateM || !l.Dirty {
+		t.Errorf("state = %s dirty=%v", StateName(l.State), l.Dirty)
+	}
+}
+
+func TestReadSharingDowngradesOwner(t *testing.T) {
+	m := tiny(2)
+	e := New(m)
+	e.Access(0, 0, wrAcc(0x1000)) // core 0: M
+	e.Access(10, 1, rd(0x1000))   // core 1 reads: intervention
+	l0 := m.L1[0].Peek(core.LineOf(0x1000))
+	l1 := m.L1[1].Peek(core.LineOf(0x1000))
+	if l0 == nil || l0.State != StateS {
+		t.Errorf("owner not downgraded: %v", l0)
+	}
+	if l1 == nil || l1.State != StateS {
+		t.Errorf("requester state: %v", l1)
+	}
+	if len(e.Trace.Remote) != 1 || e.Trace.Remote[0].Invalidated {
+		t.Errorf("trace remote = %+v", e.Trace.Remote)
+	}
+	if !e.Trace.Remote[0].Snapshot.Dirty {
+		t.Error("snapshot lost dirty bit")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	m := tiny(4)
+	e := New(m)
+	for c := core.CoreID(0); c < 3; c++ {
+		e.Access(uint64(c)*10, c, rd(0x2000))
+	}
+	e.Access(100, 3, wrAcc(0x2000))
+	for c := 0; c < 3; c++ {
+		if m.L1[c].Peek(core.LineOf(0x2000)) != nil {
+			t.Errorf("core %d still holds the line", c)
+		}
+	}
+	l3 := m.L1[3].Peek(core.LineOf(0x2000))
+	if l3 == nil || l3.State != StateM {
+		t.Fatalf("writer state = %v", l3)
+	}
+	if len(e.Trace.Remote) != 3 {
+		t.Errorf("trace captured %d remote copies, want 3", len(e.Trace.Remote))
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpgradeFromShared(t *testing.T) {
+	m := tiny(2)
+	e := New(m)
+	e.Access(0, 0, rd(0x3000))
+	e.Access(10, 1, rd(0x3000)) // both S
+	e.Access(20, 0, wrAcc(0x3000))
+	if !e.Trace.L1Hit || !e.Trace.Upgrade {
+		t.Errorf("upgrade not traced: %+v", e.Trace)
+	}
+	if m.L1[1].Peek(core.LineOf(0x3000)) != nil {
+		t.Error("sharer survived upgrade")
+	}
+	if m.Counters["mesi.upgrades"] != 1 {
+		t.Error("upgrade not counted")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHitFasterThanMiss(t *testing.T) {
+	m := tiny(2)
+	e := New(m)
+	missLat := e.Access(0, 0, rd(0x4000))
+	hitLat := e.Access(10, 0, rd(0x4000))
+	if hitLat >= missLat {
+		t.Errorf("hit latency %d >= miss latency %d", hitLat, missLat)
+	}
+}
+
+func TestDirtyL1EvictionWritesBack(t *testing.T) {
+	m := tiny(2)
+	e := New(m)
+	// L1 has 4 sets x 2 ways; lines 0, 4, 8 (x64B) map to set 0.
+	e.Access(0, 0, wrAcc(0x0))
+	e.Access(10, 0, rd(4*64))
+	e.Access(20, 0, rd(8*64)) // evicts line 0 (dirty)
+	if !e.Trace.L1Evicted || e.Trace.L1Victim.Tag != 0 {
+		t.Fatalf("eviction not traced: %+v", e.Trace)
+	}
+	if m.Counters["mesi.l1_writebacks"] != 1 {
+		t.Error("dirty eviction did not write back")
+	}
+	// LLC copy must now be dirty and ownerless.
+	dir := m.LLC[m.HomeTile(0)].Peek(0)
+	if dir == nil || !dir.Dirty || dir.Owner != -1 {
+		t.Errorf("LLC state after writeback: %+v", dir)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInclusionEvictionRecallsL1Copies(t *testing.T) {
+	m := tiny(1)
+	e := New(m)
+	// Home slice 0 (single core): 16 sets x 2 ways, hashed index. Find
+	// three lines that collide in one LLC set but in different L1 sets
+	// (so only the LLC overflows).
+	target := m.LLC[0].SetIndex(0)
+	lines := []core.Line{0}
+	for l := core.Line(1); len(lines) < 3; l++ {
+		if m.LLC[0].SetIndex(l) != target {
+			continue
+		}
+		distinctL1 := true
+		for _, prev := range lines {
+			if m.L1[0].SetIndex(l) == m.L1[0].SetIndex(prev) {
+				distinctL1 = false
+				break
+			}
+		}
+		if distinctL1 {
+			lines = append(lines, l)
+		}
+	}
+	for i, l := range lines {
+		e.Access(uint64(i)*10, 0, rd(l.Base()))
+	}
+	if !e.Trace.InclusionEvicted {
+		t.Fatalf("no inclusion eviction: %+v", e.Trace)
+	}
+	if m.L1[0].Peek(e.Trace.InclusionVictimLine) != nil {
+		t.Error("L1 copy survived LLC eviction (inclusion broken)")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaleOwnerRecovery(t *testing.T) {
+	m := tiny(2)
+	e := New(m)
+	e.Access(0, 0, rd(0x5000)) // core 0: E
+	// Silently evict core 0's copy by filling its L1 set (set index of
+	// 0x5000/64 = line 0x140 -> set 0; same-set lines differ by 4 lines).
+	base := core.LineOf(0x5000)
+	e.Access(10, 0, rd((base + 4).Base()))
+	e.Access(20, 0, rd((base + 8).Base())) // clean eviction of 0x5000, silent
+	if m.L1[0].Peek(base) != nil {
+		t.Fatal("test setup: line still resident")
+	}
+	// Core 1 reads: directory still thinks core 0 owns it.
+	e.Access(30, 1, rd(0x5000))
+	if m.Counters["mesi.stale_owner"] != 1 {
+		t.Error("stale owner path not exercised")
+	}
+	l1 := m.L1[1].Peek(base)
+	if l1 == nil {
+		t.Fatal("requester did not get the line")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSWMRUnderRandomStress drives random accesses from several cores and
+// checks the protocol invariants after every single access.
+func TestSWMRUnderRandomStress(t *testing.T) {
+	m := tiny(4)
+	e := New(m)
+	rng := rand.New(rand.NewSource(31))
+	now := uint64(0)
+	for i := 0; i < 3000; i++ {
+		c := core.CoreID(rng.Intn(4))
+		addr := core.Addr(rng.Intn(64)) * 8 * 4 // pool of lines incl. set conflicts
+		var acc core.Access
+		if rng.Intn(2) == 0 {
+			acc = rd(addr)
+		} else {
+			acc = wrAcc(addr)
+		}
+		now += e.Access(now, c, acc)
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("step %d (%v by core %d): %v", i, acc, c, err)
+		}
+	}
+	if m.Mesh.Stats.Messages == 0 || m.Mem.Stats.Reads == 0 {
+		t.Error("stress test produced no traffic")
+	}
+}
+
+func TestTrafficScalesWithSharing(t *testing.T) {
+	// Ping-pong writes between two cores must cost far more messages
+	// than repeated private writes.
+	mPriv := tiny(2)
+	ePriv := New(mPriv)
+	for i := 0; i < 100; i++ {
+		ePriv.Access(uint64(i)*10, 0, wrAcc(0x100))
+	}
+	mShare := tiny(2)
+	eShare := New(mShare)
+	for i := 0; i < 100; i++ {
+		eShare.Access(uint64(i)*10, core.CoreID(i%2), wrAcc(0x100))
+	}
+	if mShare.Mesh.Stats.Messages < 10*mPriv.Mesh.Stats.Messages {
+		t.Errorf("sharing traffic %d not >> private traffic %d",
+			mShare.Mesh.Stats.Messages, mPriv.Mesh.Stats.Messages)
+	}
+}
+
+func TestBoundaryIsFree(t *testing.T) {
+	m := tiny(2)
+	e := New(m)
+	if lat := e.Boundary(0, 0); lat != 0 {
+		t.Errorf("MESI boundary latency = %d", lat)
+	}
+	if e.Name() != "mesi" {
+		t.Errorf("name = %q", e.Name())
+	}
+}

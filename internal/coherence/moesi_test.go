@@ -1,0 +1,166 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+
+	"arcsim/internal/core"
+)
+
+func newMOESI(cores int) (*Engine, func() error) {
+	m := tiny(cores)
+	e := New(m)
+	e.UseOwned = true
+	return e, e.CheckInvariants
+}
+
+func TestMOESIReadKeepsOwnerDirty(t *testing.T) {
+	e, check := newMOESI(2)
+	m := e.M
+	e.Access(0, 0, wrAcc(0x1000)) // core 0: M
+	wbBefore := m.Counters["mesi.owner_writebacks"]
+	e.Access(10, 1, rd(0x1000)) // core 1 reads
+	l0 := m.L1[0].Peek(core.LineOf(0x1000))
+	if l0 == nil || l0.State != StateO || !l0.Dirty {
+		t.Fatalf("owner state after read = %+v, want dirty O", l0)
+	}
+	if m.Counters["mesi.owner_writebacks"] != wbBefore {
+		t.Error("MOESI downgrade wrote back to the LLC")
+	}
+	if m.Counters["mesi.owned_retains"] != 1 {
+		t.Error("owned retain not counted")
+	}
+	// Directory still knows the owner.
+	dir := m.LLC[m.HomeTile(core.LineOf(0x1000))].Peek(core.LineOf(0x1000))
+	if dir == nil || dir.Owner != 0 {
+		t.Errorf("directory owner = %v", dir)
+	}
+	if err := check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMOESIOwnerSuppliesLaterReaders(t *testing.T) {
+	e, check := newMOESI(4)
+	m := e.M
+	e.Access(0, 0, wrAcc(0x2000))
+	e.Access(10, 1, rd(0x2000))
+	dram := m.Mem.Stats.Reads
+	e.Access(20, 2, rd(0x2000)) // third core: owner supplies again
+	e.Access(30, 3, rd(0x2000))
+	if m.Mem.Stats.Reads != dram {
+		t.Error("reads of an owned line reached memory")
+	}
+	if got := m.Counters["mesi.interventions"]; got != 3 {
+		t.Errorf("interventions = %d, want 3", got)
+	}
+	if err := check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMOESIWriteInvalidatesOwnedLine(t *testing.T) {
+	e, check := newMOESI(3)
+	m := e.M
+	e.Access(0, 0, wrAcc(0x3000))
+	e.Access(10, 1, rd(0x3000)) // core 0 -> O, core 1 -> S
+	e.Access(20, 2, wrAcc(0x3000))
+	if m.L1[0].Peek(core.LineOf(0x3000)) != nil || m.L1[1].Peek(core.LineOf(0x3000)) != nil {
+		t.Error("stale copies survive a write")
+	}
+	l2 := m.L1[2].Peek(core.LineOf(0x3000))
+	if l2 == nil || l2.State != StateM {
+		t.Errorf("writer state = %v", l2)
+	}
+	if err := check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMOESIOwnedWriteNeedsUpgrade(t *testing.T) {
+	e, check := newMOESI(2)
+	m := e.M
+	e.Access(0, 0, wrAcc(0x4000))
+	e.Access(10, 1, rd(0x4000)) // O at core 0, S at core 1
+	// The owner writing again must upgrade (invalidate the sharer),
+	// not silently mutate a shared line.
+	e.Access(20, 0, wrAcc(0x4000))
+	if m.Counters["mesi.upgrades"] != 1 {
+		t.Errorf("upgrades = %d, want 1", m.Counters["mesi.upgrades"])
+	}
+	if m.L1[1].Peek(core.LineOf(0x4000)) != nil {
+		t.Error("sharer survived the owner's upgrade")
+	}
+	l0 := m.L1[0].Peek(core.LineOf(0x4000))
+	if l0 == nil || l0.State != StateM {
+		t.Errorf("owner state = %v", l0)
+	}
+	if err := check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMOESIOwnedEvictionWritesBack(t *testing.T) {
+	e, check := newMOESI(2)
+	m := e.M
+	e.Access(0, 0, wrAcc(0x0))
+	e.Access(10, 1, rd(0x0)) // core 0 holds O (dirty)
+	// Evict core 0's set-0 line: lines 0, 4, 8 collide (4-set L1).
+	e.Access(20, 0, rd(4*64))
+	e.Access(30, 0, rd(8*64))
+	if m.Counters["mesi.l1_writebacks"] != 1 {
+		t.Errorf("O eviction writebacks = %d, want 1", m.Counters["mesi.l1_writebacks"])
+	}
+	if err := check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMOESISavesTrafficOnMigratoryReads(t *testing.T) {
+	// Producer writes, many consumers read: MOESI avoids the M->S
+	// writeback on every producer handoff.
+	run := func(owned bool) uint64 {
+		m := tiny(4)
+		e := New(m)
+		e.UseOwned = owned
+		now := uint64(0)
+		for i := 0; i < 50; i++ {
+			now += e.Access(now, 0, wrAcc(0x5000))
+			for c := core.CoreID(1); c < 4; c++ {
+				now += e.Access(now, c, rd(0x5000))
+			}
+		}
+		return m.Mesh.Stats.Bytes
+	}
+	mesi, moesi := run(false), run(true)
+	if moesi >= mesi {
+		t.Errorf("MOESI bytes %d not below MESI bytes %d", moesi, mesi)
+	}
+}
+
+func TestMOESIInvariantsUnderRandomStress(t *testing.T) {
+	e, check := newMOESI(4)
+	rng := rand.New(rand.NewSource(77))
+	now := uint64(0)
+	for i := 0; i < 3000; i++ {
+		c := core.CoreID(rng.Intn(4))
+		addr := core.Addr(rng.Intn(64)) * 8 * 4
+		var acc core.Access
+		if rng.Intn(2) == 0 {
+			acc = rd(addr)
+		} else {
+			acc = wrAcc(addr)
+		}
+		now += e.Access(now, c, acc)
+		if err := check(); err != nil {
+			t.Fatalf("step %d (%v by core %d): %v", i, acc, c, err)
+		}
+	}
+}
+
+func TestMOESIName(t *testing.T) {
+	e, _ := newMOESI(2)
+	if e.Name() != "moesi" {
+		t.Errorf("name = %q", e.Name())
+	}
+}

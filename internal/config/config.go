@@ -1,0 +1,99 @@
+// Package config loads and saves machine configurations as JSON and
+// provides the named presets used by the evaluation (Table T1). A config
+// file lets users reproduce runs on customized machines without
+// recompiling:
+//
+//	cfg, _ := config.Preset("default-32")
+//	_ = config.Save("mymachine.json", cfg)
+//	cfg2, _ := config.Load("mymachine.json")
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"arcsim/internal/machine"
+)
+
+// Preset returns a named machine configuration. Available presets are
+// "default-N" for N in {1,2,4,8,16,32,64} plus the evaluation aliases
+// below.
+func Preset(name string) (machine.Config, error) {
+	if cores, ok := presetCores[name]; ok {
+		return machine.Default(cores), nil
+	}
+	return machine.Config{}, fmt.Errorf("config: unknown preset %q (have %v)", name, PresetNames())
+}
+
+var presetCores = map[string]int{
+	"default-1":  1,
+	"default-2":  2,
+	"default-4":  4,
+	"default-8":  8,
+	"default-16": 16,
+	"default-32": 32,
+	"default-64": 64,
+	// Evaluation aliases.
+	"paper":    32, // the per-workload figure configuration
+	"smallest": 8,
+	"largest":  64,
+}
+
+// PresetNames lists the preset names, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presetCores))
+	for n := range presetCores {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Save writes cfg to path as indented JSON after validating it.
+func Save(path string, cfg machine.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("config: refusing to save invalid config: %w", err)
+	}
+	data, err := Marshal(cfg)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads and validates a machine configuration from a JSON file.
+func Load(path string) (machine.Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return machine.Config{}, err
+	}
+	return Parse(data)
+}
+
+// Parse decodes and validates a JSON machine configuration. Unknown
+// fields are rejected so that typos surface instead of silently using
+// defaults.
+func Parse(data []byte) (machine.Config, error) {
+	var cfg machine.Config
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return machine.Config{}, fmt.Errorf("config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return machine.Config{}, fmt.Errorf("config: %w", err)
+	}
+	return cfg, nil
+}
+
+// Marshal renders a config as indented JSON (the Save format).
+func Marshal(cfg machine.Config) ([]byte, error) {
+	data, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

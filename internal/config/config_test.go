@@ -1,0 +1,82 @@
+package config
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"arcsim/internal/machine"
+)
+
+func TestPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: invalid: %v", name, err)
+		}
+	}
+	if _, err := Preset("default-3"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	p, _ := Preset("paper")
+	if p.Cores != 32 {
+		t.Errorf("paper preset has %d cores", p.Cores)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	cfg := machine.Default(16)
+	cfg.L1Latency = 3 // a non-default value must survive
+	if err := Save(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg, got) {
+		t.Errorf("round trip changed config:\n%+v\n%+v", cfg, got)
+	}
+}
+
+func TestSaveRejectsInvalid(t *testing.T) {
+	cfg := machine.Default(8)
+	cfg.L1SizeBytes = 777
+	if err := Save(filepath.Join(t.TempDir(), "bad.json"), cfg); err == nil {
+		t.Fatal("invalid config saved")
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	// Unknown field.
+	if _, err := Parse([]byte(`{"Cores": 8, "Turbo": true}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	// Valid JSON, invalid machine.
+	data, _ := json.Marshal(machine.Default(8))
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["Cores"] = 0
+	bad, _ := json.Marshal(m)
+	if _, err := Parse(bad); err == nil {
+		t.Error("invalid machine accepted")
+	}
+	// Garbage.
+	if _, err := Parse([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkAccessBitsConflictsWith(b *testing.B) {
+	bits := AccessBits{ReadMask: MaskRange(0, 32), WriteMask: MaskRange(32, 16)}
+	mask := MaskRange(24, 16)
+	var n int
+	for i := 0; i < b.N; i++ {
+		if _, ok := bits.ConflictsWith(Write, mask); ok {
+			n++
+		}
+	}
+	_ = n
+}
+
+func BenchmarkGoldenAccess(b *testing.B) {
+	g := NewGolden(16)
+	rng := rand.New(rand.NewSource(1))
+	accs := make([]Access, 1024)
+	cores := make([]CoreID, 1024)
+	for i := range accs {
+		kind := Read
+		if rng.Intn(2) == 0 {
+			kind = Write
+		}
+		accs[i] = Access{Kind: kind, Addr: Addr(rng.Intn(256)) * 8, Size: 8}
+		cores[i] = CoreID(rng.Intn(16))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i & 1023
+		g.Access(cores[j], accs[j])
+		if i%256 == 0 {
+			g.Boundary(cores[j])
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskRange(t *testing.T) {
+	tests := []struct {
+		off, size uint
+		count     int
+	}{
+		{0, 1, 1},
+		{0, 64, 64},
+		{63, 1, 1},
+		{8, 8, 8},
+		{0, 0, 0},
+		{32, 16, 16},
+	}
+	for _, tt := range tests {
+		m := MaskRange(tt.off, tt.size)
+		if got := m.Count(); got != tt.count {
+			t.Errorf("MaskRange(%d,%d).Count() = %d, want %d", tt.off, tt.size, got, tt.count)
+		}
+		for b := uint(0); b < LineSize; b++ {
+			want := b >= tt.off && b < tt.off+tt.size
+			got := m&(1<<b) != 0
+			if got != want {
+				t.Errorf("MaskRange(%d,%d) bit %d = %v, want %v", tt.off, tt.size, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMaskRangePanicsBeyondLine(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaskRange(60, 8) did not panic")
+		}
+	}()
+	MaskRange(60, 8)
+}
+
+func TestMaskRangeProperty(t *testing.T) {
+	// Disjoint ranges produce disjoint masks; adjacent ranges union into
+	// the covering range.
+	f := func(offRaw, aRaw, bRaw uint8) bool {
+		off := uint(offRaw) % 32
+		a := uint(aRaw)%16 + 1
+		b := uint(bRaw)%16 + 1
+		m1 := MaskRange(off, a)
+		m2 := MaskRange(off+a, b)
+		if m1.Overlaps(m2) {
+			return false
+		}
+		return m1.Union(m2) == MaskRange(off, a+b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessBitsConflict(t *testing.T) {
+	var b AccessBits
+	b.Add(Read, MaskRange(0, 8))
+
+	// Read vs read never conflicts.
+	if _, ok := b.ConflictsWith(Read, MaskRange(0, 8)); ok {
+		t.Error("read-read reported as conflict")
+	}
+	// Write overlapping a read conflicts.
+	clash, ok := b.ConflictsWith(Write, MaskRange(4, 8))
+	if !ok {
+		t.Fatal("write over read not reported as conflict")
+	}
+	if clash != MaskRange(4, 4) {
+		t.Errorf("clash = %v, want bytes 4..7", clash)
+	}
+	// Disjoint write does not conflict.
+	if _, ok := b.ConflictsWith(Write, MaskRange(8, 8)); ok {
+		t.Error("disjoint write reported as conflict")
+	}
+
+	b.Add(Write, MaskRange(16, 4))
+	// Read overlapping the write conflicts.
+	if _, ok := b.ConflictsWith(Read, MaskRange(18, 4)); !ok {
+		t.Error("read over write not reported as conflict")
+	}
+	// Read overlapping only the read bytes does not.
+	if _, ok := b.ConflictsWith(Read, MaskRange(0, 8)); ok {
+		t.Error("read over read bytes reported as conflict")
+	}
+}
+
+func TestAccessBitsMerge(t *testing.T) {
+	var a, b AccessBits
+	a.Add(Read, MaskRange(0, 4))
+	b.Add(Write, MaskRange(4, 4))
+	a.Merge(b)
+	if a.ReadMask != MaskRange(0, 4) || a.WriteMask != MaskRange(4, 4) {
+		t.Errorf("merge produced %+v", a)
+	}
+	if a.Touched() != MaskRange(0, 8) {
+		t.Errorf("Touched = %v", a.Touched())
+	}
+}
+
+func TestConflictsWithSymmetryProperty(t *testing.T) {
+	// If bits B conflict with access (k, m), then bits derived from
+	// (k, m) must conflict with at least one access recorded in B.
+	f := func(r, w, m uint64, kindRaw bool) bool {
+		b := AccessBits{ReadMask: ByteMask(r), WriteMask: ByteMask(w)}
+		kind := Read
+		if kindRaw {
+			kind = Write
+		}
+		mask := ByteMask(m)
+		if mask.Empty() || b.Empty() {
+			return true
+		}
+		_, fwd := b.ConflictsWith(kind, mask)
+		var other AccessBits
+		other.Add(kind, mask)
+		_, rev1 := other.ConflictsWith(Read, b.WriteMask)
+		_, rev2 := other.ConflictsWith(Write, b.ReadMask|b.WriteMask)
+		rev := (!b.WriteMask.Empty() && rev1) || (!b.Touched().Empty() && rev2)
+		return fwd == rev
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessValid(t *testing.T) {
+	tests := []struct {
+		acc  Access
+		want bool
+	}{
+		{Access{Read, 0, 1}, true},
+		{Access{Read, 0, 64}, true},
+		{Access{Write, 63, 1}, true},
+		{Access{Write, 63, 2}, false},
+		{Access{Read, 0, 0}, false},
+		{Access{Read, 60, 8}, false},
+		{Access{Read, 0x1000, 8}, true},
+	}
+	for _, tt := range tests {
+		if got := tt.acc.Valid(); got != tt.want {
+			t.Errorf("%v.Valid() = %v, want %v", tt.acc, got, tt.want)
+		}
+	}
+}
+
+func TestLineGeometry(t *testing.T) {
+	a := Addr(0x12345)
+	l := LineOf(a)
+	if l.Base() != 0x12340 {
+		t.Errorf("Base = %#x", uint64(l.Base()))
+	}
+	if Offset(a) != 5 {
+		t.Errorf("Offset = %d", Offset(a))
+	}
+	if LineOf(l.Base()) != l {
+		t.Error("LineOf(Base) != line")
+	}
+}
+
+func TestByteMaskString(t *testing.T) {
+	s := MaskRange(1, 2).String()
+	if len(s) != LineSize {
+		t.Fatalf("len = %d", len(s))
+	}
+	if s[0] != '.' || s[1] != '#' || s[2] != '#' || s[3] != '.' {
+		t.Errorf("unexpected rendering %q", s[:8])
+	}
+}

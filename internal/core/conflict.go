@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Conflict records one region conflict: two concurrent regions on
+// different cores accessed overlapping bytes of the same line and at least
+// one access was a write. First is the region whose access was already
+// recorded when the conflict surfaced; Second is the region whose access
+// completed the conflict. Bytes covers the clashing bytes.
+type Conflict struct {
+	Line   Line
+	First  RegionID
+	Second RegionID
+	// FirstWrote reports whether the earlier region had written any of
+	// the clashing bytes (otherwise it had only read them).
+	FirstWrote bool
+	// SecondKind is the kind of the access that completed the conflict.
+	SecondKind AccessKind
+	Bytes      ByteMask
+}
+
+// Key canonicalizes the conflict for deduplication: the unordered region
+// pair plus the line. Detection order and byte extents may differ between
+// eager (CE) and lazy (ARC) designs, but the conflicting (pair, line) set
+// must not.
+func (c Conflict) Key() ConflictKey {
+	a, b := c.First, c.Second
+	if b.Less(a) {
+		a, b = b, a
+	}
+	return ConflictKey{Line: c.Line, A: a, B: b}
+}
+
+func (c Conflict) String() string {
+	fk := "R"
+	if c.FirstWrote {
+		fk = "W"
+	}
+	return fmt.Sprintf("conflict line=%#x %s(%s) vs %s(%s) bytes=%d",
+		uint64(c.Line.Base()), c.First, fk, c.Second, c.SecondKind, c.Bytes.Count())
+}
+
+// ConflictKey is the canonical identity of a conflict; see Conflict.Key.
+type ConflictKey struct {
+	Line Line
+	A, B RegionID
+}
+
+func (k ConflictKey) String() string {
+	return fmt.Sprintf("%#x:%s/%s", uint64(k.Line.Base()), k.A, k.B)
+}
+
+// ConflictSet accumulates conflicts with canonical deduplication. The zero
+// value is not ready to use; call NewConflictSet.
+type ConflictSet struct {
+	byKey map[ConflictKey]Conflict
+	order []ConflictKey
+}
+
+// NewConflictSet returns an empty set.
+func NewConflictSet() *ConflictSet {
+	return &ConflictSet{byKey: make(map[ConflictKey]Conflict)}
+}
+
+// Add records c unless a conflict with the same canonical key was already
+// recorded; it reports whether c was new.
+func (s *ConflictSet) Add(c Conflict) bool {
+	k := c.Key()
+	if _, ok := s.byKey[k]; ok {
+		return false
+	}
+	s.byKey[k] = c
+	s.order = append(s.order, k)
+	return true
+}
+
+// Len returns the number of distinct conflicts.
+func (s *ConflictSet) Len() int { return len(s.byKey) }
+
+// Has reports whether a conflict with k's canonical key is present.
+func (s *ConflictSet) Has(k ConflictKey) bool {
+	_, ok := s.byKey[k]
+	return ok
+}
+
+// Keys returns the canonical keys in a deterministic (sorted) order.
+func (s *ConflictSet) Keys() []ConflictKey {
+	keys := make([]ConflictKey, len(s.order))
+	copy(keys, s.order)
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Line != keys[j].Line {
+			return keys[i].Line < keys[j].Line
+		}
+		if keys[i].A != keys[j].A {
+			return keys[i].A.Less(keys[j].A)
+		}
+		return keys[i].B.Less(keys[j].B)
+	})
+	return keys
+}
+
+// Conflicts returns the recorded conflicts ordered by canonical key.
+func (s *ConflictSet) Conflicts() []Conflict {
+	keys := s.Keys()
+	out := make([]Conflict, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s.byKey[k])
+	}
+	return out
+}
+
+// Equal reports whether two sets contain exactly the same canonical keys,
+// and if not, describes the difference (for test failure messages).
+func (s *ConflictSet) Equal(o *ConflictSet) (bool, string) {
+	var missing, extra []string
+	for k := range s.byKey {
+		if !o.Has(k) {
+			extra = append(extra, k.String())
+		}
+	}
+	for k := range o.byKey {
+		if !s.Has(k) {
+			missing = append(missing, k.String())
+		}
+	}
+	if len(missing) == 0 && len(extra) == 0 {
+		return true, ""
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	return false, fmt.Sprintf("only in other: %s; only in this: %s",
+		strings.Join(missing, ","), strings.Join(extra, ","))
+}
+
+// Exception is the architectural event a detecting design delivers when a
+// conflict is found: the conflict itself plus where detection happened.
+type Exception struct {
+	Conflict Conflict
+	// DetectedBy is the core at which the design surfaced the conflict
+	// (for CE this is a core involved in a coherence event; for ARC it
+	// can be the LLC tile's home core acting on a registration).
+	DetectedBy CoreID
+	// Cycle is the simulated time of detection.
+	Cycle uint64
+}
+
+func (e Exception) String() string {
+	return fmt.Sprintf("exception@%d by c%d: %s", e.Cycle, e.DetectedBy, e.Conflict)
+}
+
+// ExceptionPolicy selects what a machine does upon detecting a conflict.
+type ExceptionPolicy uint8
+
+const (
+	// LogAndContinue records the exception and keeps executing. The
+	// evaluation uses this mode so that racy workloads still execute
+	// their full traces and traffic/energy remain comparable.
+	LogAndContinue ExceptionPolicy = iota
+	// FailStop records the exception and halts the machine, matching
+	// the paper's fail-stop semantics.
+	FailStop
+)
+
+func (p ExceptionPolicy) String() string {
+	if p == FailStop {
+		return "fail-stop"
+	}
+	return "log-and-continue"
+}

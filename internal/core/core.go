@@ -1,0 +1,104 @@
+// Package core defines the domain model shared by every subsystem of the
+// region-conflict-exception simulator: physical addresses and cache-line
+// geometry, memory-access descriptors, synchronization-free regions (SFRs),
+// byte-granularity access metadata, conflicts, and exceptions.
+//
+// It also provides the golden (oracle) region-conflict detector that the
+// hardware designs (CE, CE+, ARC) are validated against in tests: for any
+// globally ordered access stream, a protocol must report exactly the
+// conflicts the oracle reports.
+package core
+
+import "fmt"
+
+// LineSize is the cache-line size in bytes. All designs in the paper track
+// access metadata at byte granularity within 64-byte lines.
+const LineSize = 64
+
+// LineShift is log2(LineSize).
+const LineShift = 6
+
+// Addr is a byte-granularity physical address.
+type Addr uint64
+
+// Line identifies a cache line (an address with the offset bits removed).
+type Line uint64
+
+// LineOf returns the cache line containing a.
+func LineOf(a Addr) Line { return Line(a >> LineShift) }
+
+// Base returns the address of the first byte of the line.
+func (l Line) Base() Addr { return Addr(l) << LineShift }
+
+// Offset returns the offset of a within its cache line.
+func Offset(a Addr) uint { return uint(a) & (LineSize - 1) }
+
+// CoreID identifies a simulated core. Threads are pinned 1:1 to cores.
+type CoreID int
+
+// AccessKind distinguishes loads from stores.
+type AccessKind uint8
+
+const (
+	// Read is a load access.
+	Read AccessKind = iota
+	// Write is a store access.
+	Write
+)
+
+// String returns "R" or "W".
+func (k AccessKind) String() string {
+	if k == Write {
+		return "W"
+	}
+	return "R"
+}
+
+// Access describes one memory access: a kind, a starting address, and a
+// size in bytes. Accesses never straddle a cache-line boundary; workload
+// generators and the trace validator enforce this.
+type Access struct {
+	Kind AccessKind
+	Addr Addr
+	Size uint8
+}
+
+// Line returns the cache line the access falls in.
+func (a Access) Line() Line { return LineOf(a.Addr) }
+
+// Mask returns the byte mask the access covers within its line.
+func (a Access) Mask() ByteMask { return MaskRange(Offset(a.Addr), uint(a.Size)) }
+
+// Valid reports whether the access has a sane size and does not cross a
+// line boundary.
+func (a Access) Valid() bool {
+	if a.Size == 0 || a.Size > LineSize {
+		return false
+	}
+	return Offset(a.Addr)+uint(a.Size) <= LineSize
+}
+
+func (a Access) String() string {
+	return fmt.Sprintf("%s[%#x,+%d]", a.Kind, uint64(a.Addr), a.Size)
+}
+
+// RegionID names one synchronization-free region: the Seq-th region
+// executed by core Core. Seq starts at 0 and increments at every region
+// boundary (acquire, release, barrier).
+type RegionID struct {
+	Core CoreID
+	Seq  uint64
+}
+
+func (r RegionID) String() string {
+	return fmt.Sprintf("c%d.r%d", r.Core, r.Seq)
+}
+
+// Less orders regions lexicographically by (Core, Seq); it exists so that
+// conflict records can be canonicalized for deduplication.
+func (r RegionID) Less(o RegionID) bool {
+	if r.Core != o.Core {
+		return r.Core < o.Core
+	}
+	return r.Seq < o.Seq
+}

@@ -1,0 +1,123 @@
+package core
+
+// Golden is the oracle region-conflict detector. It observes a globally
+// ordered stream of accesses and region boundaries — the same order the
+// simulator executes — and reports every region conflict, defined exactly
+// as in the paper: two regions on different cores are concurrent if
+// neither has ended when the other's access executes, and they conflict if
+// they touch overlapping bytes of a line with at least one write.
+//
+// Golden is intentionally simple and central (one flat table); the
+// hardware designs implement the same semantics with distributed state and
+// are required, in tests, to report exactly Golden's conflict set.
+type Golden struct {
+	cores int
+	// seq[c] is the index of core c's active region.
+	seq []uint64
+	// lines holds per-line, per-core access bits tagged with the region
+	// seq they belong to. Region ends are O(1): stale tags mean "empty".
+	lines map[Line]*goldenLine
+	set   *ConflictSet
+}
+
+type goldenLine struct {
+	bits []AccessBits
+	tag  []uint64 // region seq the bits belong to
+}
+
+// NewGolden returns an oracle for the given number of cores.
+func NewGolden(cores int) *Golden {
+	if cores <= 0 {
+		panic("core: NewGolden needs at least one core")
+	}
+	return &Golden{
+		cores: cores,
+		seq:   make([]uint64, cores),
+		lines: make(map[Line]*goldenLine),
+		set:   NewConflictSet(),
+	}
+}
+
+// Cores returns the number of cores the oracle tracks.
+func (g *Golden) Cores() int { return g.cores }
+
+// Region returns core c's active region.
+func (g *Golden) Region(c CoreID) RegionID {
+	return RegionID{Core: c, Seq: g.seq[c]}
+}
+
+// Boundary ends core c's active region and starts the next one. Both
+// acquires and releases (and barriers and thread exit) are boundaries: the
+// unit of isolation is the synchronization-free region.
+func (g *Golden) Boundary(c CoreID) {
+	g.seq[c]++
+}
+
+// Access records one access by core c's active region and returns any
+// conflicts it newly completes (deduplicated by canonical key).
+func (g *Golden) Access(c CoreID, a Access) []Conflict {
+	if !a.Valid() {
+		panic("core: invalid access passed to Golden.Access: " + a.String())
+	}
+	line := a.Line()
+	mask := a.Mask()
+	ln := g.lines[line]
+	if ln == nil {
+		ln = &goldenLine{
+			bits: make([]AccessBits, g.cores),
+			tag:  make([]uint64, g.cores),
+		}
+		// Tags must not accidentally match region 0 before any access;
+		// mark them stale by pointing one past the current region.
+		for i := range ln.tag {
+			ln.tag[i] = g.seq[i] + 1
+		}
+		g.lines[line] = ln
+	}
+
+	var found []Conflict
+	for o := 0; o < g.cores; o++ {
+		if CoreID(o) == c {
+			continue
+		}
+		if ln.tag[o] != g.seq[o] || ln.bits[o].Empty() {
+			continue // no live bits from o's active region
+		}
+		clash, ok := ln.bits[o].ConflictsWith(a.Kind, mask)
+		if !ok {
+			continue
+		}
+		conf := Conflict{
+			Line:       line,
+			First:      RegionID{Core: CoreID(o), Seq: ln.tag[o]},
+			Second:     RegionID{Core: c, Seq: g.seq[c]},
+			FirstWrote: ln.bits[o].WriteMask.Overlaps(mask),
+			SecondKind: a.Kind,
+			Bytes:      clash,
+		}
+		if g.set.Add(conf) {
+			found = append(found, conf)
+		}
+	}
+
+	if ln.tag[c] != g.seq[c] {
+		ln.bits[c] = AccessBits{}
+		ln.tag[c] = g.seq[c]
+	}
+	ln.bits[c].Add(a.Kind, mask)
+	return found
+}
+
+// Bits returns the live access bits of core c's active region for line,
+// or the zero value if the region has not touched the line. Protocol
+// engines use this in tests to cross-check their distributed metadata.
+func (g *Golden) Bits(c CoreID, line Line) AccessBits {
+	ln := g.lines[line]
+	if ln == nil || ln.tag[c] != g.seq[c] {
+		return AccessBits{}
+	}
+	return ln.bits[c]
+}
+
+// Set returns the accumulated conflict set.
+func (g *Golden) Set() *ConflictSet { return g.set }

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGoldenSimpleRace(t *testing.T) {
+	g := NewGolden(2)
+	if c := g.Access(0, Access{Write, 0x100, 4}); len(c) != 0 {
+		t.Fatalf("unexpected conflict %v", c)
+	}
+	conflicts := g.Access(1, Access{Read, 0x102, 4})
+	if len(conflicts) != 1 {
+		t.Fatalf("want 1 conflict, got %d", len(conflicts))
+	}
+	c := conflicts[0]
+	if c.First != (RegionID{0, 0}) || c.Second != (RegionID{1, 0}) {
+		t.Errorf("wrong regions: %v", c)
+	}
+	if !c.FirstWrote || c.SecondKind != Read {
+		t.Errorf("wrong kinds: %v", c)
+	}
+	if c.Bytes != MaskRange(2, 2) {
+		t.Errorf("wrong clash bytes: %v", c.Bytes)
+	}
+}
+
+func TestGoldenReadReadNoConflict(t *testing.T) {
+	g := NewGolden(2)
+	g.Access(0, Access{Read, 0x100, 8})
+	if c := g.Access(1, Access{Read, 0x100, 8}); len(c) != 0 {
+		t.Errorf("read-read conflict: %v", c)
+	}
+}
+
+func TestGoldenBoundaryEndsRegion(t *testing.T) {
+	g := NewGolden(2)
+	g.Access(0, Access{Write, 0x200, 8})
+	g.Boundary(0) // region c0.r0 ends before the read executes
+	if c := g.Access(1, Access{Read, 0x200, 8}); len(c) != 0 {
+		t.Errorf("conflict with an ended region: %v", c)
+	}
+	// But a write by core 0's *new* region against core 1's live read
+	// does conflict.
+	c := g.Access(0, Access{Write, 0x200, 8})
+	if len(c) != 1 {
+		t.Fatalf("want 1 conflict, got %d", len(c))
+	}
+	if c[0].First != (RegionID{1, 0}) || c[0].Second != (RegionID{0, 1}) {
+		t.Errorf("wrong regions: %v", c[0])
+	}
+}
+
+func TestGoldenSameCoreNeverConflicts(t *testing.T) {
+	g := NewGolden(1)
+	g.Access(0, Access{Write, 0x100, 8})
+	if c := g.Access(0, Access{Read, 0x100, 8}); len(c) != 0 {
+		t.Errorf("same-core conflict: %v", c)
+	}
+}
+
+func TestGoldenDisjointBytesSameLine(t *testing.T) {
+	g := NewGolden(2)
+	g.Access(0, Access{Write, 0x100, 8})
+	if c := g.Access(1, Access{Write, 0x108, 8}); len(c) != 0 {
+		t.Errorf("disjoint-byte conflict (false sharing must not conflict): %v", c)
+	}
+}
+
+func TestGoldenDeduplicatesByRegionPairAndLine(t *testing.T) {
+	g := NewGolden(2)
+	g.Access(0, Access{Write, 0x100, 8})
+	first := g.Access(1, Access{Read, 0x100, 4})
+	second := g.Access(1, Access{Read, 0x104, 4})
+	if len(first) != 1 || len(second) != 0 {
+		t.Errorf("dedup failed: first=%v second=%v", first, second)
+	}
+	if g.Set().Len() != 1 {
+		t.Errorf("set size = %d", g.Set().Len())
+	}
+}
+
+func TestGoldenBitsLookup(t *testing.T) {
+	g := NewGolden(2)
+	g.Access(0, Access{Write, 0x140, 4})
+	b := g.Bits(0, LineOf(0x140))
+	if b.WriteMask != MaskRange(0, 4) {
+		t.Errorf("bits = %+v", b)
+	}
+	g.Boundary(0)
+	if !g.Bits(0, LineOf(0x140)).Empty() {
+		t.Error("bits survive region boundary")
+	}
+	if !g.Bits(1, LineOf(0x140)).Empty() {
+		t.Error("bits leak across cores")
+	}
+}
+
+// refEvent is one event of a random global schedule used by the
+// brute-force reference detector below.
+type refEvent struct {
+	core     CoreID
+	boundary bool
+	acc      Access
+}
+
+// bruteForceConflicts is an independent O(n^2) re-implementation of the
+// region-conflict definition: accesses i<j conflict if they are on
+// different cores, overlap bytes of the same line with at least one write,
+// and core_i has no region boundary between i and j.
+func bruteForceConflicts(cores int, evs []refEvent) *ConflictSet {
+	set := NewConflictSet()
+	seq := make([]uint64, cores)
+	type stamped struct {
+		ev  refEvent
+		seq uint64 // region of ev.core at time of the event
+	}
+	var accs []stamped
+	for _, ev := range evs {
+		if ev.boundary {
+			seq[ev.core]++
+			continue
+		}
+		cur := stamped{ev: ev, seq: seq[ev.core]}
+		for _, prev := range accs {
+			if prev.ev.core == ev.core {
+				continue
+			}
+			if prev.seq != seq[prev.ev.core] {
+				continue // prev's region already ended
+			}
+			if prev.ev.acc.Line() != ev.acc.Line() {
+				continue
+			}
+			overlap := prev.ev.acc.Mask() & ev.acc.Mask()
+			if overlap.Empty() {
+				continue
+			}
+			if prev.ev.acc.Kind == Read && ev.acc.Kind == Read {
+				continue
+			}
+			set.Add(Conflict{
+				Line:       ev.acc.Line(),
+				First:      RegionID{prev.ev.core, prev.seq},
+				Second:     RegionID{ev.core, seq[ev.core]},
+				FirstWrote: prev.ev.acc.Kind == Write,
+				SecondKind: ev.acc.Kind,
+				Bytes:      overlap,
+			})
+		}
+		accs = append(accs, cur)
+	}
+	return set
+}
+
+func randomSchedule(rng *rand.Rand, cores, n int) []refEvent {
+	evs := make([]refEvent, 0, n)
+	for i := 0; i < n; i++ {
+		core := CoreID(rng.Intn(cores))
+		if rng.Intn(10) == 0 {
+			evs = append(evs, refEvent{core: core, boundary: true})
+			continue
+		}
+		// A small address pool forces line and byte overlap.
+		line := Line(rng.Intn(8))
+		off := uint(rng.Intn(LineSize))
+		size := uint8(1 << rng.Intn(4)) // 1,2,4,8
+		if off+uint(size) > LineSize {
+			off = LineSize - uint(size)
+		}
+		kind := Read
+		if rng.Intn(2) == 0 {
+			kind = Write
+		}
+		evs = append(evs, refEvent{
+			core: core,
+			acc:  Access{Kind: kind, Addr: line.Base() + Addr(off), Size: size},
+		})
+	}
+	return evs
+}
+
+func TestGoldenMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		cores := 2 + rng.Intn(6)
+		evs := randomSchedule(rng, cores, 60+rng.Intn(200))
+
+		g := NewGolden(cores)
+		for _, ev := range evs {
+			if ev.boundary {
+				g.Boundary(ev.core)
+			} else {
+				g.Access(ev.core, ev.acc)
+			}
+		}
+		want := bruteForceConflicts(cores, evs)
+		if ok, diff := g.Set().Equal(want); !ok {
+			t.Fatalf("trial %d (cores=%d, events=%d): golden != brute force: %s",
+				trial, cores, len(evs), diff)
+		}
+	}
+}
+
+func TestGoldenInvalidAccessPanics(t *testing.T) {
+	g := NewGolden(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for invalid access")
+		}
+	}()
+	g.Access(0, Access{Read, 63, 4}) // crosses line boundary
+}
+
+func TestConflictSetEqual(t *testing.T) {
+	a, b := NewConflictSet(), NewConflictSet()
+	c1 := Conflict{Line: 1, First: RegionID{0, 0}, Second: RegionID{1, 0}}
+	c2 := Conflict{Line: 1, First: RegionID{1, 0}, Second: RegionID{0, 0}} // same canonical key
+	a.Add(c1)
+	b.Add(c2)
+	if ok, diff := a.Equal(b); !ok {
+		t.Errorf("canonicalization failed: %s", diff)
+	}
+	b.Add(Conflict{Line: 2, First: RegionID{0, 0}, Second: RegionID{1, 0}})
+	if ok, _ := a.Equal(b); ok {
+		t.Error("sets of different size reported equal")
+	}
+}
+
+func TestRegionIDLess(t *testing.T) {
+	if !(RegionID{0, 5}).Less(RegionID{1, 0}) {
+		t.Error("core ordering broken")
+	}
+	if !(RegionID{1, 0}).Less(RegionID{1, 1}) {
+		t.Error("seq ordering broken")
+	}
+	if (RegionID{1, 1}).Less(RegionID{1, 1}) {
+		t.Error("irreflexivity broken")
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWidenToWords(t *testing.T) {
+	tests := []struct {
+		in, want ByteMask
+	}{
+		{0, 0},
+		{MaskRange(0, 1), MaskRange(0, 8)},
+		{MaskRange(7, 1), MaskRange(0, 8)},
+		{MaskRange(7, 2), MaskRange(0, 16)},  // straddles words 0 and 1
+		{MaskRange(60, 4), MaskRange(56, 8)}, // last word
+		{MaskRange(0, 64), MaskRange(0, 64)}, // full line fixed point
+		{MaskRange(16, 8), MaskRange(16, 8)}, // aligned word fixed point
+		{MaskRange(9, 1) | MaskRange(33, 1), MaskRange(8, 8) | MaskRange(32, 8)},
+	}
+	for _, tt := range tests {
+		if got := WidenToWords(tt.in); got != tt.want {
+			t.Errorf("WidenToWords(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestWidenToWordsProperties(t *testing.T) {
+	f := func(raw uint64) bool {
+		m := ByteMask(raw)
+		w := WidenToWords(m)
+		// Superset, idempotent, and word-aligned.
+		if m&^w != 0 {
+			return false
+		}
+		if WidenToWords(w) != w {
+			return false
+		}
+		for j := uint(0); j < LineSize/WordBytes; j++ {
+			word := ByteMask(0xFF) << (j * WordBytes)
+			part := w & word
+			if part != 0 && part != word {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWidenAccess(t *testing.T) {
+	tests := []struct {
+		in       Access
+		wantAddr Addr
+		wantSize uint8
+	}{
+		{Access{Read, 0x1003, 1}, 0x1000, 8},
+		{Access{Write, 0x1000, 8}, 0x1000, 8},
+		{Access{Read, 0x1007, 2}, 0x1000, 16},
+		{Access{Write, 0x103F, 1}, 0x1038, 8},
+	}
+	for _, tt := range tests {
+		got := WidenAccess(tt.in)
+		if got.Addr != tt.wantAddr || got.Size != tt.wantSize || got.Kind != tt.in.Kind {
+			t.Errorf("WidenAccess(%v) = %v", tt.in, got)
+		}
+		if !got.Valid() {
+			t.Errorf("WidenAccess(%v) invalid", tt.in)
+		}
+		if got.Mask() != WidenToWords(tt.in.Mask()) {
+			t.Errorf("WidenAccess(%v) mask disagrees with WidenToWords", tt.in)
+		}
+	}
+}
+
+func TestWidenAccessMaskAgreementProperty(t *testing.T) {
+	f := func(offRaw, sizeRaw uint8) bool {
+		off := uint(offRaw) % LineSize
+		size := uint(sizeRaw)%8 + 1
+		if off+size > LineSize {
+			off = LineSize - size
+		}
+		a := Access{Kind: Read, Addr: 0x4000 + Addr(off), Size: uint8(size)}
+		return WidenAccess(a).Mask() == WidenToWords(a.Mask())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package dram
+
+import (
+	"testing"
+
+	"arcsim/internal/core"
+)
+
+func TestRowBufferHits(t *testing.T) {
+	m := New(DefaultConfig())
+	// Two accesses to the same line: first opens the row, second hits.
+	l1 := m.Access(0, 0, 64, false, false)
+	l2 := m.Access(0, 0, 64, false, false)
+	if m.Stats.RowMisses != 1 || m.Stats.RowHits != 1 {
+		t.Fatalf("row stats = %+v", m.Stats)
+	}
+	if l2 >= l1 {
+		t.Errorf("row hit latency %d not below miss latency %d", l2, l1)
+	}
+}
+
+func TestRowConflictReopens(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	// Same bank, different rows: line 0 and line (channels*banks*linesPerRow).
+	stride := core.Line(cfg.Channels * cfg.BanksPerChannel * cfg.LinesPerRow)
+	m.Access(0, 0, 64, false, false)
+	m.Access(0, stride, 64, false, false)
+	m.Access(0, 0, 64, false, false)
+	if m.Stats.RowMisses != 3 {
+		t.Errorf("row misses = %d, want 3 (ping-pong)", m.Stats.RowMisses)
+	}
+}
+
+func TestDifferentBanksIndependentRows(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	// Lines 0 and 1 live on different channels, so both rows stay open.
+	m.Access(0, 0, 64, false, false)
+	m.Access(0, 1, 64, false, false)
+	m.Access(0, 0, 64, false, false)
+	m.Access(0, 1, 64, false, false)
+	if m.Stats.RowHits != 2 {
+		t.Errorf("row hits = %d, want 2", m.Stats.RowHits)
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Access(0, 0, 64, false, false)
+	m.Access(0, 1, 64, true, false)
+	m.Access(0, 2, 16, true, true) // metadata, rounded up to burst
+	if m.Stats.BytesRead != 64 {
+		t.Errorf("bytes read = %d", m.Stats.BytesRead)
+	}
+	wantWrite := uint64(64 + 32) // 16B metadata rounds to 32B burst
+	if m.Stats.BytesWrite != wantWrite {
+		t.Errorf("bytes written = %d, want %d", m.Stats.BytesWrite, wantWrite)
+	}
+	if m.Stats.MetadataBytes != 32 {
+		t.Errorf("metadata bytes = %d, want 32", m.Stats.MetadataBytes)
+	}
+	if m.Stats.Bytes() != m.Stats.BytesRead+m.Stats.BytesWrite {
+		t.Error("Bytes() inconsistent")
+	}
+}
+
+func TestBandwidthSaturation(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	quiet := m.Access(0, 0, 64, false, false)
+	now := uint64(0)
+	for i := 0; i < 300; i++ {
+		now += cfg.Window / 8
+		for j := 0; j < 3000; j++ {
+			m.Access(now, core.Line(j), 64, false, false)
+		}
+	}
+	if m.Utilization() < 0.9 {
+		t.Fatalf("utilization = %f, expected saturation", m.Utilization())
+	}
+	loaded := m.Access(now, 0, 64, false, false)
+	if loaded <= quiet {
+		t.Errorf("loaded latency %d not above quiet %d", loaded, quiet)
+	}
+	if m.PeakUtilization() < 0.9 {
+		t.Error("peak utilization not recorded")
+	}
+}
+
+func TestUtilizationDecays(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	for j := 0; j < 20000; j++ {
+		m.Access(5, core.Line(j), 64, false, false)
+	}
+	m.Access(cfg.Window*10, 0, 64, false, false)
+	high := m.Utilization()
+	m.Access(cfg.Window*30, 0, 64, false, false)
+	if m.Utilization() >= high {
+		t.Errorf("utilization did not decay: %f -> %f", high, m.Utilization())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{Channels: 1, BanksPerChannel: 1, LinesPerRow: 1, BytesPerCycle: 0, Window: 1, MaxQueueFactor: 2, BurstBytes: 32},
+		{Channels: 1, BanksPerChannel: 1, LinesPerRow: 1, BytesPerCycle: 1, Window: 0, MaxQueueFactor: 2, BurstBytes: 32},
+		{Channels: 1, BanksPerChannel: 1, LinesPerRow: 1, BytesPerCycle: 1, Window: 1, MaxQueueFactor: 0, BurstBytes: 32},
+		{Channels: 1, BanksPerChannel: 1, LinesPerRow: 1, BytesPerCycle: 1, Window: 1, MaxQueueFactor: 2, BurstBytes: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}

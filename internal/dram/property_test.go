@@ -1,0 +1,78 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"arcsim/internal/core"
+)
+
+// TestGeometryProperties: the line->(bank,row) mapping is deterministic,
+// stays in range, and consecutive lines spread across channels.
+func TestGeometryProperties(t *testing.T) {
+	cfg := DefaultConfig()
+	m := New(cfg)
+	f := func(raw uint64) bool {
+		line := core.Line(raw % (1 << 40))
+		b1, r1 := m.geometry(line)
+		b2, r2 := m.geometry(line)
+		if b1 != b2 || r1 != r2 {
+			return false
+		}
+		return b1 >= 0 && b1 < cfg.Channels*cfg.BanksPerChannel
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Error(err)
+	}
+
+	// Consecutive lines hit consecutive channels (address interleave).
+	banks := map[int]bool{}
+	for l := core.Line(0); l < core.Line(cfg.Channels); l++ {
+		b, _ := m.geometry(l)
+		banks[b] = true
+	}
+	if len(banks) != cfg.Channels {
+		t.Errorf("consecutive lines used %d banks, want %d channels", len(banks), cfg.Channels)
+	}
+}
+
+// TestLatencyMonotoneInBytes: moving more bytes never takes less time at
+// equal queue state.
+func TestLatencyMonotoneInBytes(t *testing.T) {
+	for _, pair := range [][2]int{{32, 64}, {64, 128}, {16, 512}} {
+		ma := New(DefaultConfig())
+		mb := New(DefaultConfig())
+		la := ma.Access(0, 0, pair[0], false, false)
+		lb := mb.Access(0, 0, pair[1], false, false)
+		if lb < la {
+			t.Errorf("bytes %d latency %d < bytes %d latency %d", pair[1], lb, pair[0], la)
+		}
+	}
+}
+
+// TestStatsConservation: reads+writes equals total accesses and byte
+// accounting matches burst rounding.
+func TestStatsConservation(t *testing.T) {
+	m := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(4))
+	var wantBytes uint64
+	for i := 0; i < 1000; i++ {
+		n := 1 + rng.Intn(128)
+		if n < m.Config().BurstBytes {
+			wantBytes += uint64(m.Config().BurstBytes)
+		} else {
+			wantBytes += uint64(n)
+		}
+		m.Access(uint64(i), core.Line(rng.Intn(512)), n, rng.Intn(2) == 0, false)
+	}
+	if m.Stats.Reads+m.Stats.Writes != 1000 {
+		t.Errorf("access count = %d", m.Stats.Reads+m.Stats.Writes)
+	}
+	if m.Stats.Bytes() != wantBytes {
+		t.Errorf("bytes = %d, want %d", m.Stats.Bytes(), wantBytes)
+	}
+	if m.Stats.RowHits+m.Stats.RowMisses != 1000 {
+		t.Error("row stats don't partition accesses")
+	}
+}

@@ -1,0 +1,100 @@
+package energy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeterCharges(t *testing.T) {
+	m := NewMeter(DefaultModel())
+	m.L1Accesses(10)
+	m.LLCAccesses(2)
+	m.AIMAccesses(3)
+	m.FlitHops(100)
+	m.DRAMBytes(64)
+	m.StaticCycles(1000, 8, 0)
+
+	model := DefaultModel()
+	checks := []struct {
+		c    Component
+		want float64
+	}{
+		{L1, 10 * model.L1AccessPJ},
+		{LLC, 2 * model.LLCAccessPJ},
+		{AIM, 3 * model.AIMAccessPJ},
+		{NoC, 100 * model.FlitHopPJ},
+		{DRAM, 64 * model.DRAMPerBytePJ},
+		{Static, 1000 * 8 * model.StaticCorePJPerCycle},
+	}
+	var total float64
+	for _, ck := range checks {
+		if got := m.PJ(ck.c); got != ck.want {
+			t.Errorf("%s = %f, want %f", ck.c, got, ck.want)
+		}
+		total += ck.want
+	}
+	if got := m.TotalPJ(); got != total {
+		t.Errorf("total = %f, want %f", got, total)
+	}
+}
+
+func TestAIMStatic(t *testing.T) {
+	m := NewMeter(DefaultModel())
+	m.StaticCycles(1000, 1, 32768)
+	withAIM := m.PJ(Static)
+	m2 := NewMeter(DefaultModel())
+	m2.StaticCycles(1000, 1, 0)
+	if withAIM <= m2.PJ(Static) {
+		t.Error("AIM leakage not charged")
+	}
+}
+
+func TestMonotonicityProperty(t *testing.T) {
+	// More traffic never yields less energy (DESIGN.md invariant).
+	f := func(a, b uint32) bool {
+		m1 := NewMeter(DefaultModel())
+		m2 := NewMeter(DefaultModel())
+		m1.FlitHops(uint64(a))
+		m2.FlitHops(uint64(a) + uint64(b))
+		m1.DRAMBytes(uint64(a))
+		m2.DRAMBytes(uint64(a) + uint64(b))
+		return m2.TotalPJ() >= m1.TotalPJ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultModel()
+	bad.L1AccessPJ = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero L1 energy accepted")
+	}
+	bad = DefaultModel()
+	bad.StaticCorePJPerCycle = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative static power accepted")
+	}
+}
+
+func TestBreakdownAndString(t *testing.T) {
+	m := NewMeter(DefaultModel())
+	m.L1Accesses(1)
+	bd := m.Breakdown()
+	if len(bd) != len(Components()) {
+		t.Errorf("breakdown has %d components", len(bd))
+	}
+	if m.String() == "" {
+		t.Error("empty string")
+	}
+	for _, c := range Components() {
+		if c.String() == "" {
+			t.Errorf("component %d has no name", int(c))
+		}
+	}
+}

@@ -1,0 +1,359 @@
+// Package machine assembles the simulated multicore: per-core L1 caches,
+// a tiled shared LLC, the AIM metadata banks, the mesh interconnect, the
+// off-chip memory, and the energy meter. Protocol engines (MESI, CE, CE+,
+// ARC) are built on top of this substrate through the Protocol interface;
+// the machine provides the timed, energy-accounted primitive operations
+// they compose.
+package machine
+
+import (
+	"fmt"
+
+	"arcsim/internal/aim"
+	"arcsim/internal/cache"
+	"arcsim/internal/core"
+	"arcsim/internal/dram"
+	"arcsim/internal/energy"
+	"arcsim/internal/noc"
+)
+
+// Message payload sizes in bytes (header overhead is added by the mesh).
+const (
+	// CtrlBytes is a pure control message (request, ack, invalidate).
+	CtrlBytes = 0
+	// MaskBytes carries one byte-mask (registration extensions).
+	MaskBytes = 8
+	// MetaBytes carries one AccessBits record (read+write masks).
+	MetaBytes = core.MetadataBytes
+	// DataBytes carries one cache line.
+	DataBytes = core.LineSize
+)
+
+// Protocol is the plug-in interface a coherence/conflict-detection design
+// implements over a Machine.
+type Protocol interface {
+	// Name identifies the design ("mesi", "ce", "ce+", "arc").
+	Name() string
+	// Access executes one memory access by core c issued at cycle now
+	// and returns its latency in cycles. All functional state changes,
+	// traffic, energy, and conflict reports happen as side effects.
+	Access(now uint64, c core.CoreID, acc core.Access) uint64
+	// Boundary performs the design's end-of-region work for core c
+	// (metadata clearing, self-invalidation, self-downgrade, ...) and
+	// returns its latency. The simulator advances the machine's region
+	// counter after Boundary returns.
+	Boundary(now uint64, c core.CoreID) uint64
+}
+
+// Config describes one simulated machine (Table T1 of the evaluation).
+type Config struct {
+	Cores int
+
+	L1SizeBytes int
+	L1Ways      int
+	L1Latency   uint64
+
+	// LLCSliceBytes is the capacity of each tile's LLC slice.
+	LLCSliceBytes int
+	LLCWays       int
+	LLCLatency    uint64
+
+	// SyncLatency is the base cost of a lock/barrier operation at its
+	// home tile (on top of the message round trip).
+	SyncLatency uint64
+
+	AIM    aim.Config
+	NoC    noc.Config
+	DRAM   dram.Config
+	Energy energy.Model
+
+	Policy core.ExceptionPolicy
+}
+
+// Default returns the evaluation configuration for the given core count:
+// 32 KB 8-way L1s, 1 MB 16-way LLC slices, a near-square mesh, a
+// 32K-entry AIM, and 4 DRAM channels.
+func Default(cores int) Config {
+	return Config{
+		Cores:         cores,
+		L1SizeBytes:   32 << 10,
+		L1Ways:        8,
+		L1Latency:     2,
+		LLCSliceBytes: 1 << 20,
+		LLCWays:       16,
+		LLCLatency:    10,
+		SyncLatency:   12,
+		AIM:           aim.DefaultConfig(),
+		NoC:           noc.DefaultConfig(cores),
+		DRAM:          dram.DefaultConfig(),
+		Energy:        energy.DefaultModel(),
+		Policy:        core.LogAndContinue,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("machine: need at least one core")
+	}
+	if c.Cores > 64 {
+		return fmt.Errorf("machine: at most 64 cores (directory bitmasks are 64-bit), got %d", c.Cores)
+	}
+	if err := (cache.Config{Name: "l1", SizeBytes: c.L1SizeBytes, Ways: c.L1Ways}).Validate(); err != nil {
+		return err
+	}
+	if err := (cache.Config{Name: "llc", SizeBytes: c.LLCSliceBytes, Ways: c.LLCWays}).Validate(); err != nil {
+		return err
+	}
+	if c.L1Latency == 0 || c.LLCLatency == 0 {
+		return fmt.Errorf("machine: zero cache latency")
+	}
+	if err := c.AIM.Validate(c.Cores); err != nil {
+		return err
+	}
+	if c.NoC.Tiles != c.Cores {
+		return fmt.Errorf("machine: NoC has %d tiles for %d cores", c.NoC.Tiles, c.Cores)
+	}
+	if err := c.NoC.Validate(); err != nil {
+		return err
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	return c.Energy.Validate()
+}
+
+// Machine is the assembled substrate. Not safe for concurrent use: the
+// simulator is single-goroutine and deterministic.
+type Machine struct {
+	Cfg Config
+
+	L1  []*cache.Cache
+	LLC []*cache.Cache
+	AIM []*aim.Bank // nil when disabled (the CE configuration)
+
+	Mesh  *noc.Mesh
+	Mem   *dram.Memory
+	Meter *energy.Meter
+
+	// Counters holds protocol-specific named counters (invalidations
+	// sent, metadata spills, registrations, ...).
+	Counters map[string]uint64
+
+	// Conflicts and Exceptions accumulate detection results.
+	Conflicts  *core.ConflictSet
+	Exceptions []core.Exception
+	// Halted is set when the exception policy is FailStop and a
+	// conflict was detected.
+	Halted bool
+
+	regionSeq []uint64
+}
+
+// New assembles a machine; it panics on invalid configuration (configs
+// come from validated presets or tests).
+func New(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		Cfg:       cfg,
+		L1:        make([]*cache.Cache, cfg.Cores),
+		LLC:       make([]*cache.Cache, cfg.Cores),
+		Mesh:      noc.New(cfg.NoC),
+		Mem:       dram.New(cfg.DRAM),
+		Meter:     energy.NewMeter(cfg.Energy),
+		Counters:  make(map[string]uint64),
+		Conflicts: core.NewConflictSet(),
+		regionSeq: make([]uint64, cfg.Cores),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		m.L1[i] = cache.New(cache.Config{
+			Name: fmt.Sprintf("l1.%d", i), SizeBytes: cfg.L1SizeBytes, Ways: cfg.L1Ways,
+		})
+		m.LLC[i] = cache.New(cache.Config{
+			Name: fmt.Sprintf("llc.%d", i), SizeBytes: cfg.LLCSliceBytes, Ways: cfg.LLCWays,
+			IndexHash: true,
+		})
+	}
+	m.AIM = aim.Banks(cfg.AIM, cfg.Cores)
+	return m
+}
+
+// HasAIM reports whether the machine has an AIM (CE+ and ARC configs).
+func (m *Machine) HasAIM() bool { return m.AIM != nil }
+
+// HomeTile returns the tile whose LLC slice (and directory/registry/AIM
+// bank) owns the line. Lines are address-interleaved across tiles.
+func (m *Machine) HomeTile(line core.Line) int {
+	return int(uint64(line) % uint64(m.Cfg.Cores))
+}
+
+// SyncHome returns the home tile of a lock or barrier variable.
+func (m *Machine) SyncHome(id uint32) int { return int(id) % m.Cfg.Cores }
+
+// Inc bumps a named counter.
+func (m *Machine) Inc(name string, n uint64) { m.Counters[name] += n }
+
+// ---------------------------------------------------------------------------
+// Timed, energy-accounted primitives.
+
+// Send moves a message with the given payload from tile src to tile dst
+// at cycle now and returns its latency, charging NoC energy.
+func (m *Machine) Send(now uint64, src, dst, payloadBytes int) uint64 {
+	before := m.Mesh.Stats.FlitHops
+	lat := m.Mesh.Send(now, src, dst, payloadBytes)
+	m.Meter.FlitHops(m.Mesh.Stats.FlitHops - before)
+	return lat
+}
+
+// RoundTrip is a request/response pair between two tiles (request payload
+// reqBytes, response payload respBytes).
+func (m *Machine) RoundTrip(now uint64, src, dst, reqBytes, respBytes int) uint64 {
+	lat := m.Send(now, src, dst, reqBytes)
+	return lat + m.Send(now+lat, dst, src, respBytes)
+}
+
+// L1Tick charges one L1 access of core c and returns its latency.
+func (m *Machine) L1Tick(c core.CoreID) uint64 {
+	m.Meter.L1Accesses(1)
+	return m.Cfg.L1Latency
+}
+
+// LLCTick charges one LLC slice access and returns its latency.
+func (m *Machine) LLCTick(tile int) uint64 {
+	m.Meter.LLCAccesses(1)
+	return m.Cfg.LLCLatency
+}
+
+// DRAMData moves one cache line to or from memory.
+func (m *Machine) DRAMData(now uint64, line core.Line, write bool) uint64 {
+	before := m.Mem.Stats.Bytes()
+	lat := m.Mem.Access(now, line, DataBytes, write, false)
+	m.Meter.DRAMBytes(m.Mem.Stats.Bytes() - before)
+	return lat
+}
+
+// DRAMMeta moves one metadata record to or from the in-memory metadata
+// table.
+func (m *Machine) DRAMMeta(now uint64, line core.Line, write bool) uint64 {
+	before := m.Mem.Stats.Bytes()
+	lat := m.Mem.Access(now, line, MetaBytes, write, true)
+	m.Meter.DRAMBytes(m.Mem.Stats.Bytes() - before)
+	return lat
+}
+
+// MetaAccess performs one metadata-table access for `line` at its home
+// tile, going through the AIM when present (CE+/ARC) and straight to
+// memory otherwise (CE). dirty marks the entry modified; blind marks
+// accesses that overwrite/merge without needing the record's previous
+// contents (spills and scrubs), which dirty-allocate in the AIM without
+// a memory fill. Non-blind accesses (conflict checks) pay the fill on a
+// miss. The returned latency includes fill and dirty-victim writebacks.
+func (m *Machine) MetaAccess(now uint64, line core.Line, dirty, blind bool) uint64 {
+	tile := m.HomeTile(line)
+	if m.AIM == nil {
+		m.Inc("meta.dram", 1)
+		if blind {
+			return m.DRAMMeta(now, line, true)
+		}
+		lat := m.DRAMMeta(now, line, false)
+		if dirty {
+			// Read-modify-write: the update is charged as traffic but
+			// overlaps the critical path.
+			m.DRAMMeta(now+lat, line, true)
+		}
+		return lat
+	}
+	bank := m.AIM[tile]
+	m.Meter.AIMAccesses(1)
+	res := bank.Access(line, dirty)
+	lat := m.Cfg.AIM.Latency
+	if !res.Hit && !blind {
+		// Fill from the in-memory table.
+		lat += m.DRAMMeta(now+lat, line, false)
+	}
+	if res.Evicted && res.VictimDirty {
+		// Write the displaced entry back to the table. This happens
+		// off the critical path in hardware; we charge traffic and
+		// energy but not latency.
+		m.DRAMMeta(now+lat, res.VictimLine, true)
+	}
+	return lat
+}
+
+// ---------------------------------------------------------------------------
+// Regions and conflicts.
+
+// Region returns core c's active region.
+func (m *Machine) Region(c core.CoreID) core.RegionID {
+	return core.RegionID{Core: c, Seq: m.regionSeq[c]}
+}
+
+// Seq returns core c's active region sequence number.
+func (m *Machine) Seq(c core.CoreID) uint64 { return m.regionSeq[c] }
+
+// NextRegion advances core c to its next region. The simulator calls it
+// after the protocol's Boundary work.
+func (m *Machine) NextRegion(c core.CoreID) { m.regionSeq[c]++ }
+
+// ActiveRegion reports whether r is still executing (its core has not
+// passed a boundary since).
+func (m *Machine) ActiveRegion(r core.RegionID) bool {
+	return m.regionSeq[r.Core] == r.Seq
+}
+
+// Report records a detected conflict; duplicates (same canonical key) are
+// ignored. Under FailStop the machine halts. It reports whether the
+// conflict was new.
+func (m *Machine) Report(now uint64, by core.CoreID, c core.Conflict) bool {
+	if !m.Conflicts.Add(c) {
+		return false
+	}
+	m.Exceptions = append(m.Exceptions, core.Exception{Conflict: c, DetectedBy: by, Cycle: now})
+	if m.Cfg.Policy == core.FailStop {
+		m.Halted = true
+	}
+	return true
+}
+
+// FinishStatics charges leakage for the whole run.
+func (m *Machine) FinishStatics(cycles uint64) {
+	m.Meter.StaticCycles(cycles, m.Cfg.Cores, m.Cfg.AIM.Entries)
+}
+
+// L1Stats aggregates hit/miss statistics over all private caches.
+func (m *Machine) L1Stats() cache.Stats {
+	var s cache.Stats
+	for _, c := range m.L1 {
+		s.Hits += c.Stats.Hits
+		s.Misses += c.Stats.Misses
+		s.Evictions += c.Stats.Evictions
+		s.DirtyEvictions += c.Stats.DirtyEvictions
+	}
+	return s
+}
+
+// LLCStats aggregates statistics over all LLC slices.
+func (m *Machine) LLCStats() cache.Stats {
+	var s cache.Stats
+	for _, c := range m.LLC {
+		s.Hits += c.Stats.Hits
+		s.Misses += c.Stats.Misses
+		s.Evictions += c.Stats.Evictions
+		s.DirtyEvictions += c.Stats.DirtyEvictions
+	}
+	return s
+}
+
+// AIMStats aggregates statistics over all AIM banks (zero when disabled).
+func (m *Machine) AIMStats() aim.Stats {
+	var s aim.Stats
+	for _, b := range m.AIM {
+		s.Hits += b.Stats.Hits
+		s.Misses += b.Stats.Misses
+		s.Fills += b.Stats.Fills
+		s.DirtyWritebacks += b.Stats.DirtyWritebacks
+	}
+	return s
+}

@@ -1,0 +1,20 @@
+package noc
+
+import "testing"
+
+func BenchmarkSend(b *testing.B) {
+	m := New(DefaultConfig(64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Send(uint64(i), i&63, (i*7)&63, 64)
+	}
+}
+
+func BenchmarkHops(b *testing.B) {
+	m := New(DefaultConfig(64))
+	var sum int
+	for i := 0; i < b.N; i++ {
+		sum += m.Hops(i&63, (i*13)&63)
+	}
+	_ = sum
+}

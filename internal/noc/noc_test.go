@@ -1,0 +1,182 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshDims(t *testing.T) {
+	tests := []struct{ tiles, w, h int }{
+		{1, 1, 1},
+		{4, 2, 2},
+		{8, 3, 3}, // 8 tiles on a 3x3 grid (one slot unused)
+		{16, 4, 4},
+		{64, 8, 8},
+	}
+	for _, tt := range tests {
+		m := New(DefaultConfig(tt.tiles))
+		w, h := m.Dims()
+		if w != tt.w || h != tt.h {
+			t.Errorf("tiles=%d: dims %dx%d, want %dx%d", tt.tiles, w, h, tt.w, tt.h)
+		}
+		if w*h < tt.tiles {
+			t.Errorf("tiles=%d: grid too small", tt.tiles)
+		}
+	}
+}
+
+func TestHopsManhattanProperty(t *testing.T) {
+	m := New(DefaultConfig(16)) // 4x4
+	f := func(sRaw, dRaw uint8) bool {
+		s := int(sRaw) % 16
+		d := int(dRaw) % 16
+		hops := m.Hops(s, d)
+		// Symmetry, identity, triangle inequality via 0.
+		if m.Hops(d, s) != hops {
+			return false
+		}
+		if s == d && hops != 0 {
+			return false
+		}
+		if s != d && hops == 0 {
+			return false
+		}
+		return hops == abs(s%4-d%4)+abs(s/4-d/4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHopsTriangleInequality(t *testing.T) {
+	m := New(DefaultConfig(64))
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		a, b, c := rng.Intn(64), rng.Intn(64), rng.Intn(64)
+		if m.Hops(a, c) > m.Hops(a, b)+m.Hops(b, c) {
+			t.Fatalf("triangle inequality violated: %d %d %d", a, b, c)
+		}
+	}
+}
+
+func TestFlits(t *testing.T) {
+	m := New(DefaultConfig(4)) // 16B flits, 8B header
+	tests := []struct {
+		payload int
+		want    uint64
+	}{
+		{0, 1},   // header only
+		{8, 1},   // 16 bytes total
+		{9, 2},   // 17 bytes
+		{64, 5},  // 72 bytes -> 4.5 -> 5
+		{136, 9}, // 64B data + 64B metadata + 8B extra header
+	}
+	for _, tt := range tests {
+		if got := m.Flits(tt.payload); got != tt.want {
+			t.Errorf("Flits(%d) = %d, want %d", tt.payload, got, tt.want)
+		}
+	}
+}
+
+func TestSendAccounting(t *testing.T) {
+	m := New(DefaultConfig(16))
+	lat := m.Send(0, 0, 15, 64) // corner to corner on 4x4: 6 hops
+	if m.Stats.Messages != 1 {
+		t.Error("message not counted")
+	}
+	wantFlits := m.Flits(64)
+	if m.Stats.Flits != wantFlits {
+		t.Errorf("flits = %d, want %d", m.Stats.Flits, wantFlits)
+	}
+	if m.Stats.FlitHops != wantFlits*6 {
+		t.Errorf("flit-hops = %d, want %d", m.Stats.FlitHops, wantFlits*6)
+	}
+	wantBase := uint64(6)*m.Config().HopLatency + wantFlits - 1
+	if lat != wantBase {
+		t.Errorf("uncontended latency = %d, want %d", lat, wantBase)
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	m := New(DefaultConfig(16))
+	lat := m.Send(0, 5, 5, 64)
+	if m.Stats.FlitHops != 0 {
+		t.Error("local delivery consumed link bandwidth")
+	}
+	if lat == 0 || lat > 10 {
+		t.Errorf("local latency = %d", lat)
+	}
+}
+
+func TestContentionRaisesLatency(t *testing.T) {
+	cfg := DefaultConfig(16)
+	m := New(cfg)
+	quiet := m.Send(0, 0, 15, 64)
+
+	// Saturate: inject far more flit-hops than the links can carry for
+	// many windows, then measure again.
+	now := uint64(0)
+	for i := 0; i < 200; i++ {
+		now += cfg.Window / 4
+		for j := 0; j < 2500; j++ {
+			m.Send(now, j%16, (j+7)%16, 64)
+		}
+	}
+	if m.Utilization() <= 0.5 {
+		t.Fatalf("utilization = %f, expected heavy load", m.Utilization())
+	}
+	loaded := m.Send(now, 0, 15, 64)
+	if loaded <= quiet {
+		t.Errorf("loaded latency %d not above quiet latency %d", loaded, quiet)
+	}
+	// And the cap must hold.
+	maxLat := quiet + uint64(cfg.MaxQueueFactor*float64(quiet)) + 1
+	if loaded > maxLat {
+		t.Errorf("loaded latency %d exceeds cap %d", loaded, maxLat)
+	}
+	if m.PeakUtilization() < m.Utilization()-1e-9 {
+		t.Error("peak utilization below current utilization")
+	}
+}
+
+func TestUtilizationDecays(t *testing.T) {
+	cfg := DefaultConfig(16)
+	m := New(cfg)
+	// Load one window heavily.
+	for j := 0; j < 2000; j++ {
+		m.Send(10, j%16, (j+5)%16, 64)
+	}
+	// Then stay idle for many windows; utilization must decay.
+	m.Send(cfg.Window*20, 0, 1, 0)
+	high := m.Utilization()
+	m.Send(cfg.Window*40, 0, 1, 0)
+	if m.Utilization() >= high && high > 0 {
+		t.Errorf("utilization did not decay: %f -> %f", high, m.Utilization())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Tiles: 0, FlitBytes: 16, Window: 100, MaxQueueFactor: 2},
+		{Tiles: 4, FlitBytes: 0, Window: 100, MaxQueueFactor: 2},
+		{Tiles: 4, FlitBytes: 16, Window: 0, MaxQueueFactor: 2},
+		{Tiles: 4, FlitBytes: 16, Window: 100, MaxQueueFactor: 0.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSingleTileMesh(t *testing.T) {
+	m := New(DefaultConfig(1))
+	lat := m.Send(0, 0, 0, 64)
+	if lat == 0 {
+		t.Error("zero latency")
+	}
+	if m.Stats.FlitHops != 0 {
+		t.Error("flit-hops on single-tile mesh")
+	}
+}

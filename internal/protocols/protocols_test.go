@@ -1,0 +1,81 @@
+package protocols
+
+import (
+	"testing"
+
+	"arcsim/internal/machine"
+)
+
+func TestBuildAll(t *testing.T) {
+	for _, name := range Names() {
+		m, p, err := Build(name, machine.Default(8))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("protocol name %q for design %q", p.Name(), name)
+		}
+		hasAIM := m.HasAIM()
+		wantAIM := name == CEPlus || name == ARC
+		if hasAIM != wantAIM {
+			t.Errorf("%s: AIM presence = %v, want %v", name, hasAIM, wantAIM)
+		}
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, _, err := Build("dragon", machine.Default(8)); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+}
+
+func TestBuildVariants(t *testing.T) {
+	variants := map[string]string{
+		MOESI:        "moesi",
+		CEPlusMOESI:  "ce+moesi",
+		CEPlusWord:   "ce+-word",
+		ARCWord:      "arc-word",
+		ARCNoRO:      "arc-noro",
+		ARCNoPrivate: "arc-nopriv",
+	}
+	for design, wantName := range variants {
+		_, p, err := Build(design, machine.Default(8))
+		if err != nil {
+			t.Fatalf("%s: %v", design, err)
+		}
+		if p.Name() != wantName {
+			t.Errorf("%s: protocol name %q, want %q", design, p.Name(), wantName)
+		}
+	}
+}
+
+func TestBuildInvalidConfig(t *testing.T) {
+	cfg := machine.Default(8)
+	cfg.L1SizeBytes = 12345
+	if _, _, err := Build(MESI, cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestCEPlusKeepsCustomAIM(t *testing.T) {
+	cfg := machine.Default(8)
+	cfg.AIM.Entries = 4096
+	m, _, err := Build(CEPlus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cfg.AIM.Entries != 4096 {
+		t.Errorf("AIM entries = %d, want 4096", m.Cfg.AIM.Entries)
+	}
+}
+
+func TestDetectingSubset(t *testing.T) {
+	if len(Detecting()) != 3 {
+		t.Error("wrong detecting set")
+	}
+	for _, d := range Detecting() {
+		if d == MESI {
+			t.Error("baseline in detecting set")
+		}
+	}
+}

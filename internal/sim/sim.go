@@ -1,0 +1,366 @@
+// Package sim is the trace-driven multicore simulation engine. It
+// interleaves per-thread event streams deterministically (the runnable
+// core with the smallest ready time executes next, ties broken by core
+// ID), implements lock and barrier synchronization, drives a
+// machine.Protocol for every memory access and region boundary, and
+// assembles the run's statistics.
+//
+// The engine can mirror every access into the golden oracle detector and
+// verify at the end that the protocol reported exactly the oracle's
+// conflict set — the repository's central correctness property.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"arcsim/internal/aim"
+	"arcsim/internal/cache"
+	"arcsim/internal/core"
+	"arcsim/internal/dram"
+	"arcsim/internal/energy"
+	"arcsim/internal/machine"
+	"arcsim/internal/noc"
+	"arcsim/internal/stats"
+	"arcsim/internal/trace"
+)
+
+// Options tunes a run.
+type Options struct {
+	// CheckWithOracle mirrors the run into the golden detector and
+	// fails the run if the protocol's conflict set differs.
+	CheckWithOracle bool
+	// MaxCycles aborts runaway simulations (0 = no limit).
+	MaxCycles uint64
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Protocol string
+	Workload string
+	Cores    int
+
+	// Cycles is the completion time (the slowest core's finish).
+	Cycles uint64
+	// Events is the number of trace events executed.
+	Events uint64
+	// MemAccesses is the number of loads+stores executed.
+	MemAccesses uint64
+
+	L1   cache.Stats
+	LLC  cache.Stats
+	AIM  aim.Stats
+	NoC  noc.Stats
+	DRAM dram.Stats
+
+	NoCPeakUtil  float64
+	DRAMPeakUtil float64
+
+	EnergyPJ      map[energy.Component]float64
+	TotalEnergyPJ float64
+
+	// AccessLatency is the distribution of per-access latencies —
+	// detection designs show their stalls (DRAM metadata, recalls,
+	// invalidation storms) in its tail.
+	AccessLatency stats.Histogram
+
+	Conflicts  int
+	Exceptions []core.Exception
+	Halted     bool
+
+	LockWaits    uint64
+	BarrierWaits uint64
+
+	// CoreFinish is each core's completion time; CoreEvents each
+	// core's executed event count (load-imbalance diagnostics).
+	CoreFinish []uint64
+	CoreEvents []uint64
+
+	Counters map[string]uint64
+}
+
+// LoadImbalance returns max(core finish) / mean(core finish) — 1.0 means
+// perfectly balanced.
+func (r *Result) LoadImbalance() float64 {
+	if len(r.CoreFinish) == 0 {
+		return 0
+	}
+	var sum, max uint64
+	for _, f := range r.CoreFinish {
+		sum += f
+		if f > max {
+			max = f
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(r.CoreFinish))
+	return float64(max) / mean
+}
+
+// Errors returned by Run.
+var (
+	ErrDeadlock  = errors.New("sim: deadlock (all live cores blocked)")
+	ErrMaxCycles = errors.New("sim: cycle limit exceeded")
+	ErrThreads   = errors.New("sim: trace thread count does not match machine cores")
+)
+
+type coreStatus uint8
+
+const (
+	statusRunning coreStatus = iota
+	statusBlockedLock
+	statusBlockedBarrier
+	statusDone
+)
+
+type lockState struct {
+	holder  int // -1 when free
+	depth   int
+	waiters []int // FIFO
+}
+
+type barrierState struct {
+	arrived int
+	maxTime uint64
+	waiting []int
+}
+
+// Run simulates tr on machine m under protocol proto.
+func Run(m *machine.Machine, proto machine.Protocol, tr *trace.Trace, opt Options) (*Result, error) {
+	if tr.NumThreads() != m.Cfg.Cores {
+		return nil, fmt.Errorf("%w: %d threads on %d cores", ErrThreads, tr.NumThreads(), m.Cfg.Cores)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+
+	n := m.Cfg.Cores
+	idx := make([]int, n)
+	ready := make([]uint64, n)
+	status := make([]coreStatus, n)
+	locks := make(map[uint32]*lockState)
+	barriers := make(map[uint32]*barrierState)
+
+	var golden *core.Golden
+	if opt.CheckWithOracle {
+		golden = core.NewGolden(n)
+	}
+
+	res := &Result{
+		Protocol:   proto.Name(),
+		Workload:   tr.Name,
+		Cores:      n,
+		CoreFinish: make([]uint64, n),
+		CoreEvents: make([]uint64, n),
+	}
+
+	// Mark threads with no events as done immediately.
+	for c := 0; c < n; c++ {
+		if len(tr.Threads[c]) == 0 {
+			status[c] = statusDone
+		}
+	}
+
+	boundary := func(now uint64, c core.CoreID) uint64 {
+		lat := proto.Boundary(now, c)
+		m.NextRegion(c)
+		if golden != nil {
+			golden.Boundary(c)
+		}
+		return lat
+	}
+
+	for {
+		if m.Halted {
+			res.Halted = true
+			break
+		}
+		// Pick the runnable core with the smallest ready time.
+		pick := -1
+		live := false
+		for c := 0; c < n; c++ {
+			if status[c] == statusDone {
+				continue
+			}
+			live = true
+			if status[c] != statusRunning {
+				continue
+			}
+			if pick == -1 || ready[c] < ready[pick] {
+				pick = c
+			}
+		}
+		if !live {
+			break // all threads finished
+		}
+		if pick == -1 {
+			return nil, ErrDeadlock
+		}
+		c := core.CoreID(pick)
+		now := ready[pick]
+		if opt.MaxCycles > 0 && now > opt.MaxCycles {
+			return nil, fmt.Errorf("%w (%d)", ErrMaxCycles, opt.MaxCycles)
+		}
+
+		if idx[pick] >= len(tr.Threads[pick]) {
+			// Trace ended without an explicit OpEnd (or the last event
+			// was a blocking sync op): close the final region.
+			ready[pick] = now + boundary(now, c)
+			status[pick] = statusDone
+			if ready[pick] > res.CoreFinish[pick] {
+				res.CoreFinish[pick] = ready[pick]
+			}
+			if ready[pick] > res.Cycles {
+				res.Cycles = ready[pick]
+			}
+			continue
+		}
+
+		ev := tr.Threads[pick][idx[pick]]
+		idx[pick]++
+		res.Events++
+		res.CoreEvents[pick]++
+
+		switch ev.Op {
+		case trace.OpRead, trace.OpWrite:
+			acc := ev.Mem()
+			lat := proto.Access(now, c, acc)
+			if golden != nil {
+				golden.Access(c, acc)
+			}
+			ready[pick] = now + lat
+			res.MemAccesses++
+			res.AccessLatency.Observe(lat)
+
+		case trace.OpCompute:
+			ready[pick] = now + uint64(ev.Arg)
+
+		case trace.OpAcquire:
+			// The sync operation itself costs a round trip to the
+			// lock's home tile; the region boundary work happens on
+			// every acquire, granted or queued.
+			syncLat := m.RoundTrip(now, pick, m.SyncHome(ev.Arg), machine.CtrlBytes, machine.CtrlBytes) +
+				m.Cfg.SyncLatency
+			bLat := boundary(now+syncLat, c)
+			at := now + syncLat + bLat
+
+			ls := locks[ev.Arg]
+			if ls == nil {
+				ls = &lockState{holder: -1}
+				locks[ev.Arg] = ls
+			}
+			if ls.holder == -1 || ls.holder == pick {
+				ls.holder = pick
+				ls.depth++
+				ready[pick] = at
+			} else {
+				status[pick] = statusBlockedLock
+				ready[pick] = at // time at which the wait began
+				ls.waiters = append(ls.waiters, pick)
+				res.LockWaits++
+			}
+
+		case trace.OpRelease:
+			syncLat := m.RoundTrip(now, pick, m.SyncHome(ev.Arg), machine.CtrlBytes, machine.CtrlBytes) +
+				m.Cfg.SyncLatency
+			bLat := boundary(now+syncLat, c)
+			at := now + syncLat + bLat
+			ready[pick] = at
+
+			ls := locks[ev.Arg]
+			if ls == nil || ls.holder != pick {
+				return nil, fmt.Errorf("sim: core %d releases lock %d it does not hold", pick, ev.Arg)
+			}
+			ls.depth--
+			if ls.depth == 0 {
+				ls.holder = -1
+				if len(ls.waiters) > 0 {
+					w := ls.waiters[0]
+					ls.waiters = ls.waiters[1:]
+					ls.holder = w
+					ls.depth = 1
+					status[w] = statusRunning
+					grantAt := at + m.Cfg.SyncLatency
+					if ready[w] > grantAt {
+						grantAt = ready[w]
+					}
+					ready[w] = grantAt
+				}
+			}
+
+		case trace.OpBarrier:
+			syncLat := m.Send(now, pick, m.SyncHome(ev.Arg), machine.CtrlBytes) + m.Cfg.SyncLatency
+			bLat := boundary(now+syncLat, c)
+			at := now + syncLat + bLat
+
+			bs := barriers[ev.Arg]
+			if bs == nil {
+				bs = &barrierState{}
+				barriers[ev.Arg] = bs
+			}
+			bs.arrived++
+			if at > bs.maxTime {
+				bs.maxTime = at
+			}
+			if bs.arrived == n {
+				// Everyone is here: release all at the same instant.
+				releaseAt := bs.maxTime + m.Cfg.SyncLatency
+				for _, w := range bs.waiting {
+					status[w] = statusRunning
+					ready[w] = releaseAt
+					m.Send(bs.maxTime, m.SyncHome(ev.Arg), w, machine.CtrlBytes)
+				}
+				ready[pick] = releaseAt
+				delete(barriers, ev.Arg)
+			} else {
+				status[pick] = statusBlockedBarrier
+				bs.waiting = append(bs.waiting, pick)
+				ready[pick] = at
+				res.BarrierWaits++
+			}
+
+		case trace.OpEnd:
+			bLat := boundary(now, c)
+			ready[pick] = now + bLat
+			status[pick] = statusDone
+		}
+
+		if ready[pick] > res.CoreFinish[pick] {
+			res.CoreFinish[pick] = ready[pick]
+		}
+		if ready[pick] > res.Cycles {
+			res.Cycles = ready[pick]
+		}
+	}
+
+	m.FinishStatics(res.Cycles)
+	fill(res, m)
+
+	if golden != nil {
+		if ok, diff := m.Conflicts.Equal(golden.Set()); !ok {
+			return res, fmt.Errorf("sim: protocol %s disagrees with the oracle: %s", proto.Name(), diff)
+		}
+	}
+	return res, nil
+}
+
+// fill copies the machine's statistics into the result.
+func fill(res *Result, m *machine.Machine) {
+	res.L1 = m.L1Stats()
+	res.LLC = m.LLCStats()
+	res.AIM = m.AIMStats()
+	res.NoC = m.Mesh.Stats
+	res.DRAM = m.Mem.Stats
+	res.NoCPeakUtil = m.Mesh.PeakUtilization()
+	res.DRAMPeakUtil = m.Mem.PeakUtilization()
+	res.EnergyPJ = m.Meter.Breakdown()
+	res.TotalEnergyPJ = m.Meter.TotalPJ()
+	res.Conflicts = m.Conflicts.Len()
+	res.Exceptions = append([]core.Exception(nil), m.Exceptions...)
+	res.Counters = make(map[string]uint64, len(m.Counters))
+	for k, v := range m.Counters {
+		res.Counters[k] = v
+	}
+}

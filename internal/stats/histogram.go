@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Histogram accumulates values into power-of-two buckets: bucket i counts
+// values v with 2^(i-1) < v <= 2^i (bucket 0 counts zeros and ones). It
+// is the simulator's memory-access latency profile: cheap to update on
+// every access, precise enough for P50/P95/P99 shape comparisons.
+type Histogram struct {
+	buckets [40]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+func bucketOf(v uint64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(v - 1)
+	if b >= len(Histogram{}.buckets) {
+		b = len(Histogram{}.buckets) - 1
+	}
+	return b
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean (0 for an empty histogram).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
+// top edge of the bucket containing it. Bucket resolution makes this
+// exact to within 2x, which suffices for latency-shape comparisons.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			switch {
+			case i == 0:
+				return 1
+			case i == len(h.buckets)-1:
+				// The overflow bucket's edge is the true maximum.
+				return h.max
+			default:
+				return 1 << uint(i)
+			}
+		}
+	}
+	return h.max
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// String renders the non-empty buckets as a compact ASCII profile.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "(empty)"
+	}
+	var maxC uint64
+	for _, c := range h.buckets {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.1f p50<=%d p95<=%d p99<=%d max=%d\n",
+		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99), h.max)
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		width := int(float64(c) / float64(maxC) * 30)
+		lo := uint64(0)
+		if i > 0 {
+			lo = 1<<uint(i-1) + 1
+		}
+		fmt.Fprintf(&b, "  %8d..%-8d %9d |%s\n", lo, uint64(1)<<uint(i), c, strings.Repeat("#", width))
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.String() != "(empty)" {
+		t.Error("empty rendering")
+	}
+	for _, v := range []uint64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Errorf("max = %d", h.Max())
+	}
+	wantMean := float64(1+2+3+100+1000) / 5
+	if h.Mean() != wantMean {
+		t.Errorf("mean = %f, want %f", h.Mean(), wantMean)
+	}
+	if !strings.Contains(h.String(), "n=5") {
+		t.Error("rendering missing count")
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	// The quantile upper bound must sit within 2x above the exact
+	// quantile and never below it.
+	rng := rand.New(rand.NewSource(11))
+	var h Histogram
+	var vals []uint64
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Intn(100000)) + 1
+		h.Observe(v)
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		exact := vals[int(q*float64(len(vals)))-1]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Errorf("q=%.2f: bound %d below exact %d", q, got, exact)
+		}
+		if float64(got) > 2.1*float64(exact) {
+			t.Errorf("q=%.2f: bound %d too loose vs exact %d", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Histogram
+		for i := 0; i < 200; i++ {
+			h.Observe(uint64(rng.Intn(1 << 20)))
+		}
+		last := uint64(0)
+		for _, q := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 1.0} {
+			v := h.Quantile(q)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return h.Quantile(1.0) >= h.Quantile(0.99)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := uint64(1); i <= 100; i++ {
+		a.Observe(i)
+		b.Observe(i * 100)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+	if a.Max() != 10000 {
+		t.Errorf("merged max = %d", a.Max())
+	}
+}
+
+func TestHistogramZeroAndHuge(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1 << 62) // beyond the last bucket edge
+	if h.Count() != 2 {
+		t.Error("observations lost")
+	}
+	if h.Quantile(1.0) != 1<<62 {
+		t.Errorf("max quantile = %d", h.Quantile(1.0))
+	}
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"arcsim/internal/core"
+)
+
+// Binary trace format (little-endian):
+//
+//	magic   [4]byte  "ARCT"
+//	version uint16   (1)
+//	threads uint16
+//	nameLen uint16, name bytes
+//	per thread: count uint32, then count events of:
+//	    op uint8, size uint8, arg uint32, addr uint64
+//
+// The format favors simplicity and streamability over compactness; traces
+// are regenerated deterministically from seeds, so files are a convenience
+// (cmd/tracegen) rather than the primary interchange.
+
+var magic = [4]byte{'A', 'R', 'C', 'T'}
+
+const formatVersion = 1
+
+// Encoding errors.
+var (
+	ErrBadMagic   = errors.New("trace: bad magic (not an ARCT trace)")
+	ErrBadVersion = errors.New("trace: unsupported format version")
+)
+
+// Write serializes t to w.
+func WriteTo(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if len(t.Threads) > 0xffff {
+		return fmt.Errorf("trace: too many threads (%d)", len(t.Threads))
+	}
+	if len(t.Name) > 0xffff {
+		return fmt.Errorf("trace: name too long (%d bytes)", len(t.Name))
+	}
+	hdr := make([]byte, 6)
+	binary.LittleEndian.PutUint16(hdr[0:], formatVersion)
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(len(t.Threads)))
+	binary.LittleEndian.PutUint16(hdr[4:], uint16(len(t.Name)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	var rec [14]byte
+	for _, th := range t.Threads {
+		var cnt [4]byte
+		binary.LittleEndian.PutUint32(cnt[:], uint32(len(th)))
+		if _, err := bw.Write(cnt[:]); err != nil {
+			return err
+		}
+		for _, ev := range th {
+			rec[0] = byte(ev.Op)
+			rec[1] = ev.Size
+			binary.LittleEndian.PutUint32(rec[2:], ev.Arg)
+			binary.LittleEndian.PutUint64(rec[6:], uint64(ev.Addr))
+			if _, err := bw.Write(rec[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFrom deserializes a trace written by WriteTo.
+func ReadFrom(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	var hdr [6]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:]); v != formatVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	threads := int(binary.LittleEndian.Uint16(hdr[2:]))
+	nameLen := int(binary.LittleEndian.Uint16(hdr[4:]))
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	t := &Trace{Name: string(name), Threads: make([][]Event, threads)}
+	var rec [14]byte
+	for ti := 0; ti < threads; ti++ {
+		var cnt [4]byte
+		if _, err := io.ReadFull(br, cnt[:]); err != nil {
+			return nil, err
+		}
+		n := int(binary.LittleEndian.Uint32(cnt[:]))
+		// Grow incrementally: a corrupted count must fail on the
+		// truncated stream, not attempt a multi-gigabyte allocation.
+		const chunk = 1 << 16
+		capHint := n
+		if capHint > chunk {
+			capHint = chunk
+		}
+		evs := make([]Event, 0, capHint)
+		for i := 0; i < n; i++ {
+			if _, err := io.ReadFull(br, rec[:]); err != nil {
+				return nil, fmt.Errorf("trace: thread %d truncated at event %d/%d: %w", ti, i, n, err)
+			}
+			op := Op(rec[0])
+			if op >= numOps {
+				return nil, fmt.Errorf("trace: invalid op %d (thread %d event %d)", rec[0], ti, i)
+			}
+			evs = append(evs, Event{
+				Op:   op,
+				Size: rec[1],
+				Arg:  binary.LittleEndian.Uint32(rec[2:]),
+				Addr: core.Addr(binary.LittleEndian.Uint64(rec[6:])),
+			})
+		}
+		t.Threads[ti] = evs
+	}
+	return t, nil
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"fmt"
+
+	"arcsim/internal/core"
+)
+
+// Characteristics summarizes a trace along the axes the paper's workload
+// table reports: scale, access mix, region structure, and sharing.
+type Characteristics struct {
+	Name          string
+	Threads       int
+	Events        int
+	Reads         int
+	Writes        int
+	Syncs         int // acquires + releases + barriers
+	Regions       int // total synchronization-free regions across threads
+	AvgRegionLen  float64
+	DistinctLines int
+	// SharedLines counts lines touched by more than one thread;
+	// SharedFrac is the fraction of distinct lines that are shared.
+	SharedLines int
+	SharedFrac  float64
+	// WriteSharedLines counts lines written by one thread and touched by
+	// another — the accesses that generate coherence and metadata work.
+	WriteSharedLines int
+}
+
+// Characterize computes trace characteristics in one pass.
+func Characterize(t *Trace) Characteristics {
+	c := Characteristics{Name: t.Name, Threads: t.NumThreads()}
+	type lineInfo struct {
+		toucher int // thread index+1 of sole toucher; -1 if multiple
+		writer  int // same encoding for writers
+		shared  bool
+		wshared bool
+	}
+	lines := make(map[core.Line]*lineInfo)
+	for ti, th := range t.Threads {
+		memInRegion := 0
+		for _, ev := range th {
+			c.Events++
+			switch ev.Op {
+			case OpRead, OpWrite:
+				if ev.Op == OpRead {
+					c.Reads++
+				} else {
+					c.Writes++
+				}
+				memInRegion++
+				ln := ev.Mem().Line()
+				info := lines[ln]
+				if info == nil {
+					info = &lineInfo{}
+					lines[ln] = info
+				}
+				touch(&info.toucher, &info.shared, ti)
+				if ev.Op == OpWrite {
+					touch(&info.writer, &info.wshared, ti)
+				}
+			case OpAcquire, OpRelease, OpBarrier:
+				c.Syncs++
+				c.Regions++
+				memInRegion = 0
+			case OpEnd:
+				c.Regions++
+				memInRegion = 0
+			}
+		}
+		if memInRegion > 0 {
+			c.Regions++ // trailing region without explicit OpEnd
+		}
+	}
+	c.DistinctLines = len(lines)
+	for _, info := range lines {
+		if info.shared {
+			c.SharedLines++
+		}
+		if info.wshared || (info.writer != 0 && info.shared) {
+			c.WriteSharedLines++
+		}
+	}
+	if c.DistinctLines > 0 {
+		c.SharedFrac = float64(c.SharedLines) / float64(c.DistinctLines)
+	}
+	if c.Regions > 0 {
+		c.AvgRegionLen = float64(c.Reads+c.Writes) / float64(c.Regions)
+	}
+	return c
+}
+
+// touch updates a sole-owner tracker: owner is 0 (none), ti+1 (sole), or
+// flips multi to true on a second distinct toucher.
+func touch(owner *int, multi *bool, ti int) {
+	switch *owner {
+	case 0:
+		*owner = ti + 1
+	case ti + 1:
+		// same thread again
+	default:
+		*multi = true
+	}
+}
+
+func (c Characteristics) String() string {
+	return fmt.Sprintf("%s: threads=%d events=%d R/W=%d/%d regions=%d avgRegion=%.1f lines=%d shared=%.1f%%",
+		c.Name, c.Threads, c.Events, c.Reads, c.Writes, c.Regions, c.AvgRegionLen,
+		c.DistinctLines, 100*c.SharedFrac)
+}

@@ -1,0 +1,209 @@
+// Package trace defines the multithreaded memory-event traces that drive
+// the simulator, mirroring the Pin-style front end the paper's simulator
+// consumes. A trace holds one event stream per thread; threads are pinned
+// 1:1 to cores. Events are memory accesses, synchronization operations
+// (which delimit synchronization-free regions), barriers, and abstract
+// compute work.
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"arcsim/internal/core"
+)
+
+// Op enumerates trace event kinds.
+type Op uint8
+
+const (
+	// OpRead is a load of Size bytes at Addr.
+	OpRead Op = iota
+	// OpWrite is a store of Size bytes at Addr.
+	OpWrite
+	// OpAcquire acquires lock Arg. It ends the current region and
+	// starts a new one (SFR semantics). The simulator blocks the thread
+	// until the lock is free.
+	OpAcquire
+	// OpRelease releases lock Arg; also a region boundary.
+	OpRelease
+	// OpBarrier joins barrier Arg; all threads must reach the barrier
+	// before any proceeds. Also a region boundary.
+	OpBarrier
+	// OpCompute models Arg cycles of non-memory work. Not a region
+	// boundary; generators use it to shape region lengths.
+	OpCompute
+	// OpEnd marks the end of the thread. Implicitly a region boundary.
+	OpEnd
+
+	numOps
+)
+
+var opNames = [numOps]string{"read", "write", "acquire", "release", "barrier", "compute", "end"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsBoundary reports whether the op ends the current synchronization-free
+// region.
+func (o Op) IsBoundary() bool {
+	switch o {
+	case OpAcquire, OpRelease, OpBarrier, OpEnd:
+		return true
+	}
+	return false
+}
+
+// IsMemory reports whether the op is a data memory access.
+func (o Op) IsMemory() bool { return o == OpRead || o == OpWrite }
+
+// Event is one trace entry. Addr and Size are meaningful for memory ops;
+// Arg carries the lock ID (acquire/release), barrier ID (barrier), or the
+// cycle count (compute).
+type Event struct {
+	Op   Op
+	Size uint8
+	Arg  uint32
+	Addr core.Addr
+}
+
+// Mem builds the core.Access for a memory event; it panics on non-memory
+// ops (a programming error).
+func (e Event) Mem() core.Access {
+	switch e.Op {
+	case OpRead:
+		return core.Access{Kind: core.Read, Addr: e.Addr, Size: e.Size}
+	case OpWrite:
+		return core.Access{Kind: core.Write, Addr: e.Addr, Size: e.Size}
+	}
+	panic("trace: Mem on non-memory event " + e.Op.String())
+}
+
+func (e Event) String() string {
+	switch {
+	case e.Op.IsMemory():
+		return fmt.Sprintf("%s %#x+%d", e.Op, uint64(e.Addr), e.Size)
+	case e.Op == OpCompute:
+		return fmt.Sprintf("compute %d", e.Arg)
+	case e.Op == OpAcquire || e.Op == OpRelease:
+		return fmt.Sprintf("%s lock%d", e.Op, e.Arg)
+	case e.Op == OpBarrier:
+		return fmt.Sprintf("barrier %d", e.Arg)
+	default:
+		return e.Op.String()
+	}
+}
+
+// Read and Write are convenience constructors used heavily by generators
+// and tests.
+func Read(addr core.Addr, size uint8) Event  { return Event{Op: OpRead, Addr: addr, Size: size} }
+func Write(addr core.Addr, size uint8) Event { return Event{Op: OpWrite, Addr: addr, Size: size} }
+
+// Acquire, Release, Barrier, Compute, and End construct the corresponding
+// non-memory events.
+func Acquire(lock uint32) Event   { return Event{Op: OpAcquire, Arg: lock} }
+func Release(lock uint32) Event   { return Event{Op: OpRelease, Arg: lock} }
+func Barrier(id uint32) Event     { return Event{Op: OpBarrier, Arg: id} }
+func Compute(cycles uint32) Event { return Event{Op: OpCompute, Arg: cycles} }
+func End() Event                  { return Event{Op: OpEnd} }
+
+// Trace is a complete multithreaded workload trace.
+type Trace struct {
+	// Name identifies the workload (used in reports).
+	Name string
+	// Threads holds one event stream per thread; thread i runs on core i.
+	Threads [][]Event
+}
+
+// NumThreads returns the thread count.
+func (t *Trace) NumThreads() int { return len(t.Threads) }
+
+// Events returns the total number of events across all threads.
+func (t *Trace) Events() int {
+	n := 0
+	for _, th := range t.Threads {
+		n += len(th)
+	}
+	return n
+}
+
+// Validation errors.
+var (
+	ErrNoThreads        = errors.New("trace: no threads")
+	ErrBadAccess        = errors.New("trace: invalid memory access")
+	ErrUnbalancedLock   = errors.New("trace: release without matching acquire")
+	ErrUnreleasedLock   = errors.New("trace: thread ends holding a lock")
+	ErrBarrierMismatch  = errors.New("trace: threads disagree on barrier sequence")
+	ErrEventsAfterEnd   = errors.New("trace: events after OpEnd")
+	ErrBarrierWhileHeld = errors.New("trace: barrier while holding a lock")
+)
+
+// Validate checks structural well-formedness: accesses within a line,
+// balanced per-thread lock nesting, no events after OpEnd, and an
+// identical barrier-ID sequence on every thread (a necessary and — with
+// blocking barriers — sufficient condition for deadlock-free barrier use
+// when locks are never held across barriers, which is also enforced).
+func (t *Trace) Validate() error {
+	if len(t.Threads) == 0 {
+		return ErrNoThreads
+	}
+	var barrierSeq []uint32
+	for ti, th := range t.Threads {
+		held := make(map[uint32]int)
+		heldCount := 0
+		var seq []uint32
+		ended := false
+		for ei, ev := range th {
+			if ended {
+				return fmt.Errorf("%w (thread %d event %d)", ErrEventsAfterEnd, ti, ei)
+			}
+			switch ev.Op {
+			case OpRead, OpWrite:
+				if !ev.Mem().Valid() {
+					return fmt.Errorf("%w (thread %d event %d: %v)", ErrBadAccess, ti, ei, ev)
+				}
+			case OpAcquire:
+				held[ev.Arg]++
+				heldCount++
+			case OpRelease:
+				if held[ev.Arg] == 0 {
+					return fmt.Errorf("%w (thread %d event %d lock %d)", ErrUnbalancedLock, ti, ei, ev.Arg)
+				}
+				held[ev.Arg]--
+				heldCount--
+			case OpBarrier:
+				if heldCount != 0 {
+					return fmt.Errorf("%w (thread %d event %d)", ErrBarrierWhileHeld, ti, ei)
+				}
+				seq = append(seq, ev.Arg)
+			case OpEnd:
+				ended = true
+			}
+		}
+		if heldCount != 0 {
+			return fmt.Errorf("%w (thread %d)", ErrUnreleasedLock, ti)
+		}
+		if ti == 0 {
+			barrierSeq = seq
+		} else if !equalU32(barrierSeq, seq) {
+			return fmt.Errorf("%w (thread %d)", ErrBarrierMismatch, ti)
+		}
+	}
+	return nil
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

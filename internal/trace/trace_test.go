@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"arcsim/internal/core"
+)
+
+func validTrace() *Trace {
+	return &Trace{
+		Name: "t",
+		Threads: [][]Event{
+			{Read(0x100, 4), Acquire(1), Write(0x200, 8), Release(1), Barrier(0), Compute(10), End()},
+			{Write(0x300, 4), Barrier(0), Read(0x200, 8), End()},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validTrace().Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Trace)
+		want error
+	}{
+		{"no threads", func(tr *Trace) { tr.Threads = nil }, ErrNoThreads},
+		{"bad access", func(tr *Trace) { tr.Threads[0][0] = Read(0x13f, 4) }, ErrBadAccess},
+		{"zero size", func(tr *Trace) { tr.Threads[0][0] = Read(0x100, 0) }, ErrBadAccess},
+		{"release without acquire", func(tr *Trace) { tr.Threads[0][1] = Release(2) }, ErrUnbalancedLock},
+		{"unreleased lock", func(tr *Trace) {
+			tr.Threads[0] = []Event{Acquire(1), Write(0x100, 4)}
+			tr.Threads[1] = nil
+		}, ErrUnreleasedLock},
+		{"barrier mismatch", func(tr *Trace) { tr.Threads[1][1] = Barrier(7) }, ErrBarrierMismatch},
+		{"barrier count mismatch", func(tr *Trace) {
+			tr.Threads[1] = []Event{Barrier(0), Barrier(1)}
+		}, ErrBarrierMismatch},
+		{"events after end", func(tr *Trace) {
+			tr.Threads[1] = append(tr.Threads[1], Read(0x100, 4))
+		}, ErrEventsAfterEnd},
+		{"barrier while locked", func(tr *Trace) {
+			tr.Threads[0] = []Event{Acquire(1), Barrier(0), Release(1)}
+		}, ErrBarrierWhileHeld},
+	}
+	for _, tt := range tests {
+		tr := validTrace()
+		tt.mut(tr)
+		err := tr.Validate()
+		if !errors.Is(err, tt.want) {
+			t.Errorf("%s: got %v, want %v", tt.name, err, tt.want)
+		}
+	}
+}
+
+func TestValidateNestedLocks(t *testing.T) {
+	tr := &Trace{Name: "nested", Threads: [][]Event{
+		{Acquire(1), Acquire(2), Write(0x100, 4), Release(2), Release(1)},
+	}}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("nested locks rejected: %v", err)
+	}
+	// Reentrant acquire of the same lock is also balanced.
+	tr = &Trace{Name: "reentrant", Threads: [][]Event{
+		{Acquire(1), Acquire(1), Release(1), Release(1)},
+	}}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("reentrant lock rejected: %v", err)
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	tr := &Trace{Name: "char", Threads: [][]Event{
+		{Read(0x100, 4), Write(0x140, 4), Acquire(0), Write(0x180, 4), Release(0), End()},
+		{Read(0x180, 4), End()},
+	}}
+	c := Characterize(tr)
+	if c.Reads != 2 || c.Writes != 2 {
+		t.Errorf("R/W = %d/%d", c.Reads, c.Writes)
+	}
+	if c.Syncs != 2 {
+		t.Errorf("syncs = %d", c.Syncs)
+	}
+	// Thread 0 regions: [read,write] | [write] | (end) -> acquire, release, end = 3 boundaries.
+	// Thread 1: end = 1 boundary. Total regions counted as boundaries = 4.
+	if c.Regions != 4 {
+		t.Errorf("regions = %d", c.Regions)
+	}
+	if c.DistinctLines != 3 {
+		t.Errorf("lines = %d", c.DistinctLines)
+	}
+	if c.SharedLines != 1 {
+		t.Errorf("shared = %d", c.SharedLines)
+	}
+	if c.WriteSharedLines != 1 {
+		t.Errorf("write-shared = %d", c.WriteSharedLines)
+	}
+}
+
+func TestCharacterizeTrailingRegion(t *testing.T) {
+	tr := &Trace{Name: "trail", Threads: [][]Event{
+		{Read(0x100, 4)}, // no explicit End
+	}}
+	c := Characterize(tr)
+	if c.Regions != 1 {
+		t.Errorf("regions = %d, want 1", c.Regions)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	tr := validTrace()
+	var buf bytes.Buffer
+	if err := WriteTo(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(nThreads uint8, nEvents uint8, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := &Trace{Name: "prop", Threads: make([][]Event, int(nThreads)%4+1)}
+		for ti := range tr.Threads {
+			n := int(nEvents) % 50
+			evs := make([]Event, n)
+			for i := range evs {
+				evs[i] = Event{
+					Op:   Op(r.Intn(int(numOps))),
+					Size: uint8(r.Intn(64)),
+					Arg:  r.Uint32(),
+					Addr: core.Addr(r.Uint64()),
+				}
+			}
+			tr.Threads[ti] = evs
+		}
+		var buf bytes.Buffer
+		if err := WriteTo(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadFrom(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(tr, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecBadMagic(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader([]byte("NOPE0000000000"))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestCodecBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTo(&buf, validTrace()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 0xff // clobber version
+	if _, err := ReadFrom(bytes.NewReader(b)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("got %v, want ErrBadVersion", err)
+	}
+}
+
+func TestCodecTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTo(&buf, validTrace()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for _, cut := range []int{3, 8, len(b) / 2, len(b) - 1} {
+		if _, err := ReadFrom(bytes.NewReader(b[:cut])); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestCodecInvalidOp(t *testing.T) {
+	var buf bytes.Buffer
+	tr := &Trace{Name: "x", Threads: [][]Event{{Read(0x100, 4)}}}
+	if err := WriteTo(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)-14] = 0xee // first byte of the single event record is the op
+	if _, err := ReadFrom(bytes.NewReader(b)); err == nil {
+		t.Error("invalid op not detected")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	for _, ev := range []Event{Read(0x10, 4), Write(0x10, 8), Acquire(3), Release(3), Barrier(1), Compute(9), End()} {
+		if ev.String() == "" {
+			t.Errorf("empty string for %v", ev.Op)
+		}
+	}
+}
+
+func TestMemPanicsOnNonMemory(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Acquire(1).Mem()
+}

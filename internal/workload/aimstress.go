@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"arcsim/internal/core"
+	"arcsim/internal/trace"
+)
+
+// AIMStress generates the metadata-pressure kernel used by the AIM
+// capacity sweep (experiment F6) and the sizing example: each thread
+// repeatedly sweeps a private working set much larger than the L1 inside
+// one long synchronization-free region. Every line is touched (so its
+// access bits are live), then evicted (so the bits spill to the metadata
+// table), and the region end must scrub them all — the access pattern
+// whose metadata working set actually exercises the AIM's capacity, as
+// the paper's full-size workloads do.
+//
+// The data is fully private, so the kernel is trivially DRF; all its
+// cost is metadata.
+func AIMStress(p Params) *trace.Trace {
+	p = p.normalized()
+	const linesPerThread = 1024 // 64 KB sweep: 2x the default 32 KB L1
+	sweeps := p.scaled(8)
+	if sweeps < 2 {
+		sweeps = 2
+	}
+	t := &trace.Trace{Name: "aimstress"}
+	for th := 0; th < p.Threads; th++ {
+		r := rand.New(rand.NewSource(p.Seed*977 + int64(th)))
+		base := PrivateBase(th)
+		var evs []trace.Event
+		lock := uint32(7000 + th) // uncontended: a pure region-boundary pulse
+		for s := 0; s < sweeps; s++ {
+			for l := 0; l < linesPerThread; l++ {
+				addr := base + core.Addr(l)*core.LineSize
+				evs = append(evs, trace.Write(addr, 8))
+				if l%32 == 0 {
+					evs = append(evs, trace.Compute(uint32(1+r.Intn(2))))
+				}
+			}
+			// Region boundary: all spilled metadata must be scrubbed.
+			evs = append(evs, trace.Acquire(lock), trace.Release(lock))
+		}
+		evs = append(evs, trace.End())
+		t.Threads = append(t.Threads, evs)
+	}
+	if err := t.Validate(); err != nil {
+		panic(fmt.Sprintf("workload.AIMStress generated invalid trace: %v", err))
+	}
+	return t
+}

@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"arcsim/internal/core"
+	"arcsim/internal/trace"
+)
+
+// FalseSharing generates the byte-level false-sharing kernel used by the
+// metadata-granularity study (experiment A3): every thread continuously
+// writes *its own byte* of a handful of hot shared words, without any
+// synchronization. At byte granularity this program is conflict-free —
+// the accesses never overlap — but any design that tracks metadata at
+// word granularity reports (false) region conflicts on every word.
+//
+// The pattern is the classic packed-struct/bitfield idiom: per-thread
+// counters or flags deliberately packed into one cache line.
+func FalseSharing(p Params) *trace.Trace {
+	p = p.normalized()
+	if p.Threads > core.WordBytes*8 {
+		p.Threads = core.WordBytes * 8 // one byte per thread across 8 words
+	}
+	iters := p.scaled(800)
+	hot := SharedBase(20)
+	t := &trace.Trace{Name: "falseshare"}
+	for th := 0; th < p.Threads; th++ {
+		r := rand.New(rand.NewSource(p.Seed*131 + int64(th)))
+		priv := PrivateBase(th)
+		var evs []trace.Event
+		// Thread th owns byte th%8 of word th/8.
+		word := th / 8
+		byteOff := th % 8
+		addr := hot + core.Addr(word*core.WordBytes+byteOff)
+		for i := 0; i < iters; i++ {
+			evs = append(evs, trace.Write(addr, 1))
+			evs = append(evs, trace.Read(addr, 1))
+			evs = append(evs, rd(r, elem(priv, r.Intn(256))))
+			evs = append(evs, trace.Compute(uint32(2+r.Intn(4))))
+			if i%64 == 63 {
+				// Occasional boundaries keep regions bounded.
+				evs = append(evs, trace.Barrier(uint32(i/64)))
+			}
+		}
+		evs = append(evs, trace.End())
+		t.Threads = append(t.Threads, evs)
+	}
+	if err := t.Validate(); err != nil {
+		panic(fmt.Sprintf("workload.FalseSharing generated invalid trace: %v", err))
+	}
+	return t
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"arcsim/internal/core"
+	"arcsim/internal/trace"
+)
+
+// MixParams controls Random, the fuzz-style generator used by property
+// tests: it emits structurally valid traces with tunable sharing and
+// optional races, exercising protocol corner cases that the curated suite
+// does not (tiny regions, reentrant locks, line-crossing-adjacent sizes,
+// many barriers).
+type MixParams struct {
+	Threads int
+	Seed    int64
+	// EventsPerThread is the approximate number of events per thread.
+	EventsPerThread int
+	// SharedLines is the size of the shared address pool in lines;
+	// small pools force heavy line overlap.
+	SharedLines int
+	// Locks is the number of distinct locks.
+	Locks int
+	// Racy allows unprotected shared writes. When false, every shared
+	// access is protected by the lock that owns its line, making the
+	// trace DRF under every schedule.
+	Racy bool
+	// Barriers is the number of global barrier phases.
+	Barriers int
+}
+
+func (m MixParams) normalized() MixParams {
+	if m.Threads <= 0 {
+		m.Threads = 4
+	}
+	if m.EventsPerThread <= 0 {
+		m.EventsPerThread = 200
+	}
+	if m.SharedLines <= 0 {
+		m.SharedLines = 16
+	}
+	if m.Locks <= 0 {
+		m.Locks = 4
+	}
+	if m.Barriers < 0 {
+		m.Barriers = 0
+	}
+	return m
+}
+
+// Random generates a structurally valid trace per MixParams. With
+// Racy=false the trace is DRF by construction: line L is only ever
+// accessed while holding lock L mod Locks.
+func Random(m MixParams) *trace.Trace {
+	m = m.normalized()
+	shared := SharedBase(63)
+	lockFor := func(lineIdx int) uint32 { return uint32(9000 + lineIdx%m.Locks) }
+
+	t := &trace.Trace{Name: fmt.Sprintf("mix-%d", m.Seed)}
+	segs := m.Barriers + 1
+	perSeg := m.EventsPerThread / segs
+	for ti := 0; ti < m.Threads; ti++ {
+		r := rand.New(rand.NewSource(m.Seed*31 + int64(ti)))
+		var evs []trace.Event
+		for seg := 0; seg < segs; seg++ {
+			n := perSeg/2 + r.Intn(perSeg+1)
+			for i := 0; i < n; i++ {
+				switch r.Intn(10) {
+				case 0, 1, 2: // private access
+					addr := elem(PrivateBase(ti), r.Intn(64))
+					if r.Intn(2) == 0 {
+						evs = append(evs, rd(r, addr))
+					} else {
+						evs = append(evs, wr(r, addr))
+					}
+				case 3: // compute
+					evs = append(evs, trace.Compute(uint32(1+r.Intn(6))))
+				default: // shared access
+					lineIdx := r.Intn(m.SharedLines)
+					off := core.Addr(r.Intn(core.LineSize))
+					size := uint8(1 << r.Intn(4))
+					if core.Offset(shared+core.Addr(lineIdx)*core.LineSize+off)+uint(size) > core.LineSize {
+						off = 0
+					}
+					addr := shared + core.Addr(lineIdx)*core.LineSize + off
+					write := r.Intn(2) == 0
+					if m.Racy && r.Intn(3) == 0 {
+						// Unprotected access.
+						if write {
+							evs = append(evs, trace.Write(addr, size))
+						} else {
+							evs = append(evs, trace.Read(addr, size))
+						}
+						continue
+					}
+					lk := lockFor(lineIdx)
+					evs = append(evs, trace.Acquire(lk))
+					if r.Intn(8) == 0 {
+						// Occasionally reentrant.
+						evs = append(evs, trace.Acquire(lk))
+						evs = append(evs, trace.Release(lk))
+					}
+					if write {
+						evs = append(evs, trace.Write(addr, size))
+					} else {
+						evs = append(evs, trace.Read(addr, size))
+					}
+					evs = append(evs, trace.Release(lk))
+				}
+			}
+			if seg < segs-1 {
+				evs = append(evs, trace.Barrier(uint32(seg)))
+			}
+		}
+		evs = append(evs, trace.End())
+		t.Threads = append(t.Threads, evs)
+	}
+	if err := t.Validate(); err != nil {
+		panic(fmt.Sprintf("workload.Random generated invalid trace: %v", err))
+	}
+	return t
+}

@@ -1,0 +1,501 @@
+package workload
+
+import (
+	"arcsim/internal/core"
+	"arcsim/internal/trace"
+)
+
+// catalog is the full workload suite. The ten DRF members model the
+// sharing structure of the PARSEC/SPLASH-style programs the paper
+// evaluates; the racy members exercise conflict detection (experiment T3).
+var catalog = []Spec{
+	{
+		Name:  "blackscholes",
+		Desc:  "data-parallel option pricing: disjoint chunks, read-only shared input, barrier phases",
+		build: buildBlackscholes,
+	},
+	{
+		Name:  "swaptions",
+		Desc:  "Monte-Carlo simulation: long compute regions, mostly private data, one result lock",
+		build: buildSwaptions,
+	},
+	{
+		Name:  "fluidanimate",
+		Desc:  "grid neighbor exchange with fine-grained per-cell locks; very high sync rate",
+		build: buildFluidanimate,
+	},
+	{
+		Name:  "streamcluster",
+		Desc:  "barrier-phased clustering: read-mostly shared points, contended center updates",
+		build: buildStreamcluster,
+	},
+	{
+		Name:  "canneal",
+		Desc:  "random element swaps over a large shared array under bucket locks; cache-hostile",
+		build: buildCanneal,
+	},
+	{
+		Name:  "dedup",
+		Desc:  "3-stage pipeline with lock-protected queues and payload handoff",
+		build: func(p Params, b *builder) { buildPipeline(p, b, 3, 6) },
+	},
+	{
+		Name:  "ferret",
+		Desc:  "4-stage pipeline with a large read-only database in the middle stages",
+		build: func(p Params, b *builder) { buildPipeline(p, b, 4, 14) },
+	},
+	{
+		Name:  "bodytrack",
+		Desc:  "fork-join particle filter: shared read-only model, hot reduction lock",
+		build: buildBodytrack,
+	},
+	{
+		Name:  "x264",
+		Desc:  "row pipeline: each phase reads rows other cores wrote last phase (migratory sharing)",
+		build: buildX264,
+	},
+	{
+		Name:  "raytrace",
+		Desc:  "read-only scene, private framebuffer, contended work-queue counter",
+		build: buildRaytrace,
+	},
+	{
+		Name:  "racy-counter",
+		Desc:  "bodytrack-like phases with unsynchronized shared counter increments",
+		Racy:  true,
+		build: buildRacyCounter,
+	},
+	{
+		Name:  "racy-sharing",
+		Desc:  "unsynchronized mixed reads/writes over a small shared array",
+		Racy:  true,
+		build: buildRacySharing,
+	},
+	{
+		Name:  "racy-single",
+		Desc:  "one scripted unprotected write/read pair inside very long regions",
+		Racy:  true,
+		build: buildRacySingle,
+	},
+}
+
+// buildBlackscholes: each thread processes its own chunk (private reads
+// and writes) and reads a shared read-only parameter table; three barrier
+// phases. Sharing is read-only, so all designs should behave close to the
+// MESI baseline.
+func buildBlackscholes(p Params, b *builder) {
+	const phases = 3
+	iters := p.scaled(900)
+	paramTable := SharedBase(0)
+	for t := 0; t < p.Threads; t++ {
+		r := b.threadRNG(t)
+		priv := PrivateBase(t)
+		for ph := 0; ph < phases; ph++ {
+			for i := 0; i < iters; i++ {
+				// Read two option parameters from the shared table.
+				b.emit(t, rd(r, align8(paramTable+core.Addr(r.Intn(4096))*8)))
+				b.emit(t, rd(r, align8(paramTable+core.Addr(r.Intn(4096))*8)))
+				// Work on private state.
+				b.emit(t, rd(r, elem(priv, r.Intn(2048))))
+				b.emit(t, trace.Compute(uint32(4+r.Intn(8))))
+				b.emit(t, wr(r, elem(priv, i%2048)))
+			}
+			b.emit(t, trace.Barrier(uint32(ph)))
+		}
+	}
+}
+
+// buildSwaptions: long synchronization-free regions of private Monte-Carlo
+// work; each thread takes one contended lock at the very end to fold its
+// result into a shared accumulator.
+func buildSwaptions(p Params, b *builder) {
+	iters := p.scaled(2600)
+	const resultLock = 1
+	results := SharedBase(1)
+	for t := 0; t < p.Threads; t++ {
+		r := b.threadRNG(t)
+		priv := PrivateBase(t)
+		for i := 0; i < iters; i++ {
+			b.emit(t, rd(r, elem(priv, r.Intn(1024))))
+			b.emit(t, wr(r, elem(priv, r.Intn(1024))))
+			b.emit(t, trace.Compute(uint32(6+r.Intn(10))))
+		}
+		b.emit(t, trace.Acquire(resultLock))
+		b.emit(t, rd(r, elem(results, 0)))
+		b.emit(t, wr(r, elem(results, 0)))
+		b.emit(t, trace.Release(resultLock))
+	}
+}
+
+// buildFluidanimate: the grid is split into contiguous cell ranges per
+// thread; cells within two cells of a partition boundary are "frontier"
+// cells that neighbors also touch, and every frontier access happens under
+// that cell's lock. Regions are tiny (lock/unlock per frontier update),
+// reproducing the paper's high-sync-rate workload.
+func buildFluidanimate(p Params, b *builder) {
+	const cellsPerThread = 64
+	steps := p.scaled(350)
+	grid := SharedBase(2)
+	cellLock := func(cell int) uint32 { return uint32(100 + cell) }
+	totalCells := cellsPerThread * p.Threads
+	for t := 0; t < p.Threads; t++ {
+		r := b.threadRNG(t)
+		lo := t * cellsPerThread
+		hi := lo + cellsPerThread
+		priv := PrivateBase(t)
+		for s := 0; s < steps; s++ {
+			for c := lo; c < hi; c += 4 {
+				// Interior work: private scratch plus own interior cells.
+				b.emit(t, rd(r, elem(grid, c*8+2)))
+				b.emit(t, wr(r, elem(priv, r.Intn(512))))
+				b.emit(t, trace.Compute(uint32(2+r.Intn(4))))
+			}
+			// Frontier exchange with both neighbors, each cell locked.
+			for d := 0; d < 2; d++ {
+				var cell int
+				if d == 0 {
+					cell = (lo - 1 - r.Intn(2) + totalCells) % totalCells
+				} else {
+					cell = (hi + r.Intn(2)) % totalCells
+				}
+				lk := cellLock(cell)
+				b.emit(t, trace.Acquire(lk))
+				b.emit(t, rd(r, elem(grid, cell*8)))
+				b.emit(t, wr(r, elem(grid, cell*8)))
+				b.emit(t, trace.Release(lk))
+			}
+			// Own boundary cells are also frontier cells: lock them too.
+			for _, cell := range []int{lo, hi - 1} {
+				lk := cellLock(cell)
+				b.emit(t, trace.Acquire(lk))
+				b.emit(t, rd(r, elem(grid, cell*8)))
+				b.emit(t, wr(r, elem(grid, cell*8)))
+				b.emit(t, trace.Release(lk))
+			}
+			if s%16 == 15 {
+				b.emit(t, trace.Barrier(uint32(s/16)))
+			}
+		}
+	}
+}
+
+// buildStreamcluster: barrier-separated assign/update phases. During
+// "assign" every thread reads the shared point set (read-only) and writes
+// private assignments; during "update" threads write the shared centers
+// array, always under the centers lock.
+func buildStreamcluster(p Params, b *builder) {
+	phases := p.scaled(12)
+	pointsPerPhase := p.scaled(220)
+	points := SharedBase(3)
+	centers := SharedBase(4)
+	const centersLock = 2
+	for t := 0; t < p.Threads; t++ {
+		r := b.threadRNG(t)
+		priv := PrivateBase(t)
+		for ph := 0; ph < phases; ph++ {
+			// Assign: shared read-only + private write.
+			for i := 0; i < pointsPerPhase; i++ {
+				b.emit(t, rd(r, elem(points, r.Intn(16384))))
+				b.emit(t, rd(r, elem(centers, r.Intn(64))))
+				b.emit(t, wr(r, elem(priv, i%1024)))
+				b.emit(t, trace.Compute(uint32(3+r.Intn(5))))
+			}
+			b.emit(t, trace.Barrier(uint32(ph*2)))
+			// Update: contended writes to centers, under the lock.
+			for i := 0; i < 6; i++ {
+				b.emit(t, trace.Acquire(centersLock))
+				c := r.Intn(64)
+				b.emit(t, rd(r, elem(centers, c)))
+				b.emit(t, wr(r, elem(centers, c)))
+				b.emit(t, trace.Release(centersLock))
+			}
+			b.emit(t, trace.Barrier(uint32(ph*2+1)))
+		}
+	}
+}
+
+// buildCanneal: random swaps over a large shared array. Each swap locks
+// the two bucket locks in ascending order (deadlock-free) and reads and
+// writes both elements. The huge footprint defeats the caches, generating
+// the off-chip traffic the paper highlights for CE.
+func buildCanneal(p Params, b *builder) {
+	swaps := p.scaled(1300)
+	const buckets = 128
+	const lockBase = 1000
+	elements := 1 << 17 // 128K elements * 8B = 1 MB shared array
+	arr := SharedBase(5)
+	for t := 0; t < p.Threads; t++ {
+		r := b.threadRNG(t)
+		priv := PrivateBase(t)
+		for i := 0; i < swaps; i++ {
+			e1 := r.Intn(elements)
+			e2 := r.Intn(elements)
+			l1 := uint32(lockBase + e1%buckets)
+			l2 := uint32(lockBase + e2%buckets)
+			if l1 > l2 {
+				l1, l2 = l2, l1
+			}
+			b.emit(t, trace.Acquire(l1))
+			if l2 != l1 {
+				b.emit(t, trace.Acquire(l2))
+			}
+			b.emit(t, rd(r, elem(arr, e1)))
+			b.emit(t, rd(r, elem(arr, e2)))
+			b.emit(t, wr(r, elem(arr, e1)))
+			b.emit(t, wr(r, elem(arr, e2)))
+			if l2 != l1 {
+				b.emit(t, trace.Release(l2))
+			}
+			b.emit(t, trace.Release(l1))
+			// Cost evaluation on private state between swaps.
+			b.emit(t, rd(r, elem(priv, r.Intn(256))))
+			b.emit(t, trace.Compute(uint32(2+r.Intn(6))))
+		}
+	}
+}
+
+// buildPipeline models dedup/ferret-style stage pipelines: threads are
+// assigned round-robin to stages; stage s hands items to stage s+1 through
+// a queue, and both the queue slot and the item payload are only touched
+// while holding the queue's lock (coarse handoff keeps the workload DRF
+// under every schedule).
+func buildPipeline(p Params, b *builder, stages, itemWork int) {
+	if stages > p.Threads {
+		stages = p.Threads
+	}
+	items := p.scaled(700)
+	const queueLockBase = 2000
+	const dbArenaIdx = 6
+	db := SharedBase(dbArenaIdx) // read-only database (ferret's middle stages)
+	queueArena := SharedBase(7)
+	// Queue q occupies a dedicated slab; item payloads are 4 lines each.
+	itemAddr := func(q, item int) core.Addr {
+		return queueArena + core.Addr(q)<<24 + core.Addr(item)*4*core.LineSize
+	}
+	for t := 0; t < p.Threads; t++ {
+		r := b.threadRNG(t)
+		stage := t % stages
+		workers := (p.Threads + stages - 1 - stage) / stages // threads in this stage
+		idx := t / stages                                    // this thread's index within the stage
+		priv := PrivateBase(t)
+		for item := 0; item < items; item++ {
+			if item%workers != idx {
+				continue // another worker of this stage owns the item
+			}
+			// Consume from the upstream queue (stage 0 "reads input"
+			// from private space instead).
+			if stage > 0 {
+				lk := uint32(queueLockBase + stage - 1)
+				b.emit(t, trace.Acquire(lk))
+				for l := 0; l < 4; l++ {
+					b.emit(t, rd(r, itemAddr(stage-1, item)+core.Addr(l*core.LineSize)))
+				}
+				b.emit(t, trace.Release(lk))
+			} else {
+				for l := 0; l < 4; l++ {
+					b.emit(t, rd(r, elem(priv, (item*4+l)%4096)))
+				}
+			}
+			// Stage work: middle stages read the shared database.
+			for w := 0; w < itemWork; w++ {
+				if stage > 0 && stage < stages-1 && w%2 == 0 {
+					b.emit(t, rd(r, elem(db, r.Intn(32768))))
+				} else {
+					b.emit(t, rd(r, elem(priv, r.Intn(1024))))
+				}
+				b.emit(t, trace.Compute(uint32(2+r.Intn(5))))
+			}
+			// Produce into the downstream queue.
+			if stage < stages-1 {
+				lk := uint32(queueLockBase + stage)
+				b.emit(t, trace.Acquire(lk))
+				for l := 0; l < 4; l++ {
+					b.emit(t, wr(r, itemAddr(stage, item)+core.Addr(l*core.LineSize)))
+				}
+				b.emit(t, trace.Release(lk))
+			} else {
+				b.emit(t, wr(r, elem(priv, item%1024)))
+			}
+		}
+	}
+}
+
+// buildBodytrack: barrier-phased fork-join with a read-only shared model
+// and a hot reduction lock at the end of each phase.
+func buildBodytrack(p Params, b *builder) {
+	phases := p.scaled(10)
+	particles := p.scaled(260)
+	model := SharedBase(8)
+	accum := SharedBase(9)
+	const reduceLock = 3
+	for t := 0; t < p.Threads; t++ {
+		r := b.threadRNG(t)
+		priv := PrivateBase(t)
+		for ph := 0; ph < phases; ph++ {
+			for i := 0; i < particles; i++ {
+				b.emit(t, rd(r, elem(model, r.Intn(8192))))
+				b.emit(t, rd(r, elem(priv, i%2048)))
+				b.emit(t, wr(r, elem(priv, i%2048)))
+				b.emit(t, trace.Compute(uint32(4+r.Intn(6))))
+			}
+			// Reduction: everyone updates the same accumulator line.
+			b.emit(t, trace.Acquire(reduceLock))
+			b.emit(t, rd(r, elem(accum, 0)))
+			b.emit(t, wr(r, elem(accum, 0)))
+			b.emit(t, rd(r, elem(accum, 1)))
+			b.emit(t, wr(r, elem(accum, 1)))
+			b.emit(t, trace.Release(reduceLock))
+			b.emit(t, trace.Barrier(uint32(ph)))
+		}
+	}
+}
+
+// buildX264: migratory row sharing with double-buffered rows (as the real
+// encoder double-buffers reference frames): in phase k every thread
+// writes its own row into buffer k%2 and reads the row its left neighbor
+// wrote into buffer (k-1)%2 during the previous phase. The cross-thread
+// read-after-write handoff is barrier-separated (DRF) but forces heavy
+// coherence/registration traffic — the pattern where eager invalidation
+// (CE/CE+) and self-invalidation (ARC) differ most.
+func buildX264(p Params, b *builder) {
+	phases := p.scaled(24)
+	if phases < 2 {
+		phases = 2 // the handoff needs at least one producing phase
+	}
+	rowWords := 512 // 4 KB row = 64 lines
+	rows := SharedBase(10)
+	rowAddr := func(t, buf, word int) core.Addr {
+		return rows + core.Addr(t)<<20 + core.Addr(buf)<<16 + core.Addr(word)*8
+	}
+	for t := 0; t < p.Threads; t++ {
+		r := b.threadRNG(t)
+		left := (t + p.Threads - 1) % p.Threads
+		priv := PrivateBase(t)
+		for ph := 0; ph < phases; ph++ {
+			cur, prev := ph%2, (ph+1)%2
+			for w := 0; w < rowWords; w++ {
+				if ph > 0 && w%2 == 0 {
+					// Motion estimation against the neighbor's row from
+					// the previous phase (the other buffer).
+					b.emit(t, rd(r, rowAddr(left, prev, w)))
+				} else {
+					b.emit(t, rd(r, elem(priv, w%1024)))
+				}
+				b.emit(t, wr(r, rowAddr(t, cur, w)))
+				if w%8 == 0 {
+					b.emit(t, trace.Compute(uint32(2+r.Intn(4))))
+				}
+			}
+			b.emit(t, trace.Barrier(uint32(ph)))
+		}
+	}
+}
+
+// buildRaytrace: read-only scene traversal with a contended work-queue
+// counter taken every few rays.
+func buildRaytrace(p Params, b *builder) {
+	rays := p.scaled(1500)
+	scene := SharedBase(11)
+	const queueLock = 4
+	queue := SharedBase(12)
+	for t := 0; t < p.Threads; t++ {
+		r := b.threadRNG(t)
+		priv := PrivateBase(t)
+		for i := 0; i < rays; i++ {
+			if i%8 == 0 {
+				b.emit(t, trace.Acquire(queueLock))
+				b.emit(t, rd(r, elem(queue, 0)))
+				b.emit(t, wr(r, elem(queue, 0)))
+				b.emit(t, trace.Release(queueLock))
+			}
+			// BVH traversal: the tree's top levels are hot (every ray
+			// walks them), the leaves are cold — 80/20 split over a
+			// small hot region and the full scene.
+			for d := 0; d < 4; d++ {
+				var idx int
+				if r.Intn(5) < 4 {
+					idx = r.Intn(4096) // top-of-tree: 512 lines
+				} else {
+					idx = r.Intn(65536)
+				}
+				b.emit(t, rd(r, elem(scene, idx)))
+			}
+			b.emit(t, wr(r, elem(priv, i%4096))) // framebuffer pixel
+			b.emit(t, trace.Compute(uint32(3+r.Intn(5))))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Racy workloads.
+
+// buildRacyCounter: phase-structured like bodytrack, but the per-phase
+// statistics counters are updated without the lock. Every thread hammers
+// the same two counter words inside long regions, so concurrent regions
+// overlap on the counter line under any realistic schedule.
+func buildRacyCounter(p Params, b *builder) {
+	phases := p.scaled(6)
+	work := p.scaled(350)
+	counters := SharedBase(13)
+	for t := 0; t < p.Threads; t++ {
+		r := b.threadRNG(t)
+		priv := PrivateBase(t)
+		for ph := 0; ph < phases; ph++ {
+			for i := 0; i < work; i++ {
+				b.emit(t, rd(r, elem(priv, r.Intn(1024))))
+				b.emit(t, wr(r, elem(priv, r.Intn(1024))))
+				if i%16 == 0 {
+					// The racy update: no lock around it.
+					b.emit(t, trace.Read(elem(counters, 0), 8))
+					b.emit(t, trace.Write(elem(counters, 0), 8))
+				}
+				b.emit(t, trace.Compute(uint32(2+r.Intn(4))))
+			}
+			b.emit(t, trace.Barrier(uint32(ph)))
+		}
+	}
+}
+
+// buildRacySharing: all threads read and write a small unprotected shared
+// array; conflicts on many distinct lines and byte extents.
+func buildRacySharing(p Params, b *builder) {
+	iters := p.scaled(900)
+	arr := SharedBase(14)
+	const words = 512 // 4 KB hot array
+	for t := 0; t < p.Threads; t++ {
+		r := b.threadRNG(t)
+		priv := PrivateBase(t)
+		for i := 0; i < iters; i++ {
+			b.emit(t, rd(r, elem(arr, r.Intn(words))))
+			if r.Intn(3) == 0 {
+				b.emit(t, wr(r, elem(arr, r.Intn(words))))
+			}
+			b.emit(t, wr(r, elem(priv, r.Intn(1024))))
+			b.emit(t, trace.Compute(uint32(1+r.Intn(3))))
+		}
+	}
+}
+
+// buildRacySingle: a single scripted unprotected pair. Thread 0 writes the
+// flag early in one very long region; every other thread reads it midway
+// through an equally long region. With regions this long, the regions
+// necessarily overlap, so the conflict is detected deterministically.
+func buildRacySingle(p Params, b *builder) {
+	work := p.scaled(2200)
+	flag := SharedBase(15)
+	for t := 0; t < p.Threads; t++ {
+		r := b.threadRNG(t)
+		priv := PrivateBase(t)
+		for i := 0; i < work; i++ {
+			if t == 0 && i == 8 {
+				b.emit(t, trace.Write(flag, 8))
+			}
+			if t != 0 && i == work/2 {
+				b.emit(t, trace.Read(flag, 8))
+			}
+			b.emit(t, rd(r, elem(priv, r.Intn(2048))))
+			b.emit(t, wr(r, elem(priv, r.Intn(2048))))
+			b.emit(t, trace.Compute(uint32(2+r.Intn(4))))
+		}
+	}
+}

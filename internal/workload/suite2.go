@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"arcsim/internal/core"
+	"arcsim/internal/trace"
+)
+
+// The second half of the suite: SPLASH-2-style kernels. Registered in
+// workload.go's catalog via init to keep the two files independent.
+
+func init() {
+	catalog = append(catalog,
+		Spec{
+			Name:  "barnes",
+			Desc:  "Barnes-Hut: rebuild-then-traverse tree phases, hot read-shared top levels",
+			build: buildBarnes,
+		},
+		Spec{
+			Name:  "radix",
+			Desc:  "radix sort: scattered permutation writes, byte-disjoint but line-shared",
+			build: buildRadix,
+		},
+		Spec{
+			Name:  "lu",
+			Desc:  "blocked LU: pipelined block dependencies across barrier phases",
+			build: buildLU,
+		},
+		Spec{
+			Name:  "water",
+			Desc:  "molecular dynamics: neighbor positions read-after-write across phases",
+			build: buildWater,
+		},
+	)
+	// Keep the racy variants at the end of the catalog (tests and docs
+	// rely on DRF-then-racy ordering).
+	n := len(catalog)
+	reordered := make([]Spec, 0, n)
+	var racy []Spec
+	for _, s := range catalog {
+		if s.Racy {
+			racy = append(racy, s)
+		} else {
+			reordered = append(reordered, s)
+		}
+	}
+	catalog = append(reordered, racy...)
+}
+
+// buildBarnes: each phase rebuilds the tree (threads write disjoint node
+// partitions) and then traverses it (reads concentrated on the hot top
+// levels). Build and traversal are barrier-separated, so the heavy
+// read-after-write sharing is DRF.
+func buildBarnes(p Params, b *builder) {
+	phases := p.scaled(8)
+	if phases < 2 {
+		phases = 2
+	}
+	const nodesPerThread = 96
+	bodies := p.scaled(200)
+	tree := SharedBase(16)
+	for t := 0; t < p.Threads; t++ {
+		r := b.threadRNG(t)
+		priv := PrivateBase(t)
+		for ph := 0; ph < phases; ph++ {
+			// Build: write my partition of the tree.
+			for n := 0; n < nodesPerThread; n++ {
+				b.emit(t, wr(r, elem(tree, t*nodesPerThread+n)))
+				if n%8 == 0 {
+					b.emit(t, trace.Compute(uint32(1+r.Intn(3))))
+				}
+			}
+			b.emit(t, trace.Barrier(uint32(ph*2)))
+			// Traverse: force computation per body; reads hit the hot
+			// top of the tree most of the time.
+			totalNodes := nodesPerThread * p.Threads
+			for i := 0; i < bodies; i++ {
+				for d := 0; d < 3; d++ {
+					var idx int
+					if r.Intn(4) < 3 {
+						idx = r.Intn(totalNodes / 8) // hot top levels
+					} else {
+						idx = r.Intn(totalNodes)
+					}
+					b.emit(t, rd(r, elem(tree, idx)))
+				}
+				b.emit(t, wr(r, elem(priv, i%1024)))
+				b.emit(t, trace.Compute(uint32(3+r.Intn(5))))
+			}
+			b.emit(t, trace.Barrier(uint32(ph*2+1)))
+		}
+	}
+}
+
+// buildRadix: the permutation phase of a radix sort. Every thread writes
+// its keys to scattered destinations; destinations are disjoint 8-byte
+// elements by construction, but threads constantly write *different
+// elements of the same lines* — byte-disjoint (DRF) line sharing that
+// ping-pongs eager write-invalidation protocols.
+func buildRadix(p Params, b *builder) {
+	phases := p.scaled(6)
+	if phases < 1 {
+		phases = 1
+	}
+	keysPerPhase := p.scaled(300)
+	dst := SharedBase(17)
+	for t := 0; t < p.Threads; t++ {
+		r := b.threadRNG(t)
+		priv := PrivateBase(t)
+		for ph := 0; ph < phases; ph++ {
+			// Local histogram on private data.
+			for i := 0; i < keysPerPhase/4; i++ {
+				b.emit(t, rd(r, elem(priv, r.Intn(512))))
+				b.emit(t, wr(r, elem(priv, 512+r.Intn(64))))
+			}
+			b.emit(t, trace.Barrier(uint32(ph*2)))
+			// Permutation: thread t owns destination elements with
+			// index ≡ t (mod threads) — disjoint elements, shared lines.
+			for i := 0; i < keysPerPhase; i++ {
+				idx := (r.Intn(512))*p.Threads + t
+				b.emit(t, trace.Write(elem(dst, idx), 8))
+				if i%16 == 0 {
+					b.emit(t, trace.Compute(uint32(1+r.Intn(2))))
+				}
+			}
+			b.emit(t, trace.Barrier(uint32(ph*2+1)))
+		}
+	}
+}
+
+// buildLU: blocked LU decomposition. In phase k the pivot owner updates
+// the diagonal block; after a barrier every thread reads the diagonal
+// and pivot row/column blocks (written by their owners last sub-phase)
+// and updates its own interior blocks. Classic pipelined
+// producer-consumer across barriers.
+func buildLU(p Params, b *builder) {
+	steps := p.scaled(16)
+	if steps < 2 {
+		steps = 2
+	}
+	const blockWords = 128 // 1 KB block = 16 lines
+	blocks := SharedBase(18)
+	blockAddr := func(owner, idx, word int) core.Addr {
+		return blocks + core.Addr(owner)<<22 + core.Addr(idx)<<12 + core.Addr(word)*8
+	}
+	for t := 0; t < p.Threads; t++ {
+		r := b.threadRNG(t)
+		priv := PrivateBase(t)
+		for k := 0; k < steps; k++ {
+			pivot := k % p.Threads
+			// Sub-phase 1: the pivot owner factors the diagonal block;
+			// everyone else does private work.
+			if t == pivot {
+				for w := 0; w < blockWords; w++ {
+					b.emit(t, rd(r, blockAddr(pivot, k, w)))
+					b.emit(t, wr(r, blockAddr(pivot, k, w)))
+				}
+			} else {
+				for w := 0; w < blockWords/2; w++ {
+					b.emit(t, rd(r, elem(priv, r.Intn(1024))))
+					b.emit(t, trace.Compute(uint32(1+r.Intn(2))))
+				}
+			}
+			b.emit(t, trace.Barrier(uint32(k*2)))
+			// Sub-phase 2: everyone reads the diagonal block and
+			// updates its own blocks.
+			for w := 0; w < blockWords; w += 2 {
+				b.emit(t, rd(r, blockAddr(pivot, k, w)))
+				b.emit(t, wr(r, blockAddr(t, k+1, w)))
+				if w%16 == 0 {
+					b.emit(t, trace.Compute(uint32(2+r.Intn(3))))
+				}
+			}
+			b.emit(t, trace.Barrier(uint32(k*2+1)))
+		}
+	}
+}
+
+// buildWater: molecular dynamics with barrier-separated position/force
+// phases: threads write their own molecules' positions, then read
+// neighbor molecules' positions (owned by adjacent threads) in the force
+// phase, with a lock-protected global virial accumulator.
+func buildWater(p Params, b *builder) {
+	phases := p.scaled(12)
+	if phases < 2 {
+		phases = 2
+	}
+	const molsPerThread = 128
+	positions := SharedBase(19)
+	const virialLock = 5
+	virial := SharedBase(21)
+	for t := 0; t < p.Threads; t++ {
+		r := b.threadRNG(t)
+		priv := PrivateBase(t)
+		left := (t + p.Threads - 1) % p.Threads
+		right := (t + 1) % p.Threads
+		for ph := 0; ph < phases; ph++ {
+			// Update my molecules' positions.
+			for m := 0; m < molsPerThread; m++ {
+				b.emit(t, wr(r, elem(positions, t*molsPerThread+m)))
+				if m%16 == 0 {
+					b.emit(t, trace.Compute(uint32(2+r.Intn(3))))
+				}
+			}
+			b.emit(t, trace.Barrier(uint32(ph*2)))
+			// Force phase: read neighbors' positions from last phase.
+			for i := 0; i < molsPerThread; i++ {
+				nb := left
+				if r.Intn(2) == 0 {
+					nb = right
+				}
+				b.emit(t, rd(r, elem(positions, nb*molsPerThread+r.Intn(molsPerThread))))
+				b.emit(t, rd(r, elem(priv, r.Intn(512))))
+				b.emit(t, wr(r, elem(priv, r.Intn(512))))
+				b.emit(t, trace.Compute(uint32(3+r.Intn(4))))
+			}
+			// Fold the virial into the global accumulator.
+			b.emit(t, trace.Acquire(virialLock))
+			b.emit(t, rd(r, elem(virial, 0)))
+			b.emit(t, wr(r, elem(virial, 0)))
+			b.emit(t, trace.Release(virialLock))
+			b.emit(t, trace.Barrier(uint32(ph*2+1)))
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package arcsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"arcsim/internal/sim"
+)
+
+// Conflict describes one detected region conflict.
+type Conflict struct {
+	// LineAddr is the base address of the conflicting cache line.
+	LineAddr uint64
+	// FirstCore/FirstRegion identify the region whose access was
+	// recorded first; SecondCore/SecondRegion the one that completed
+	// the conflict.
+	FirstCore    int
+	FirstRegion  uint64
+	SecondCore   int
+	SecondRegion uint64
+	// FirstWrote reports whether the earlier region wrote the clashing
+	// bytes; SecondWrote whether the completing access was a write.
+	FirstWrote  bool
+	SecondWrote bool
+	// Bytes is the number of clashing bytes.
+	Bytes int
+	// DetectedBy is the core at which detection happened; Cycle the
+	// simulated time.
+	DetectedBy int
+	Cycle      uint64
+}
+
+func (c Conflict) String() string {
+	k := func(w bool) string {
+		if w {
+			return "W"
+		}
+		return "R"
+	}
+	return fmt.Sprintf("line %#x: core %d region %d (%s) vs core %d region %d (%s), %d bytes, cycle %d",
+		c.LineAddr, c.FirstCore, c.FirstRegion, k(c.FirstWrote),
+		c.SecondCore, c.SecondRegion, k(c.SecondWrote), c.Bytes, c.Cycle)
+}
+
+// Report is the result of one simulation run.
+type Report struct {
+	Protocol string
+	Workload string
+	Cores    int
+
+	// Cycles is the simulated completion time; Events and MemAccesses
+	// count executed trace events and loads+stores.
+	Cycles      uint64
+	Events      uint64
+	MemAccesses uint64
+
+	// Cache behaviour.
+	L1Hits    uint64
+	L1Misses  uint64
+	LLCHits   uint64
+	LLCMisses uint64
+	AIMHits   uint64
+	AIMMisses uint64
+
+	// On-chip interconnect traffic. FlitHops is the paper's on-chip
+	// traffic metric; PeakNoCUtilization approaching 1.0 means the
+	// mesh saturated.
+	NoCMessages        uint64
+	NoCFlitHops        uint64
+	NoCBytes           uint64
+	PeakNoCUtilization float64
+
+	// Off-chip memory traffic. MetadataBytes is the subset moved for
+	// conflict metadata rather than program data.
+	OffChipBytes        uint64
+	MetadataBytes       uint64
+	PeakDRAMUtilization float64
+
+	// Energy in picojoules, total and by component ("L1", "LLC",
+	// "AIM", "NoC", "DRAM", "Static").
+	TotalEnergyPJ float64
+	EnergyPJ      map[string]float64
+
+	// Access-latency distribution (cycles). The tail is where detection
+	// designs reveal their stalls.
+	MeanAccessLatency float64
+	P50AccessLatency  uint64
+	P95AccessLatency  uint64
+	P99AccessLatency  uint64
+
+	// Detection results.
+	Conflicts []Conflict
+	// Halted reports a FailStop stop.
+	Halted bool
+
+	LockWaits    uint64
+	BarrierWaits uint64
+
+	// Counters exposes protocol-specific event counts (registrations,
+	// spills, invalidations, ...).
+	Counters map[string]uint64
+}
+
+func newReport(r *sim.Result) *Report {
+	rep := &Report{
+		Protocol:            r.Protocol,
+		Workload:            r.Workload,
+		Cores:               r.Cores,
+		Cycles:              r.Cycles,
+		Events:              r.Events,
+		MemAccesses:         r.MemAccesses,
+		L1Hits:              r.L1.Hits,
+		L1Misses:            r.L1.Misses,
+		LLCHits:             r.LLC.Hits,
+		LLCMisses:           r.LLC.Misses,
+		AIMHits:             r.AIM.Hits,
+		AIMMisses:           r.AIM.Misses,
+		NoCMessages:         r.NoC.Messages,
+		NoCFlitHops:         r.NoC.FlitHops,
+		NoCBytes:            r.NoC.Bytes,
+		PeakNoCUtilization:  r.NoCPeakUtil,
+		OffChipBytes:        r.DRAM.Bytes(),
+		MetadataBytes:       r.DRAM.MetadataBytes,
+		PeakDRAMUtilization: r.DRAMPeakUtil,
+		TotalEnergyPJ:       r.TotalEnergyPJ,
+		MeanAccessLatency:   r.AccessLatency.Mean(),
+		P50AccessLatency:    r.AccessLatency.Quantile(0.50),
+		P95AccessLatency:    r.AccessLatency.Quantile(0.95),
+		P99AccessLatency:    r.AccessLatency.Quantile(0.99),
+		EnergyPJ:            make(map[string]float64, len(r.EnergyPJ)),
+		Halted:              r.Halted,
+		LockWaits:           r.LockWaits,
+		BarrierWaits:        r.BarrierWaits,
+		Counters:            r.Counters,
+	}
+	for comp, pj := range r.EnergyPJ {
+		rep.EnergyPJ[comp.String()] = pj
+	}
+	for _, e := range r.Exceptions {
+		c := e.Conflict
+		rep.Conflicts = append(rep.Conflicts, Conflict{
+			LineAddr:     uint64(c.Line.Base()),
+			FirstCore:    int(c.First.Core),
+			FirstRegion:  c.First.Seq,
+			SecondCore:   int(c.Second.Core),
+			SecondRegion: c.Second.Seq,
+			FirstWrote:   c.FirstWrote,
+			SecondWrote:  c.SecondKind.String() == "W",
+			Bytes:        c.Bytes.Count(),
+			DetectedBy:   int(e.DetectedBy),
+			Cycle:        e.Cycle,
+		})
+	}
+	return rep
+}
+
+// IPC returns executed events per cycle — a coarse throughput measure.
+func (r *Report) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Events) / float64(r.Cycles)
+}
+
+// L1HitRate returns the L1 hit fraction.
+func (r *Report) L1HitRate() float64 {
+	total := r.L1Hits + r.L1Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.L1Hits) / float64(total)
+}
+
+// String renders a multi-line human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s (%d cores)\n", r.Protocol, r.Workload, r.Cores)
+	fmt.Fprintf(&b, "  cycles        %d (IPC %.2f)\n", r.Cycles, r.IPC())
+	fmt.Fprintf(&b, "  accesses      %d (L1 hit rate %.1f%%)\n", r.MemAccesses, 100*r.L1HitRate())
+	fmt.Fprintf(&b, "  access lat    mean %.1f, p50<=%d, p95<=%d, p99<=%d cycles\n",
+		r.MeanAccessLatency, r.P50AccessLatency, r.P95AccessLatency, r.P99AccessLatency)
+	fmt.Fprintf(&b, "  on-chip       %d msgs, %d flit-hops, peak util %.2f\n",
+		r.NoCMessages, r.NoCFlitHops, r.PeakNoCUtilization)
+	fmt.Fprintf(&b, "  off-chip      %d bytes (%d metadata), peak util %.2f\n",
+		r.OffChipBytes, r.MetadataBytes, r.PeakDRAMUtilization)
+	fmt.Fprintf(&b, "  energy        %.1f uJ (", r.TotalEnergyPJ/1e6)
+	comps := make([]string, 0, len(r.EnergyPJ))
+	for c := range r.EnergyPJ {
+		comps = append(comps, c)
+	}
+	sort.Strings(comps)
+	for i, c := range comps {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %.1f", c, r.EnergyPJ[c]/1e6)
+	}
+	b.WriteString(")\n")
+	fmt.Fprintf(&b, "  conflicts     %d", len(r.Conflicts))
+	if r.Halted {
+		b.WriteString(" (halted by fail-stop exception)")
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package arcsim
+
+import (
+	"fmt"
+	"io"
+
+	"arcsim/internal/core"
+	"arcsim/internal/trace"
+)
+
+// Trace is an opaque multithreaded workload trace, produced by
+// TraceBuilder or loaded with ReadTrace.
+type Trace struct {
+	inner *trace.Trace
+}
+
+// Name returns the trace's name.
+func (t *Trace) Name() string { return t.inner.Name }
+
+// Threads returns the trace's thread count.
+func (t *Trace) Threads() int { return t.inner.NumThreads() }
+
+// Events returns the total event count.
+func (t *Trace) Events() int { return t.inner.Events() }
+
+// Encode serializes the trace in the binary ARCT format.
+func (t *Trace) Encode(w io.Writer) error { return trace.WriteTo(w, t.inner) }
+
+// ReadTrace loads a trace written with Trace.Encode.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	inner, err := trace.ReadFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := inner.Validate(); err != nil {
+		return nil, err
+	}
+	return &Trace{inner: inner}, nil
+}
+
+// TraceBuilder constructs custom workload traces through the public API.
+// Thread indices are 0-based and map 1:1 to simulated cores. Memory
+// accesses must not cross 64-byte cache-line boundaries; every thread
+// must release all locks it acquires, and all threads must join the same
+// sequence of barriers.
+type TraceBuilder struct {
+	t   *trace.Trace
+	err error
+}
+
+// NewTraceBuilder starts a trace with the given name and thread count.
+func NewTraceBuilder(name string, threads int) *TraceBuilder {
+	b := &TraceBuilder{t: &trace.Trace{Name: name, Threads: make([][]trace.Event, threads)}}
+	if threads <= 0 {
+		b.err = fmt.Errorf("arcsim: trace needs at least one thread")
+	}
+	return b
+}
+
+func (b *TraceBuilder) emit(thread int, ev trace.Event) *TraceBuilder {
+	if b.err != nil {
+		return b
+	}
+	if thread < 0 || thread >= len(b.t.Threads) {
+		b.err = fmt.Errorf("arcsim: thread %d out of range (have %d)", thread, len(b.t.Threads))
+		return b
+	}
+	b.t.Threads[thread] = append(b.t.Threads[thread], ev)
+	return b
+}
+
+// Read appends a load of size bytes at addr on the given thread.
+func (b *TraceBuilder) Read(thread int, addr uint64, size int) *TraceBuilder {
+	return b.emit(thread, trace.Read(core.Addr(addr), uint8(size)))
+}
+
+// Write appends a store of size bytes at addr.
+func (b *TraceBuilder) Write(thread int, addr uint64, size int) *TraceBuilder {
+	return b.emit(thread, trace.Write(core.Addr(addr), uint8(size)))
+}
+
+// Acquire appends a lock acquisition (a region boundary).
+func (b *TraceBuilder) Acquire(thread int, lock uint32) *TraceBuilder {
+	return b.emit(thread, trace.Acquire(lock))
+}
+
+// Release appends a lock release (a region boundary).
+func (b *TraceBuilder) Release(thread int, lock uint32) *TraceBuilder {
+	return b.emit(thread, trace.Release(lock))
+}
+
+// Barrier appends a barrier join (a region boundary). All threads must
+// join barriers in the same order.
+func (b *TraceBuilder) Barrier(thread int, id uint32) *TraceBuilder {
+	return b.emit(thread, trace.Barrier(id))
+}
+
+// Compute appends cycles of non-memory work.
+func (b *TraceBuilder) Compute(thread int, cycles uint32) *TraceBuilder {
+	return b.emit(thread, trace.Compute(cycles))
+}
+
+// Build finalizes and validates the trace. Threads without an explicit
+// end get one appended.
+func (b *TraceBuilder) Build() (*Trace, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for i := range b.t.Threads {
+		n := len(b.t.Threads[i])
+		if n == 0 || b.t.Threads[i][n-1].Op != trace.OpEnd {
+			b.t.Threads[i] = append(b.t.Threads[i], trace.End())
+		}
+	}
+	if err := b.t.Validate(); err != nil {
+		return nil, err
+	}
+	return &Trace{inner: b.t}, nil
+}
