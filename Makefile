@@ -1,0 +1,27 @@
+# Tier-1 verification in one command: `make ci`.
+GO ?= go
+
+.PHONY: build test vet race fmt-check bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-enabled pass over the concurrent subset: the parallel experiment
+# harness (worker pool + singleflight memo) and the engine it drives.
+race:
+	$(GO) test -race -short ./internal/bench/ ./internal/sim/
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+ci: build vet fmt-check test race

@@ -5,6 +5,7 @@
 package arcsim_test
 
 import (
+	"runtime"
 	"testing"
 
 	"arcsim"
@@ -53,6 +54,27 @@ func BenchmarkA1Ablations(b *testing.B)      { runExperiment(b, "A1") }
 func BenchmarkA2MOESI(b *testing.B)          { runExperiment(b, "A2") }
 func BenchmarkA3Granularity(b *testing.B)    { runExperiment(b, "A3") }
 func BenchmarkR1SeedRobustness(b *testing.B) { runExperiment(b, "R1") }
+
+// runHarness regenerates the entire evaluation with the given worker
+// count; comparing Serial vs Parallel shows the prefetch pool's speedup
+// (bounded by GOMAXPROCS and the critical-path run).
+func runHarness(b *testing.B, jobs int) {
+	cfg := benchCfg()
+	cfg.Jobs = jobs
+	for i := 0; i < b.N; i++ {
+		r := bench.NewRunner(cfg)
+		_, outs, err := bench.RunAll(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(outs) == 0 {
+			b.Fatal("no artifacts")
+		}
+	}
+}
+
+func BenchmarkHarnessSerial(b *testing.B)   { runHarness(b, 1) }
+func BenchmarkHarnessParallel(b *testing.B) { runHarness(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkSimulatorThroughput measures end-to-end simulated events per
 // second for each design on a representative workload.

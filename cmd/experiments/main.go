@@ -1,11 +1,16 @@
 // Command experiments regenerates the paper's tables and figures (see the
 // experiment index in DESIGN.md) and can rewrite EXPERIMENTS.md.
 //
+// Simulations from all selected experiments are planned up front and
+// prefetched by a worker pool (-j), then rendered in order from the
+// memo — artifacts are byte-identical at every -j.
+//
 // Examples:
 //
 //	experiments                     # run everything at the quick scale
 //	experiments -run F1,F3          # selected experiments
 //	experiments -scale 1 -cores 32  # full evaluation scale
+//	experiments -j 1                # serial (debugging / timing baseline)
 //	experiments -md EXPERIMENTS.md  # also write the markdown record
 package main
 
@@ -13,11 +18,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"arcsim/internal/bench"
+	"arcsim/internal/stats"
 )
 
 func main() {
@@ -27,13 +35,14 @@ func main() {
 		cores   = flag.Int("cores", 32, "core count for per-workload figures")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		sweep   = flag.String("sweep", "8,16,32,64", "core counts for scalability experiments")
+		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 		mdPath  = flag.String("md", "", "write the markdown record (EXPERIMENTS.md) to this path")
 		outDir  = flag.String("out", "", "also write each experiment's artifact to <dir>/<ID>.txt")
 		verbose = flag.Bool("v", false, "print one line per simulation run")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{Scale: *scale, Seed: *seed, Cores: *cores}
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Cores: *cores, Jobs: *jobs}
 	for _, s := range strings.Split(*sweep, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil {
@@ -47,7 +56,7 @@ func main() {
 	runner := bench.NewRunner(cfg)
 
 	var selected []bench.Experiment
-	if *run == "all" {
+	if strings.EqualFold(*run, "all") {
 		selected = bench.All()
 	} else {
 		for _, id := range strings.Split(*run, ",") {
@@ -58,8 +67,15 @@ func main() {
 			selected = append(selected, e)
 		}
 	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
 
 	start := time.Now()
+	runner.Prefetch(bench.PlanAll(cfg, selected))
+
 	var outs []*bench.Output
 	fails := 0
 	for _, e := range selected {
@@ -70,10 +86,7 @@ func main() {
 		outs = append(outs, out)
 		fmt.Println(out.Render())
 		if *outDir != "" {
-			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fatal(err)
-			}
-			path := fmt.Sprintf("%s/%s.txt", *outDir, e.ID)
+			path := filepath.Join(*outDir, e.ID+".txt")
 			if err := os.WriteFile(path, []byte(out.Render()), 0o644); err != nil {
 				fatal(err)
 			}
@@ -84,8 +97,10 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("regenerated %d experiments in %v; %d shape-check failure(s)\n",
-		len(outs), time.Since(start).Round(time.Millisecond), fails)
+	wall := time.Since(start)
+	fmt.Printf("regenerated %d experiments in %v; %d shape-check failure(s)\n\n",
+		len(outs), wall.Round(time.Millisecond), fails)
+	fmt.Println(timingSummary(runner, wall))
 
 	if *mdPath != "" {
 		md := bench.Markdown(cfg, outs)
@@ -97,6 +112,24 @@ func main() {
 	if fails > 0 {
 		os.Exit(2)
 	}
+}
+
+// timingSummary reports serial cost vs. wall-clock: SimTime is what the
+// run would have cost one worker, LongestRun is the floor no worker
+// count can beat, and speedup is how much the pool recovered.
+func timingSummary(r *bench.Runner, wall time.Duration) string {
+	tm := r.Timing()
+	t := stats.NewTable("Timing summary", "metric", "value")
+	t.AddRow("workers (-j)", fmt.Sprintf("%d", r.Cfg().Jobs))
+	t.AddRow("simulations executed", fmt.Sprintf("%d", tm.Runs))
+	t.AddRow("total simulation time", tm.SimTime.Round(time.Millisecond).String())
+	t.AddRow("critical path (longest run)", fmt.Sprintf("%v (%s)",
+		tm.LongestRun.Round(time.Millisecond), tm.LongestKey))
+	t.AddRow("wall-clock", wall.Round(time.Millisecond).String())
+	if wall > 0 {
+		t.AddRow("speedup (sim time / wall)", fmt.Sprintf("%.2fx", float64(tm.SimTime)/float64(wall)))
+	}
+	return t.Render()
 }
 
 func fatal(err error) {

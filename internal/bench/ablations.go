@@ -8,12 +8,20 @@ import (
 	"arcsim/internal/stats"
 )
 
+// a2Variants are the substrate comparison points; MESI (the Normalized
+// denominator) rides along in the plan.
+var a2Variants = []string{protocols.MOESI, protocols.CEPlus, protocols.CEPlusMOESI}
+
+func planA2(cfg Config) []RunSpec {
+	return crossSpecs(suiteNames(), append([]string{protocols.MESI}, a2Variants...), cfg.Cores)
+}
+
 // runA2 compares the eager designs over both coherence substrates the
 // paper names ("M(O)ESI-based coherence"): MESI and MOESI. The Owned
 // state removes the LLC writeback on every M->S downgrade, which matters
 // for migratory read-after-write sharing.
 func runA2(r *Runner) (*Output, error) {
-	variants := []string{protocols.MOESI, protocols.CEPlus, protocols.CEPlusMOESI}
+	variants := a2Variants
 	figRun := stats.NewFigure(
 		fmt.Sprintf("Ablation A2a: runtime normalized to MESI (%d cores)", r.cfg.Cores),
 		"lower is better")
@@ -79,21 +87,39 @@ func runA2(r *Runner) (*Output, error) {
 	return out, nil
 }
 
+// a3Cell pairs a design with its metadata granularity; word designs
+// legitimately diverge from the byte oracle, so only byte designs are
+// oracle-checked.
+type a3Cell struct {
+	design string
+	word   bool
+}
+
+var a3Cells = []a3Cell{
+	{protocols.CEPlus, false},
+	{protocols.CEPlusWord, true},
+	{protocols.ARC, false},
+	{protocols.ARCWord, true},
+}
+
+var a3Workloads = []string{"falseshare", "racy-single", "racy-sharing"}
+
+func planA3(cfg Config) []RunSpec {
+	var specs []RunSpec
+	for _, wl := range a3Workloads {
+		for _, d := range a3Cells {
+			specs = append(specs, RunSpec{Workload: wl, Proto: d.design, Cores: cfg.Cores, Oracle: !d.word})
+		}
+	}
+	return specs
+}
+
 // runA3 studies metadata granularity: byte-precise tracking (the paper's
 // designs) versus cheaper word-granularity tracking, which raises false
 // conflicts under byte-level false sharing.
 func runA3(r *Runner) (*Output, error) {
-	type cell struct {
-		design string
-		word   bool
-	}
-	designs := []cell{
-		{protocols.CEPlus, false},
-		{protocols.CEPlusWord, true},
-		{protocols.ARC, false},
-		{protocols.ARCWord, true},
-	}
-	workloads := []string{"falseshare", "racy-single", "racy-sharing"}
+	designs := a3Cells
+	workloads := a3Workloads
 	t := stats.NewTable(
 		fmt.Sprintf("Ablation A3: conflicts detected, byte vs word metadata granularity (%d cores)", r.cfg.Cores),
 		"workload", "ce+ (byte)", "ce+ (word)", "arc (byte)", "arc (word)")

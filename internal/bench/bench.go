@@ -9,7 +9,10 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"sync"
+	"time"
 
 	"arcsim/internal/machine"
 	"arcsim/internal/protocols"
@@ -30,6 +33,11 @@ type Config struct {
 	Cores int
 	// CoreSweep is the scalability axis (F2, F7).
 	CoreSweep []int
+	// Jobs bounds the number of concurrently executing simulations
+	// (the Prefetch worker pool and internally parallel experiments
+	// such as R1). 0 selects GOMAXPROCS; 1 recovers the serial
+	// harness. Artifacts are byte-identical at every value.
+	Jobs int
 	// Progress, when non-nil, receives one line per simulation run.
 	Progress io.Writer
 }
@@ -47,6 +55,9 @@ func (c Config) normalized() Config {
 	if len(c.CoreSweep) == 0 {
 		c.CoreSweep = []int{8, 16, 32, 64}
 	}
+	if c.Jobs <= 0 {
+		c.Jobs = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -55,23 +66,103 @@ type runKey struct {
 	proto    string
 	cores    int
 	aim      int
+	// oracle distinguishes golden-checked runs: CheckedResult must
+	// never be satisfied by a memoized unchecked run (or vice versa —
+	// performance runs should not pay the oracle's mirroring cost).
+	oracle bool
+}
+
+func (k runKey) String() string {
+	s := fmt.Sprintf("%s/%s/%d", k.workload, k.proto, k.cores)
+	if k.aim > 0 {
+		s += fmt.Sprintf("/aim%d", k.aim)
+	}
+	if k.oracle {
+		s += "/oracle"
+	}
+	return s
+}
+
+// RunSpec declares one simulation an experiment will request, so the
+// harness can prefetch it through the worker pool before the in-order
+// render pass consumes the memoized result.
+type RunSpec struct {
+	Workload   string
+	Proto      string
+	Cores      int
+	AIMEntries int
+	Oracle     bool
+}
+
+func (s RunSpec) key() runKey {
+	return runKey{s.Workload, s.Proto, s.Cores, s.AIMEntries, s.Oracle}
+}
+
+// memoEntry is the singleflight slot for one runKey: the first caller
+// installs the entry and executes the simulation; concurrent callers for
+// the same key block on done instead of duplicating the run.
+type memoEntry struct {
+	done chan struct{} // closed once res/err are final
+	res  *sim.Result
+	err  error
+}
+
+// Timing summarizes the simulations a Runner actually executed
+// (memo and singleflight hits excluded).
+type Timing struct {
+	Runs       int           // simulations executed
+	SimTime    time.Duration // summed per-run wall-clock (serial cost)
+	LongestRun time.Duration // slowest single run (parallel critical-path floor)
+	LongestKey string        // workload/proto/cores of the slowest run
 }
 
 // Runner executes and memoizes simulation runs; experiments that share
 // configurations (F1/F3/F4/F5 all reuse the 32-core suite runs) pay for
-// them once.
+// them once. It is safe for concurrent use: a per-key singleflight
+// (mutex + in-flight map) guarantees each (workload, proto, cores, aim,
+// oracle) configuration runs at most once no matter how many experiments
+// race to request it.
 type Runner struct {
-	cfg  Config
-	memo map[runKey]*sim.Result
+	cfg Config
+
+	mu   sync.Mutex
+	memo map[runKey]*memoEntry
+
+	// progressMu keeps concurrent runs from interleaving Progress lines.
+	progressMu sync.Mutex
+
+	statMu sync.Mutex
+	timing Timing
 }
 
 // NewRunner builds a runner.
 func NewRunner(cfg Config) *Runner {
-	return &Runner{cfg: cfg.normalized(), memo: make(map[runKey]*sim.Result)}
+	return &Runner{cfg: cfg.normalized(), memo: make(map[runKey]*memoEntry)}
 }
 
 // Cfg returns the normalized configuration.
 func (r *Runner) Cfg() Config { return r.cfg }
+
+// Timing returns a snapshot of the executed-run accounting.
+func (r *Runner) Timing() Timing {
+	r.statMu.Lock()
+	defer r.statMu.Unlock()
+	return r.timing
+}
+
+// record adds one executed simulation to the timing accounting (also
+// used by experiments that run simulations outside the memo, e.g. R1's
+// foreign-seed runs).
+func (r *Runner) record(label string, elapsed time.Duration) {
+	r.statMu.Lock()
+	r.timing.Runs++
+	r.timing.SimTime += elapsed
+	if elapsed > r.timing.LongestRun {
+		r.timing.LongestRun = elapsed
+		r.timing.LongestKey = label
+	}
+	r.statMu.Unlock()
+}
 
 // Result runs (or returns the memoized result of) one simulation.
 // aimEntries 0 selects the design default; oracle-checking is off for
@@ -86,11 +177,61 @@ func (r *Runner) CheckedResult(wl, proto string, cores, aimEntries int) (*sim.Re
 	return r.result(wl, proto, cores, aimEntries, true)
 }
 
-func (r *Runner) result(wl, proto string, cores, aimEntries int, oracle bool) (*sim.Result, error) {
-	key := runKey{wl, proto, cores, aimEntries}
-	if res, ok := r.memo[key]; ok {
-		return res, nil
+// Prefetch executes specs through the memo with up to cfg.Jobs
+// concurrent simulations. Duplicate specs (across and within
+// experiments) collapse onto one run via the singleflight memo. Errors
+// are not reported here: a failed run memoizes its error, and the
+// deterministic render pass re-encounters it with full experiment
+// context, exactly as the serial harness would.
+func (r *Runner) Prefetch(specs []RunSpec) {
+	workers := r.cfg.Jobs
+	if workers > len(specs) {
+		workers = len(specs)
 	}
+	if workers <= 1 {
+		for _, s := range specs {
+			r.result(s.Workload, s.Proto, s.Cores, s.AIMEntries, s.Oracle) //nolint:errcheck
+		}
+		return
+	}
+	work := make(chan RunSpec)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				r.result(s.Workload, s.Proto, s.Cores, s.AIMEntries, s.Oracle) //nolint:errcheck
+			}
+		}()
+	}
+	for _, s := range specs {
+		work <- s
+	}
+	close(work)
+	wg.Wait()
+}
+
+func (r *Runner) result(wl, proto string, cores, aimEntries int, oracle bool) (*sim.Result, error) {
+	key := runKey{wl, proto, cores, aimEntries, oracle}
+	r.mu.Lock()
+	if e, ok := r.memo[key]; ok {
+		r.mu.Unlock()
+		<-e.done // completed or in flight: wait, never re-run
+		return e.res, e.err
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	r.memo[key] = e
+	r.mu.Unlock()
+
+	e.res, e.err = r.execute(key)
+	close(e.done)
+	return e.res, e.err
+}
+
+// execute performs one simulation (no memo interaction).
+func (r *Runner) execute(key runKey) (*sim.Result, error) {
+	wl, proto, cores := key.workload, key.proto, key.cores
 	params := workload.Params{Threads: cores, Seed: r.cfg.Seed, Scale: r.cfg.Scale}
 	var tr *trace.Trace
 	switch wl {
@@ -110,22 +251,26 @@ func (r *Runner) result(wl, proto string, cores, aimEntries int, oracle bool) (*
 	}
 
 	mcfg := machine.Default(cores)
-	if aimEntries > 0 {
-		mcfg.AIM.Entries = aimEntries
+	if key.aim > 0 {
+		mcfg.AIM.Entries = key.aim
 	}
 	m, p, err := protocols.Build(proto, mcfg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run(m, p, tr, sim.Options{CheckWithOracle: oracle})
+	start := time.Now()
+	res, err := sim.Run(m, p, tr, sim.Options{CheckWithOracle: key.oracle})
+	elapsed := time.Since(start)
 	if err != nil {
 		return nil, fmt.Errorf("bench: %s/%s/%d: %w", wl, proto, cores, err)
 	}
+	r.record(key.String(), elapsed)
 	if r.cfg.Progress != nil {
-		fmt.Fprintf(r.cfg.Progress, "  ran %-14s %-10s %2d cores: %12d cycles, %d conflicts\n",
-			wl, proto, cores, res.Cycles, res.Conflicts)
+		r.progressMu.Lock()
+		fmt.Fprintf(r.cfg.Progress, "  ran %-14s %-10s %2d cores: %12d cycles, %d conflicts (%v)\n",
+			wl, proto, cores, res.Cycles, res.Conflicts, elapsed.Round(time.Millisecond))
+		r.progressMu.Unlock()
 	}
-	r.memo[key] = res
 	return res, nil
 }
 
@@ -212,28 +357,48 @@ func (o *Output) Passed() bool {
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(*Runner) (*Output, error)
+	// Plan declares every simulation Run will request from the Runner,
+	// so the harness can prefetch the union of all selected
+	// experiments' runs through the worker pool before the in-order
+	// render pass. A nil Plan means the experiment requests no runs
+	// through the Runner (T1/T2 only characterize configurations; R1
+	// builds seeded machines directly and parallelizes internally).
+	Plan func(cfg Config) []RunSpec
+	Run  func(*Runner) (*Output, error)
 }
 
 // All returns the experiments in the order of the index in DESIGN.md.
 func All() []Experiment {
 	return []Experiment{
-		{"T1", "Simulated system parameters", runT1},
-		{"T2", "Workload characteristics", runT2},
-		{"F1", "Execution time normalized to MESI (per workload)", runF1},
-		{"F2", "Scalability: geomean normalized runtime vs core count", runF2},
-		{"F3", "On-chip interconnect traffic normalized to MESI", runF3},
-		{"F4", "Off-chip memory traffic normalized to MESI", runF4},
-		{"F5", "Energy normalized to MESI (with component breakdown)", runF5},
-		{"F6", "AIM capacity sensitivity", runF6},
-		{"F7", "NoC saturation vs core count", runF7},
-		{"F8", "Access latency distribution", runF8},
-		{"T3", "Conflicts detected on racy workloads", runT3},
-		{"A1", "ARC ablation: line classification", runA1},
-		{"A2", "Coherence substrate: MESI vs MOESI", runA2},
-		{"A3", "Metadata granularity: byte vs word", runA3},
-		{"R1", "Seed robustness", runR1},
+		{ID: "T1", Title: "Simulated system parameters", Run: runT1},
+		{ID: "T2", Title: "Workload characteristics", Run: runT2},
+		{ID: "F1", Title: "Execution time normalized to MESI (per workload)", Plan: planF1, Run: runF1},
+		{ID: "F2", Title: "Scalability: geomean normalized runtime vs core count", Plan: planF2, Run: runF2},
+		{ID: "F3", Title: "On-chip interconnect traffic normalized to MESI", Plan: planF3, Run: runF3},
+		{ID: "F4", Title: "Off-chip memory traffic normalized to MESI", Plan: planF4, Run: runF4},
+		{ID: "F5", Title: "Energy normalized to MESI (with component breakdown)", Plan: planF5, Run: runF5},
+		{ID: "F6", Title: "AIM capacity sensitivity", Plan: planF6, Run: runF6},
+		{ID: "F7", Title: "NoC saturation vs core count", Plan: planF7, Run: runF7},
+		{ID: "F8", Title: "Access latency distribution", Plan: planF8, Run: runF8},
+		{ID: "T3", Title: "Conflicts detected on racy workloads", Plan: planT3, Run: runT3},
+		{ID: "A1", Title: "ARC ablation: line classification", Plan: planA1, Run: runA1},
+		{ID: "A2", Title: "Coherence substrate: MESI vs MOESI", Plan: planA2, Run: runA2},
+		{ID: "A3", Title: "Metadata granularity: byte vs word", Plan: planA3, Run: runA3},
+		{ID: "R1", Title: "Seed robustness", Run: runR1},
 	}
+}
+
+// PlanAll collects the union of the run sets of experiments (duplicates
+// included; the memo collapses them).
+func PlanAll(cfg Config, experiments []Experiment) []RunSpec {
+	cfg = cfg.normalized()
+	var specs []RunSpec
+	for _, e := range experiments {
+		if e.Plan != nil {
+			specs = append(specs, e.Plan(cfg)...)
+		}
+	}
+	return specs
 }
 
 // ByID finds an experiment.

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"arcsim/internal/protocols"
@@ -55,6 +56,133 @@ func TestRunnerMemoization(t *testing.T) {
 	}
 	if a == c {
 		t.Error("different core count hit the memo")
+	}
+}
+
+// TestOracleDistinguishedInMemo is the regression test for the memo key
+// omitting the oracle flag: a CheckedResult after a Result for the same
+// configuration must actually run the golden-oracle cross-check instead
+// of returning the memoized unchecked run (which silently skipped T3's
+// verification entirely).
+func TestOracleDistinguishedInMemo(t *testing.T) {
+	r := NewRunner(quickCfg())
+	plain, err := r.Result("racy-single", protocols.CE, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := r.CheckedResult("racy-single", protocols.CE, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain == checked {
+		t.Fatal("CheckedResult returned the memoized unchecked run; the oracle was skipped")
+	}
+	if plain.OracleChecked {
+		t.Error("plain Result ran the oracle")
+	}
+	if !checked.OracleChecked {
+		t.Error("CheckedResult did not run the oracle")
+	}
+	// Each variant memoizes under its own key.
+	if again, _ := r.CheckedResult("racy-single", protocols.CE, 4, 0); again != checked {
+		t.Error("checked run not memoized")
+	}
+	if again, _ := r.Result("racy-single", protocols.CE, 4, 0); again != plain {
+		t.Error("unchecked run not memoized")
+	}
+}
+
+// TestSingleflightCollapsesDuplicates floods the worker pool with one
+// spec; the in-flight map must execute it exactly once.
+func TestSingleflightCollapsesDuplicates(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Jobs = 8
+	r := NewRunner(cfg)
+	specs := make([]RunSpec, 32)
+	for i := range specs {
+		specs[i] = RunSpec{Workload: "dedup", Proto: protocols.MESI, Cores: 4}
+	}
+	r.Prefetch(specs)
+	if got := r.Timing().Runs; got != 1 {
+		t.Errorf("32 duplicate specs executed %d simulations, want 1", got)
+	}
+}
+
+// TestPlanCoversRun prefetches each experiment's declared plan and then
+// runs it: the render pass must be fully satisfied from the memo (no new
+// simulations), proving Plan and Run stay in sync. Experiments with nil
+// plans must not touch the memo at all.
+func TestPlanCoversRun(t *testing.T) {
+	memoSize := func(r *Runner) int {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return len(r.memo)
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r := NewRunner(quickCfg())
+			if e.Plan != nil {
+				r.Prefetch(e.Plan(r.Cfg()))
+			}
+			planned := memoSize(r)
+			if _, err := e.Run(r); err != nil {
+				t.Fatal(err)
+			}
+			if after := memoSize(r); after != planned {
+				t.Errorf("Plan missed %d of %d runs", after-planned, after)
+			}
+		})
+	}
+}
+
+// TestParallelHarnessDeterminism fires every experiment through one
+// shared Runner from concurrent goroutines (after a parallel prefetch)
+// and requires the rendered artifacts to be byte-identical to a fully
+// serial harness — under -race this catches both data races and
+// nondeterminism.
+func TestParallelHarnessDeterminism(t *testing.T) {
+	serialCfg := quickCfg()
+	serialCfg.Jobs = 1
+	serial := NewRunner(serialCfg)
+	want := map[string]string{}
+	for _, e := range All() {
+		out, err := e.Run(serial)
+		if err != nil {
+			t.Fatalf("serial %s: %v", e.ID, err)
+		}
+		want[e.ID] = out.Render()
+	}
+
+	parCfg := quickCfg()
+	parCfg.Jobs = 8
+	shared := NewRunner(parCfg)
+	shared.Prefetch(PlanAll(parCfg, All()))
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		got = map[string]string{}
+	)
+	for _, e := range All() {
+		e := e
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := e.Run(shared)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				got[e.ID] = "error: " + err.Error()
+				return
+			}
+			got[e.ID] = out.Render()
+		}()
+	}
+	wg.Wait()
+	for id, w := range want {
+		if got[id] != w {
+			t.Errorf("%s: parallel artifact differs from serial run\nserial:\n%s\nparallel:\n%s", id, w, got[id])
+		}
 	}
 }
 

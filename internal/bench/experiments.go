@@ -27,6 +27,20 @@ func suiteNames() []string {
 	return names
 }
 
+// crossSpecs enumerates the wls × protos × coreCounts cross product
+// (design-default AIM, no oracle) — the run-set shape of most figures.
+func crossSpecs(wls, protos []string, coreCounts ...int) []RunSpec {
+	specs := make([]RunSpec, 0, len(wls)*len(protos)*len(coreCounts))
+	for _, cores := range coreCounts {
+		for _, wl := range wls {
+			for _, p := range protos {
+				specs = append(specs, RunSpec{Workload: wl, Proto: p, Cores: cores})
+			}
+		}
+	}
+	return specs
+}
+
 // ---------------------------------------------------------------------------
 // T1: system parameters.
 
@@ -121,6 +135,12 @@ func (r *Runner) normTable(title, xlabel string, cores int, protos []string, met
 	return fig.Render(), geo, nil
 }
 
+// planF1 covers the detecting designs plus the MESI baseline Normalized
+// divides by (designs is exactly that union).
+func planF1(cfg Config) []RunSpec {
+	return crossSpecs(suiteNames(), designs, cfg.Cores)
+}
+
 func runF1(r *Runner) (*Output, error) {
 	body, geo, err := r.normTable(
 		fmt.Sprintf("Figure F1: execution time normalized to MESI (%d cores)", r.cfg.Cores),
@@ -155,6 +175,10 @@ func runF1(r *Runner) (*Output, error) {
 
 // ---------------------------------------------------------------------------
 // F2: scalability sweep.
+
+func planF2(cfg Config) []RunSpec {
+	return crossSpecs(suiteNames(), designs, cfg.CoreSweep...)
+}
 
 func runF2(r *Runner) (*Output, error) {
 	fig := stats.NewFigure("Figure F2: geomean runtime normalized to MESI vs core count", "lower is better")
@@ -213,6 +237,10 @@ func runF2(r *Runner) (*Output, error) {
 // ---------------------------------------------------------------------------
 // F3: on-chip traffic.
 
+func planF3(cfg Config) []RunSpec {
+	return crossSpecs(suiteNames(), designs, cfg.Cores)
+}
+
 func runF3(r *Runner) (*Output, error) {
 	body, geo, err := r.normTable(
 		fmt.Sprintf("Figure F3: on-chip interconnect traffic (flit-hops) normalized to MESI (%d cores)", r.cfg.Cores),
@@ -245,6 +273,10 @@ func runF3(r *Runner) (*Output, error) {
 
 // ---------------------------------------------------------------------------
 // F4: off-chip traffic.
+
+func planF4(cfg Config) []RunSpec {
+	return crossSpecs(suiteNames(), designs, cfg.Cores)
+}
 
 func runF4(r *Runner) (*Output, error) {
 	body, geo, err := r.normTable(
@@ -288,6 +320,10 @@ func runF4(r *Runner) (*Output, error) {
 
 // ---------------------------------------------------------------------------
 // F5: energy.
+
+func planF5(cfg Config) []RunSpec {
+	return crossSpecs(suiteNames(), designs, cfg.Cores)
+}
 
 func runF5(r *Runner) (*Output, error) {
 	body, geo, err := r.normTable(
@@ -351,8 +387,28 @@ func runF5(r *Runner) (*Output, error) {
 // scale, as their live-metadata footprints are small).
 var f6Workloads = []string{"aimstress", "canneal", "x264"}
 
+// f6Sizes is the AIM capacity axis.
+var f6Sizes = []int{4096, 8192, 16384, 32768, 65536}
+
+// f6Designs are the AIM-bearing designs the sweep compares.
+var f6Designs = []string{protocols.CEPlus, protocols.ARC}
+
+func planF6(cfg Config) []RunSpec {
+	var specs []RunSpec
+	for _, wl := range f6Workloads {
+		specs = append(specs, RunSpec{Workload: wl, Proto: protocols.MESI, Cores: cfg.Cores})
+		for _, p := range f6Designs {
+			for _, sz := range f6Sizes {
+				specs = append(specs, RunSpec{Workload: wl, Proto: p, Cores: cfg.Cores, AIMEntries: sz})
+			}
+		}
+	}
+	// The CE reference the "every AIM size beats CE" check divides by.
+	return append(specs, RunSpec{Workload: "aimstress", Proto: protocols.CE, Cores: cfg.Cores})
+}
+
 func runF6(r *Runner) (*Output, error) {
-	sizes := []int{4096, 8192, 16384, 32768, 65536}
+	sizes := f6Sizes
 	// Metadata DRAM traffic on the stress kernel, per AIM size (the
 	// knee the sweep demonstrates).
 	metaAt := map[int]uint64{}
@@ -366,7 +422,7 @@ func runF6(r *Runner) (*Output, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, p := range []string{protocols.CEPlus, protocols.ARC} {
+		for _, p := range f6Designs {
 			var names []string
 			var vals []float64
 			for _, sz := range sizes {
@@ -438,6 +494,14 @@ func runF6(r *Runner) (*Output, error) {
 // post-barrier refetch bursts instead — see F3's per-workload figure.
 var f7Workloads = []string{"canneal", "racy-sharing"}
 
+// f7Designs: the saturation story needs the baseline, the eager design
+// that saturates, and the lazy design that does not.
+var f7Designs = []string{protocols.MESI, protocols.CEPlus, protocols.ARC}
+
+func planF7(cfg Config) []RunSpec {
+	return crossSpecs(f7Workloads, f7Designs, cfg.CoreSweep...)
+}
+
 func runF7(r *Runner) (*Output, error) {
 	// Saturation harm is measured as NoC queueing delay per memory
 	// access: time lost to contention. (Peak utilization alone rewards
@@ -445,7 +509,7 @@ func runF7(r *Runner) (*Output, error) {
 	// fewer cycles.) Peak utilization is reported alongside.
 	fig := stats.NewFigure("Figure F7: NoC queueing cycles per memory access vs core count",
 		"contention penalty; lower is better")
-	protos := []string{protocols.MESI, protocols.CEPlus, protocols.ARC}
+	protos := f7Designs
 	qpa := map[string]map[int]float64{}
 	for _, p := range protos {
 		qpa[p] = map[int]float64{}
@@ -500,6 +564,16 @@ func runF7(r *Runner) (*Output, error) {
 
 // ---------------------------------------------------------------------------
 // T3: conflicts on racy workloads.
+
+func planT3(cfg Config) []RunSpec {
+	var specs []RunSpec
+	for _, spec := range workload.RacySuite() {
+		for _, p := range detecting {
+			specs = append(specs, RunSpec{Workload: spec.Name, Proto: p, Cores: cfg.Cores, Oracle: true})
+		}
+	}
+	return specs
+}
 
 func runT3(r *Runner) (*Output, error) {
 	// Each design's timing produces a different witnessed schedule, so
@@ -567,8 +641,15 @@ func runT3(r *Runner) (*Output, error) {
 // (x264).
 var a1Workloads = []string{"blackscholes", "raytrace", "x264"}
 
+// a1Variants: full ARC and its two class-disabling ablations.
+var a1Variants = []string{protocols.ARC, protocols.ARCNoRO, protocols.ARCNoPrivate}
+
+func planA1(cfg Config) []RunSpec {
+	return crossSpecs(a1Workloads, append([]string{protocols.MESI}, a1Variants...), cfg.Cores)
+}
+
 func runA1(r *Runner) (*Output, error) {
-	variants := []string{protocols.ARC, protocols.ARCNoRO, protocols.ARCNoPrivate}
+	variants := a1Variants
 	figRun := stats.NewFigure(
 		fmt.Sprintf("Ablation A1a: ARC runtime normalized to MESI (%d cores)", r.cfg.Cores),
 		"lower is better")
@@ -617,8 +698,12 @@ func runA1(r *Runner) (*Output, error) {
 	return out, nil
 }
 
-// RunAll executes every experiment and renders a combined report.
+// RunAll executes every experiment and renders a combined report. The
+// union of all planned runs is prefetched through the worker pool
+// (r.Cfg().Jobs simulations at a time) before the deterministic
+// in-order render pass, so the report is byte-identical at any Jobs.
 func RunAll(r *Runner) (string, []*Output, error) {
+	r.Prefetch(PlanAll(r.cfg, All()))
 	var b strings.Builder
 	var outs []*Output
 	for _, e := range All() {

@@ -12,6 +12,10 @@ import (
 // invalidation storms sit on contended access paths.
 var f8Workloads = []string{"canneal", "racy-sharing"}
 
+func planF8(cfg Config) []RunSpec {
+	return crossSpecs(f8Workloads, designs, cfg.Cores)
+}
+
 // runF8 reports the per-access latency distribution of each design.
 func runF8(r *Runner) (*Output, error) {
 	t := stats.NewTable(

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"arcsim/internal/machine"
 	"arcsim/internal/protocols"
@@ -13,18 +15,40 @@ import (
 // runR1 re-runs the headline comparison (F1's geomeans) under several
 // workload generation seeds: the reproduction's qualitative ordering must
 // be a property of the sharing structure, not of one lucky trace.
+//
+// R1's runs bypass the Runner memo (they are keyed on foreign seeds and
+// never reused), so instead of a Plan it parallelizes internally: seeds
+// are independent, so they execute concurrently under the cfg.Jobs
+// bound while the table renders in seed order — byte-identical to the
+// serial harness.
 func runR1(r *Runner) (*Output, error) {
 	seeds := []int64{1, 2, 3}
+	geos := make([]map[string]float64, len(seeds))
+	errs := make([]error, len(seeds))
+	sem := make(chan struct{}, r.cfg.Jobs)
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			geos[i], errs[i] = r.seedGeomeans(seed)
+		}(i, seed)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	t := stats.NewTable(
 		fmt.Sprintf("Robustness R1: geomean runtime normalized to MESI per seed (%d cores)", r.cfg.Cores),
 		"seed", "ce", "ce+", "arc", "ce+ < ce", "arc <= 1.15*ce+")
 	ordering := true
 	competitive := true
-	for _, seed := range seeds {
-		geo, err := r.seedGeomeans(seed)
-		if err != nil {
-			return nil, err
-		}
+	for i, seed := range seeds {
+		geo := geos[i]
 		ok1 := geo[protocols.CEPlus] < geo[protocols.CE]
 		ok2 := geo[protocols.ARC] <= geo[protocols.CEPlus]*1.15
 		ordering = ordering && ok1
@@ -61,10 +85,12 @@ func (r *Runner) seedGeomeans(seed int64) (map[string]float64, error) {
 			if err != nil {
 				return nil, err
 			}
+			start := time.Now()
 			res, err := sim.Run(m, proto, tr, sim.Options{})
 			if err != nil {
 				return nil, fmt.Errorf("seed %d %s/%s: %w", seed, spec.Name, p, err)
 			}
+			r.record(fmt.Sprintf("%s/%s/%d/seed%d", spec.Name, p, r.cfg.Cores, seed), time.Since(start))
 			if p == protocols.MESI {
 				base = res
 				continue

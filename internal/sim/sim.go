@@ -67,6 +67,9 @@ type Result struct {
 	Conflicts  int
 	Exceptions []core.Exception
 	Halted     bool
+	// OracleChecked records that this run was mirrored into the golden
+	// detector and its conflict set verified (Options.CheckWithOracle).
+	OracleChecked bool
 
 	LockWaits    uint64
 	BarrierWaits uint64
@@ -342,6 +345,7 @@ func Run(m *machine.Machine, proto machine.Protocol, tr *trace.Trace, opt Option
 		if ok, diff := m.Conflicts.Equal(golden.Set()); !ok {
 			return res, fmt.Errorf("sim: protocol %s disagrees with the oracle: %s", proto.Name(), diff)
 		}
+		res.OracleChecked = true
 	}
 	return res, nil
 }

@@ -51,8 +51,14 @@ func NewTable(title string, header ...string) *Table {
 	return &Table{Title: title, Header: header}
 }
 
-// AddRow appends a row; short rows are padded with empty cells.
+// AddRow appends a row; short rows are padded with empty cells. Rows
+// longer than the header panic — silently dropping the overflow cells
+// would lose experiment data with no error.
 func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Header) {
+		panic(fmt.Sprintf("stats: row of %d cells exceeds %d-column header of table %q",
+			len(cells), len(t.Header), t.Title))
+	}
 	row := make([]string, len(t.Header))
 	copy(row, cells)
 	t.rows = append(t.rows, row)

@@ -69,6 +69,16 @@ func TestTableShortRowPadded(t *testing.T) {
 	}
 }
 
+func TestTableLongRowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlong row silently truncated")
+		}
+	}()
+	tb := NewTable("overflow", "a", "b")
+	tb.AddRow("1", "2", "3")
+}
+
 func TestCSV(t *testing.T) {
 	tb := NewTable("", "name", "note")
 	tb.AddRow("x", "has,comma")
