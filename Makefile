@@ -1,7 +1,16 @@
 # Tier-1 verification in one command: `make ci`.
 GO ?= go
 
-.PHONY: build test vet race fmt-check bench ci
+# Benchmark baseline: `make bench` runs every benchmark suite once and
+# archives the results as JSON (override BENCHTIME/BENCHOUT to taste).
+BENCHTIME ?= 1x
+BENCHOUT  ?= BENCH_0002.json
+
+# Fuzz smoke: `make fuzz` runs each native fuzz target for FUZZTIME
+# (CI uses 30s; local default 10s per target).
+FUZZTIME ?= 10s
+
+.PHONY: build test vet race fmt-check bench fuzz ci
 
 build:
 	$(GO) build ./...
@@ -13,15 +22,21 @@ vet:
 	$(GO) vet ./...
 
 # Race-enabled pass over the concurrent subset: the parallel experiment
-# harness (worker pool + singleflight memo) and the engine it drives.
+# harness (worker pool + singleflight memo), the engine it drives, and
+# the differential conformance checker.
 race:
-	$(GO) test -race -short ./internal/bench/ ./internal/sim/
+	$(GO) test -race -short ./internal/bench/ ./internal/sim/ ./internal/conformance/
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./...
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run='^$$' ./... \
+		| $(GO) run ./cmd/benchjson -o $(BENCHOUT)
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzCodec -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -run='^$$' -fuzz=FuzzConformance -fuzztime=$(FUZZTIME) ./internal/conformance/
 
 ci: build vet fmt-check test race

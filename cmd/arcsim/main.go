@@ -155,8 +155,12 @@ func runCompare(cfg arcsim.Config) {
 		if proto == arcsim.Mesi {
 			base = rep
 		}
+		norm := 1.0 // degenerate workloads can finish in 0 cycles
+		if base.Cycles > 0 {
+			norm = float64(rep.Cycles) / float64(base.Cycles)
+		}
 		fmt.Printf("%-6s %12d %7.3fx %14d %14d %12.1f %10d\n",
-			proto, rep.Cycles, float64(rep.Cycles)/float64(base.Cycles),
+			proto, rep.Cycles, norm,
 			rep.NoCFlitHops, rep.OffChipBytes, rep.TotalEnergyPJ/1e6, len(rep.Conflicts))
 	}
 }

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	rec, ok := parseLine("BenchmarkSimulatorThroughput/arc-8   \t     12  92847221 ns/op\t  52.11 Mevents/s   120 B/op  3 allocs/op", "arcsim")
+	if !ok {
+		t.Fatal("valid line rejected")
+	}
+	if rec.Name != "BenchmarkSimulatorThroughput/arc-8" || rec.Iterations != 12 {
+		t.Errorf("parsed %+v", rec)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 92847221, "Mevents/s": 52.11, "B/op": 120, "allocs/op": 3,
+	} {
+		if rec.Metrics[unit] != want {
+			t.Errorf("%s = %v, want %v", unit, rec.Metrics[unit], want)
+		}
+	}
+	if rec.Package != "arcsim" {
+		t.Errorf("package %q", rec.Package)
+	}
+}
+
+func TestParseLineRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX notanumber 5 ns/op",
+		"BenchmarkX 10 5", // dangling value without unit
+		"BenchmarkX 10 x ns/op",
+	} {
+		if _, ok := parseLine(line, ""); ok {
+			t.Errorf("malformed line accepted: %q", line)
+		}
+	}
+}

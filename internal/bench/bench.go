@@ -385,6 +385,7 @@ func All() []Experiment {
 		{ID: "A2", Title: "Coherence substrate: MESI vs MOESI", Plan: planA2, Run: runA2},
 		{ID: "A3", Title: "Metadata granularity: byte vs word", Plan: planA3, Run: runA3},
 		{ID: "R1", Title: "Seed robustness", Run: runR1},
+		{ID: "CONF", Title: "Differential conformance of the conflict-detection designs", Run: runConformance},
 	}
 }
 
@@ -401,8 +402,12 @@ func PlanAll(cfg Config, experiments []Experiment) []RunSpec {
 	return specs
 }
 
-// ByID finds an experiment.
+// ByID finds an experiment by ID (case-insensitive). "conformance" is
+// accepted as a spelled-out alias for CONF.
 func ByID(id string) (Experiment, bool) {
+	if strings.EqualFold(id, "conformance") {
+		id = "CONF"
+	}
 	for _, e := range All() {
 		if strings.EqualFold(e.ID, id) {
 			return e, true

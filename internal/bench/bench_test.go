@@ -16,8 +16,8 @@ func quickCfg() Config {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("experiments = %d, want 15", len(all))
+	if len(all) != 16 {
+		t.Fatalf("experiments = %d, want 16", len(all))
 	}
 	ids := map[string]bool{}
 	for _, e := range all {
@@ -34,6 +34,9 @@ func TestRegistry(t *testing.T) {
 	}
 	if _, ok := ByID("F99"); ok {
 		t.Error("phantom experiment found")
+	}
+	if e, ok := ByID("conformance"); !ok || e.ID != "CONF" {
+		t.Error("conformance alias does not resolve to CONF")
 	}
 }
 

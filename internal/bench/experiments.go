@@ -530,7 +530,10 @@ func runF7(r *Runner) (*Output, error) {
 				sumA += float64(res.MemAccesses)
 				sumU += res.NoCPeakUtil
 			}
-			v := sumQ / sumA
+			v := 0.0
+			if sumA > 0 {
+				v = sumQ / sumA
+			}
 			qpa[p][cores] = v
 			vals = append(vals, v)
 			row = append(row, fmt.Sprintf("%.2f", sumU/float64(len(f7Workloads))))

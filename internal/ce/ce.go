@@ -58,6 +58,11 @@ type Protocol struct {
 	// instead of bytes: cheaper hardware, but disjoint-byte accesses
 	// within a word raise false conflicts (experiment A3).
 	WordGranularity bool
+	// DropReadBitsOnSpill is a fault-injection knob for the conformance
+	// mutation tests: the spill path discards read bits, so conflicts
+	// whose first access was an evicted read go undetected. It must
+	// never be set outside tests.
+	DropReadBitsOnSpill bool
 
 	mesi *coherence.Engine
 
@@ -273,6 +278,9 @@ func (p *Protocol) spillVictim(now uint64, c core.CoreID, victim cache.Line) {
 	m := p.M
 	if victim.Bits.Empty() || victim.Aux != m.Seq(c) {
 		return // no live metadata
+	}
+	if p.DropReadBitsOnSpill {
+		victim.Bits.ReadMask = 0
 	}
 	entry, ok := p.memTable[victim.Tag]
 	if !ok {

@@ -1,0 +1,34 @@
+package conformance
+
+import (
+	"testing"
+
+	"arcsim/internal/trace"
+)
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := Config{Phases: 3, Locks: 6, MaxNest: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Generate(cfg, int64(i))
+	}
+}
+
+func BenchmarkCheck(b *testing.B) {
+	prog := Generate(Config{}, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Check(prog, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShrink(b *testing.B) {
+	prog := Generate(Config{Phases: 2}, 1)
+	pred := func(*trace.Trace) bool { return true }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Shrink(prog.Trace, pred, 0)
+	}
+}

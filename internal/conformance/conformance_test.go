@@ -1,0 +1,152 @@
+package conformance
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+
+	"arcsim/internal/trace"
+)
+
+var (
+	seedFlag  = flag.Int64("seed", 1, "base seed for the conformance property test")
+	itersFlag = flag.Int("iters", 0, "programs per family in the property test (0 = default)")
+)
+
+// families spans the generator's program space: plain DRF, nested-lock
+// heavy, barrier/lock mixes, racy, degenerate, and the three planted
+// scenarios.
+func families() []Config {
+	return []Config{
+		{},
+		{Phases: 3, Locks: 6, MaxNest: 3, SharedLines: 12},
+		{Phases: 1, Degenerate: true},
+		{Racy: true},
+		{Racy: true, Degenerate: true, Phases: 3},
+		{Plant: PlantOverlap},
+		{Plant: PlantSubword},
+		{Plant: PlantEvict},
+	}
+}
+
+func iters(t *testing.T) int {
+	if *itersFlag > 0 {
+		return *itersFlag
+	}
+	if testing.Short() {
+		return 3
+	}
+	return 8
+}
+
+// TestGeneratorAlwaysValid: Generate panics on invalid output, so this
+// is mostly a determinism check — the same (cfg, seed) must reproduce
+// the same trace byte for byte.
+func TestGeneratorAlwaysValid(t *testing.T) {
+	for fi, cfg := range families() {
+		for s := int64(0); s < 10; s++ {
+			a := Generate(cfg, s)
+			if err := a.Trace.Validate(); err != nil {
+				t.Fatalf("family %d seed %d: %v", fi, s, err)
+			}
+			b := Generate(cfg, s)
+			if fmt.Sprintf("%v", a.Trace.Threads) != fmt.Sprintf("%v", b.Trace.Threads) {
+				t.Fatalf("family %d seed %d: generation not deterministic", fi, s)
+			}
+			if cfg.Plant != PlantNone && len(a.Planted) == 0 {
+				t.Fatalf("family %d: plant requested but none recorded", fi)
+			}
+			if a.DRF != (!cfg.Racy && cfg.Plant == PlantNone) {
+				t.Fatalf("family %d: DRF flag %v inconsistent with config", fi, a.DRF)
+			}
+		}
+	}
+}
+
+// TestDifferentialConformance is the property test: every generated
+// program, across every family, must pass the full differential check
+// (per-design oracle agreement, DRF emptiness, planted presence, event
+// parity). On failure the counterexample is shrunk before reporting so
+// the log carries a minimal repro.
+func TestDifferentialConformance(t *testing.T) {
+	n := iters(t)
+	for fi, cfg := range families() {
+		cfg := cfg
+		t.Run(cfg.Kind()+fmt.Sprintf("-%d", fi), func(t *testing.T) {
+			for i := 0; i < n; i++ {
+				seed := *seedFlag*1000 + int64(fi)*100 + int64(i)
+				prog := Generate(cfg, seed)
+				if _, err := Check(prog, Options{}); err != nil {
+					t.Fatalf("seed %d: %v\nminimal repro:\n%s",
+						seed, err, renderTrace(shrinkFailing(prog)))
+				}
+			}
+		})
+	}
+}
+
+// shrinkFailing minimizes a program that fails the differential check,
+// for failure reporting.
+func shrinkFailing(prog *Program) *trace.Trace {
+	pred := func(tr *trace.Trace) bool {
+		_, err := CheckTrace(tr, prog.DRF, prog.Planted, Options{})
+		return err != nil
+	}
+	if !pred(prog.Trace) {
+		return prog.Trace
+	}
+	min, _ := Shrink(prog.Trace, pred, 0)
+	return min
+}
+
+func renderTrace(tr *trace.Trace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %q (%d threads, %d events)\n", tr.Name, tr.NumThreads(), tr.Events())
+	for ti, th := range tr.Threads {
+		fmt.Fprintf(&b, "  thread %d:\n", ti)
+		for _, ev := range th {
+			fmt.Fprintf(&b, "    %s\n", ev)
+		}
+	}
+	return b.String()
+}
+
+// TestDegenerateThreadShapes pins the degenerate shapes the suite never
+// produces: an empty thread (zero events) and an End-only thread must
+// simulate cleanly under every design.
+func TestDegenerateThreadShapes(t *testing.T) {
+	tr := &trace.Trace{
+		Name: "degenerate-threads",
+		Threads: [][]trace.Event{
+			{trace.Write(privateArena, 8), trace.Acquire(0), trace.Release(0), trace.End()},
+			{},
+			{trace.End()},
+		},
+	}
+	if _, err := CheckTrace(tr, true, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlantedProgramsConflictExactlyOnce: a planted program's only racy
+// line is the plant, so every detecting design must report exactly one
+// conflict, on the planted line.
+func TestPlantedProgramsConflictExactlyOnce(t *testing.T) {
+	for _, plant := range []Plant{PlantOverlap, PlantSubword, PlantEvict} {
+		prog := Generate(Config{Plant: plant}, *seedFlag)
+		results, err := Check(prog, Options{})
+		if err != nil {
+			t.Fatalf("plant %s: %v", plant, err)
+		}
+		for name, res := range results {
+			if !detects(name) {
+				continue
+			}
+			if res.Conflicts != 1 {
+				t.Errorf("plant %s under %s: %d conflicts, want exactly the planted one (%v)",
+					plant, name, res.Conflicts, res.Exceptions)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package conformance
+
+import (
+	"testing"
+)
+
+// fuzzConfig derives a bounded generator Config from raw fuzz bytes, so
+// the fuzzer explores the whole family space without ever building a
+// program too large to simulate in one fuzz iteration.
+func fuzzConfig(threads, ops, phases, mode, knobs uint8) Config {
+	cfg := Config{
+		Threads: 1 + int(threads%4),
+		Ops:     1 + int(ops%50),
+		Phases:  1 + int(phases%3),
+		Locks:   1 + int(knobs%6),
+		MaxNest: 1 + int(knobs>>4%3),
+	}
+	switch mode % 6 {
+	case 1:
+		cfg.Racy = true
+	case 2:
+		cfg.Degenerate = true
+		cfg.Phases = 1
+	case 3:
+		cfg.Plant = PlantOverlap
+	case 4:
+		cfg.Plant = PlantSubword
+	case 5:
+		cfg.Plant = PlantEvict
+	}
+	return cfg
+}
+
+// FuzzConformance feeds fuzzer-chosen generator parameters through the
+// full differential check: any reachable (cfg, seed) must generate a
+// valid program on which every design agrees with the golden oracle.
+//
+//	go test ./internal/conformance/ -run='^$' -fuzz=FuzzConformance -fuzztime=30s
+func FuzzConformance(f *testing.F) {
+	// One seed per program family, plus degenerate corners.
+	f.Add(int64(1), uint8(3), uint8(30), uint8(1), uint8(0), uint8(3))
+	f.Add(int64(2), uint8(2), uint8(20), uint8(2), uint8(1), uint8(17))
+	f.Add(int64(3), uint8(3), uint8(10), uint8(0), uint8(2), uint8(33))
+	f.Add(int64(4), uint8(1), uint8(15), uint8(1), uint8(3), uint8(5))
+	f.Add(int64(5), uint8(1), uint8(25), uint8(0), uint8(4), uint8(40))
+	f.Add(int64(6), uint8(2), uint8(40), uint8(2), uint8(5), uint8(0))
+	f.Add(int64(7), uint8(0), uint8(0), uint8(0), uint8(2), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, threads, ops, phases, mode, knobs uint8) {
+		prog := Generate(fuzzConfig(threads, ops, phases, mode, knobs), seed)
+		if _, err := Check(prog, Options{}); err != nil {
+			t.Fatalf("%v\nminimal repro:\n%s", err, renderTrace(shrinkFailing(prog)))
+		}
+	})
+}

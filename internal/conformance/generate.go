@@ -1,0 +1,408 @@
+// Package conformance is the generative differential checker for the
+// region-conflict designs: a seeded random SFR-program generator, a
+// differential runner that executes each generated trace under every
+// design with the golden oracle mirrored, a greedy trace shrinker that
+// reduces counterexamples to minimal repros, and a set of deliberately
+// broken protocol variants (mutants) that validate the checker can
+// actually catch semantic faults.
+//
+// The generator emits programs the hand-written workload suite does not
+// cover: nested and reentrant locks, barrier/lock mixes, racy and DRF
+// variants, sub-word and cross-line accesses, and degenerate regions
+// (empty critical sections, zero-length compute, empty threads). Every
+// generated trace passes trace.Validate and — by construction — cannot
+// deadlock: threads acquire locks in ascending ID order and never hold
+// one across a barrier.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"arcsim/internal/core"
+	"arcsim/internal/trace"
+)
+
+// Address-space layout. The arenas are disjoint from the workload
+// package's (0x1000/0x2000 prefixes) so conformance traces can never
+// alias suite data, and their bases are line- and set-aligned: each
+// base maps to L1 set 0, which the eviction-plant scenario relies on.
+const (
+	privateArena  = core.Addr(0x7000_0000_0000)
+	sharedArena   = core.Addr(0x7100_0000_0000)
+	readOnlyArena = core.Addr(0x7200_0000_0000)
+	racyArena     = core.Addr(0x7300_0000_0000)
+	plantArena    = core.Addr(0x7400_0000_0000)
+	arenaStride   = core.Addr(1) << 32
+
+	// privateLines/readOnlyLines bound the per-arena working sets.
+	privateLines  = 256
+	readOnlyLines = 64
+	racyLines     = 8
+)
+
+// l1SetStride is the address distance between two lines that map to the
+// same set of the default L1 (64 sets x 64-byte lines, low-bit index).
+// The eviction plant uses it to force a specific line out of the cache.
+const l1SetStride = 64 * core.LineSize
+
+// Plant selects a deterministic conflict scenario woven into the first
+// region of threads 0 and 1. Planted conflicts are schedule-independent
+// (the involved regions are long enough to overlap under every design),
+// so the checker can assert their presence, not just oracle agreement.
+type Plant int
+
+const (
+	// PlantNone plants nothing.
+	PlantNone Plant = iota
+	// PlantOverlap plants a full-overlap write/read pair on one line:
+	// both accesses cover the same 8 bytes.
+	PlantOverlap
+	// PlantSubword plants a tail-overlap pair: the write covers bytes
+	// [0,8), the read bytes [4,8). The clash excludes the first byte of
+	// either access, so metadata that tracks only the first byte (the
+	// narrow-access mutant) misses it.
+	PlantSubword
+	// PlantEvict plants a conflict whose first access's metadata must
+	// survive an L1 eviction: the reader touches the line, then walks
+	// enough same-set lines to evict it, and only then does the writer
+	// write. Designs that lose spilled read bits miss it.
+	PlantEvict
+)
+
+func (p Plant) String() string {
+	switch p {
+	case PlantOverlap:
+		return "overlap"
+	case PlantSubword:
+		return "subword"
+	case PlantEvict:
+		return "evict"
+	}
+	return "none"
+}
+
+// Config shapes one generated program. The zero value is usable: Generate
+// normalizes it to a small mixed DRF program.
+type Config struct {
+	// Threads is the thread (= core) count. Default 4; forced to >= 2
+	// when a plant is requested.
+	Threads int
+	// Ops is the approximate number of actions per thread per phase
+	// (one action may emit several events). Default 40.
+	Ops int
+	// Phases is the number of barrier-separated phases; 1 means no
+	// barriers. Default 2.
+	Phases int
+	// Locks is the lock-ID pool size. Default 4.
+	Locks int
+	// MaxNest bounds lock-nesting depth. Default 2.
+	MaxNest int
+	// SharedLines is the number of lock-protected shared lines; line i
+	// is protected by lock i%Locks. Default 8.
+	SharedLines int
+	// Racy adds unprotected accesses to a dedicated racy arena with
+	// probability RacyFrac per action.
+	Racy bool
+	// RacyFrac is the per-action probability of a racy access when Racy
+	// is set. Default 0.15.
+	RacyFrac float64
+	// Plant selects a deterministic conflict scenario.
+	Plant Plant
+	// Degenerate enables degenerate constructs: empty critical
+	// sections, zero-cycle compute, empty phase bodies, and (when
+	// Phases == 1) empty or End-only threads.
+	Degenerate bool
+}
+
+func (c Config) normalized() Config {
+	if c.Threads <= 0 {
+		c.Threads = 4
+	}
+	if c.Plant != PlantNone && c.Threads < 2 {
+		c.Threads = 2
+	}
+	if c.Ops <= 0 {
+		c.Ops = 40
+	}
+	if c.Phases <= 0 {
+		c.Phases = 2
+	}
+	if c.Locks <= 0 {
+		c.Locks = 4
+	}
+	if c.MaxNest <= 0 {
+		c.MaxNest = 2
+	}
+	if c.SharedLines < c.Locks {
+		c.SharedLines = 2 * c.Locks
+	}
+	if c.RacyFrac <= 0 {
+		c.RacyFrac = 0.15
+	}
+	return c
+}
+
+// Kind names the program family for reports and trace names.
+func (c Config) Kind() string {
+	switch {
+	case c.Plant != PlantNone:
+		return "plant-" + c.Plant.String()
+	case c.Racy:
+		return "racy"
+	case c.Degenerate:
+		return "degenerate"
+	default:
+		return "drf"
+	}
+}
+
+// Program is one generated SFR program plus the properties the
+// differential checker may assert about it.
+type Program struct {
+	Trace *trace.Trace
+	Cfg   Config
+	Seed  int64
+	// DRF reports that the program is data-race-free by construction:
+	// every design must report zero conflicts.
+	DRF bool
+	// Planted lists lines carrying a schedule-independent conflict that
+	// every detecting design must report.
+	Planted []core.Line
+}
+
+// Generate builds the program for (cfg, seed). The same inputs always
+// produce a byte-identical trace. Generate panics if it ever emits an
+// invalid trace — that is a generator bug, not an input error.
+func Generate(cfg Config, seed int64) *Program {
+	cfg = cfg.normalized()
+	top := rand.New(rand.NewSource(seed*999_983 + 11))
+
+	threads := make([][]trace.Event, cfg.Threads)
+	emit := func(t int, evs ...trace.Event) {
+		threads[t] = append(threads[t], evs...)
+	}
+
+	var planted []core.Line
+	if cfg.Plant != PlantNone {
+		planted = plantPrologue(cfg.Plant, emit)
+	}
+
+	// Degenerate thread shapes are only legal without barriers (every
+	// thread must otherwise produce the same barrier sequence).
+	emptyThread, endOnlyThread := -1, -1
+	if cfg.Degenerate && cfg.Phases == 1 && cfg.Threads >= 3 {
+		if top.Intn(2) == 0 {
+			emptyThread = cfg.Threads - 1
+		}
+		if top.Intn(2) == 0 {
+			endOnlyThread = cfg.Threads - 2
+		}
+	}
+
+	for t := 0; t < cfg.Threads; t++ {
+		if t == emptyThread {
+			continue // no events at all, not even End
+		}
+		if t == endOnlyThread {
+			emit(t, trace.End())
+			continue
+		}
+		rng := rand.New(rand.NewSource(seed*1_000_003 + int64(t)*7919 + 17))
+		for ph := 0; ph < cfg.Phases; ph++ {
+			if cfg.Degenerate && rng.Intn(8) == 0 {
+				// Empty phase body: consecutive barriers.
+			} else {
+				for j := 0; j < cfg.Ops; j++ {
+					emitAction(cfg, rng, t, emit)
+				}
+			}
+			if ph < cfg.Phases-1 {
+				emit(t, trace.Barrier(uint32(ph)))
+			}
+		}
+		emit(t, trace.End())
+	}
+
+	tr := &trace.Trace{
+		Name:    fmt.Sprintf("conf-%s-s%d", cfg.Kind(), seed),
+		Threads: threads,
+	}
+	if err := tr.Validate(); err != nil {
+		panic(fmt.Sprintf("conformance: generated invalid trace (cfg=%+v seed=%d): %v", cfg, seed, err))
+	}
+	return &Program{
+		Trace:   tr,
+		Cfg:     cfg,
+		Seed:    seed,
+		DRF:     !cfg.Racy && cfg.Plant == PlantNone,
+		Planted: planted,
+	}
+}
+
+// plantPrologue emits the deterministic conflict scenario into threads 0
+// and 1 and returns the planted lines. The prologue is each thread's
+// first region (no sync op precedes it), and the compute padding keeps
+// the two regions overlapping under every design: latencies of the
+// memory accesses vary across protocols, but the pure-compute padding
+// dominates by a wide margin.
+func plantPrologue(p Plant, emit func(int, ...trace.Event)) []core.Line {
+	pad := func(t, n int) {
+		for i := 0; i < n; i++ {
+			emit(t, trace.Compute(500))
+		}
+	}
+	base := plantArena
+	switch p {
+	case PlantOverlap:
+		// Writer writes immediately and keeps its region open ~50k
+		// cycles; the reader reads the same bytes ~10k cycles in.
+		emit(0, trace.Write(base, 8))
+		pad(0, 100)
+		pad(1, 20)
+		emit(1, trace.Read(base, 8))
+	case PlantSubword:
+		// Same shape, but the clash is bytes [4,8): first-byte-only
+		// metadata (the narrow-access mutant) sees no overlap.
+		emit(0, trace.Write(base, 8))
+		pad(0, 100)
+		pad(1, 20)
+		emit(1, trace.Read(base+4, 4))
+	case PlantEvict:
+		// The reader touches the line and then walks 17 same-set
+		// private lines, forcing the planted line (and its read bits)
+		// out of its 8-way L1 set. The writer writes at exactly 40k
+		// cycles — after the eviction, well before the reader's region
+		// ends (>= 60k cycles of padding).
+		emit(1, trace.Read(base, 8))
+		churnBase := privateArena + arenaStride // thread 1's private arena
+		for j := 0; j < 17; j++ {
+			emit(1, trace.Read(churnBase+core.Addr(j)*l1SetStride, 8))
+		}
+		pad(1, 120)
+		pad(0, 80)
+		emit(0, trace.Write(base, 8))
+	default:
+		return nil
+	}
+	return []core.Line{core.LineOf(base)}
+}
+
+// emitAction emits one random action for thread t.
+func emitAction(cfg Config, rng *rand.Rand, t int, emit func(int, ...trace.Event)) {
+	if cfg.Racy && rng.Float64() < cfg.RacyFrac {
+		// Unprotected accesses to the racy arena: genuine (schedule-
+		// dependent) region conflicts.
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			emit(t, randAccess(rng, racyArena+core.Addr(rng.Intn(racyLines))*core.LineSize))
+		}
+		return
+	}
+	switch pick := rng.Intn(100); {
+	case pick < 35: // private accesses
+		line := privateArena + core.Addr(t)*arenaStride +
+			core.Addr(rng.Intn(privateLines))*core.LineSize
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			emit(t, randAccess(rng, line))
+		}
+	case pick < 45: // cross-line pair in the private arena
+		line := privateArena + core.Addr(t)*arenaStride +
+			core.Addr(rng.Intn(privateLines-1))*core.LineSize
+		emit(t,
+			trace.Read(line+core.LineSize-4, 4),
+			trace.Read(line+core.LineSize, 4))
+	case pick < 55: // read-only shared data, accessed lock-free
+		line := readOnlyArena + core.Addr(rng.Intn(readOnlyLines))*core.LineSize
+		emit(t, trace.Read(line+core.Addr(rng.Intn(8))*8, 8))
+	case pick < 85: // lock-protected shared accesses, possibly nested
+		emitLockedBlock(cfg, rng, t, emit)
+	case pick < 95: // compute
+		c := uint32(1 + rng.Intn(100))
+		if cfg.Degenerate && rng.Intn(4) == 0 {
+			c = 0
+		}
+		emit(t, trace.Compute(c))
+	default: // empty critical section (degenerate region)
+		if cfg.Degenerate {
+			l := uint32(rng.Intn(cfg.Locks))
+			emit(t, trace.Acquire(l), trace.Release(l))
+		} else {
+			emit(t, trace.Compute(uint32(1+rng.Intn(30))))
+		}
+	}
+}
+
+// emitLockedBlock emits a deadlock-free nested critical section: locks
+// are acquired in ascending ID order (with occasional reentrant
+// re-acquisitions, which never block) and released in LIFO order. Every
+// shared access inside holds the line's protecting lock, so the block
+// preserves data-race freedom.
+func emitLockedBlock(cfg Config, rng *rand.Rand, t int, emit func(int, ...trace.Event)) {
+	nest := 1 + rng.Intn(cfg.MaxNest)
+	if nest > cfg.Locks {
+		nest = cfg.Locks
+	}
+	held := pickAscending(rng, cfg.Locks, nest)
+	var stack []uint32 // release order (reverse)
+	for _, l := range held {
+		emit(t, trace.Acquire(l))
+		stack = append(stack, l)
+		if rng.Intn(6) == 0 {
+			// Reentrant re-acquisition of a lock we already hold:
+			// never blocks, exercises the simulator's depth counting.
+			emit(t, trace.Acquire(l))
+			stack = append(stack, l)
+		}
+	}
+	accesses := 1 + rng.Intn(4)
+	for i := 0; i < accesses; i++ {
+		l := held[rng.Intn(len(held))]
+		// Shared line protected by lock l: indices congruent to l.
+		slots := (cfg.SharedLines - int(l) + cfg.Locks - 1) / cfg.Locks
+		idx := int(l) + cfg.Locks*rng.Intn(slots)
+		line := sharedArena + core.Addr(idx)*core.LineSize
+		emit(t, randAccess(rng, line))
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		emit(t, trace.Release(stack[i]))
+	}
+}
+
+// pickAscending samples n distinct lock IDs from [0, pool) in ascending
+// order.
+func pickAscending(rng *rand.Rand, pool, n int) []uint32 {
+	seen := map[int]bool{}
+	for len(seen) < n {
+		seen[rng.Intn(pool)] = true
+	}
+	out := make([]int, 0, n)
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	ids := make([]uint32, n)
+	for i, l := range out {
+		ids[i] = uint32(l)
+	}
+	return ids
+}
+
+// randAccess builds a random sub-word access inside the given line:
+// random offset, size drawn from {1,2,4,8} and clamped to the line end,
+// 2:1 read:write mix.
+func randAccess(rng *rand.Rand, lineBase core.Addr) trace.Event {
+	off := core.Addr(rng.Intn(core.LineSize))
+	sizes := [...]uint8{1, 2, 4, 8}
+	sz := sizes[rng.Intn(len(sizes))]
+	if rem := core.LineSize - core.Offset(lineBase+off); uint(sz) > rem {
+		sz = uint8(rem)
+	}
+	addr := lineBase + off
+	if rng.Intn(3) == 0 {
+		return trace.Write(addr, sz)
+	}
+	return trace.Read(addr, sz)
+}

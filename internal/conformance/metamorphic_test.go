@@ -1,0 +1,101 @@
+package conformance
+
+import (
+	"testing"
+
+	"arcsim/internal/machine"
+	"arcsim/internal/protocols"
+	"arcsim/internal/sim"
+	"arcsim/internal/trace"
+	"arcsim/internal/workload"
+)
+
+// metaRun simulates tr under CE+ with the golden oracle mirrored.
+func metaRun(t *testing.T, tr *trace.Trace) *sim.Result {
+	t.Helper()
+	m, p, err := protocols.Build(protocols.CEPlus, machine.Default(tr.NumThreads()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(m, p, tr, sim.Options{CheckWithOracle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMetamorphicRelabeling checks relabeling invariants on every DRF
+// suite workload:
+//
+//   - under an arbitrary relabeling (thread order reversed, lock IDs
+//     +13, barrier IDs +7) the program stays DRF and executes the same
+//     events and memory accesses — race-freedom and event counts cannot
+//     depend on the spelling of IDs;
+//   - under a home-preserving relabeling (identity thread order, sync
+//     IDs offset by multiples of the core count) the run is
+//     cycle-for-cycle identical, because every sync variable keeps its
+//     home tile.
+func TestMetamorphicRelabeling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates every suite workload three times")
+	}
+	params := workload.Params{Threads: 4, Seed: 1, Scale: 0.05}
+	for _, spec := range workload.Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			base := spec.Build(params)
+			ref := metaRun(t, base)
+			if ref.Conflicts != 0 {
+				t.Fatalf("suite workload %s not DRF: %d conflicts", spec.Name, ref.Conflicts)
+			}
+
+			perm, err := PermuteThreads(base, Reversed(base.NumThreads()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			arb := metaRun(t, OffsetSyncIDs(perm, 13, 7))
+			if arb.Conflicts != 0 {
+				t.Errorf("arbitrary relabeling introduced %d conflicts", arb.Conflicts)
+			}
+			if arb.Events != ref.Events || arb.MemAccesses != ref.MemAccesses {
+				t.Errorf("arbitrary relabeling changed event counts: %d/%d events, %d/%d accesses",
+					arb.Events, ref.Events, arb.MemAccesses, ref.MemAccesses)
+			}
+
+			cores := uint32(base.NumThreads())
+			home := metaRun(t, OffsetSyncIDs(base, 2*cores, 3*cores))
+			if home.Conflicts != 0 {
+				t.Errorf("home-preserving relabeling introduced %d conflicts", home.Conflicts)
+			}
+			if home.Cycles != ref.Cycles {
+				t.Errorf("home-preserving relabeling changed timing: %d cycles, want %d",
+					home.Cycles, ref.Cycles)
+			}
+			if home.Events != ref.Events || home.MemAccesses != ref.MemAccesses {
+				t.Errorf("home-preserving relabeling changed event counts")
+			}
+		})
+	}
+}
+
+// TestMetamorphicGenerated applies the same invariants to generated DRF
+// programs, where lock nesting and barrier mixes are denser than in the
+// suite.
+func TestMetamorphicGenerated(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		prog := Generate(Config{Phases: 3, Locks: 6, MaxNest: 3}, seed)
+		ref := metaRun(t, prog.Trace)
+		if ref.Conflicts != 0 {
+			t.Fatalf("seed %d: generated DRF program has %d conflicts", seed, ref.Conflicts)
+		}
+		perm, err := PermuteThreads(prog.Trace, Reversed(prog.Trace.NumThreads()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		arb := metaRun(t, OffsetSyncIDs(perm, 5, 11))
+		if arb.Conflicts != 0 || arb.Events != ref.Events {
+			t.Errorf("seed %d: relabeling broke invariants (%d conflicts, %d/%d events)",
+				seed, arb.Conflicts, arb.Events, ref.Events)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package conformance
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"arcsim/internal/trace"
+)
+
+// mutantSeedBudget bounds how many generated programs of a mutant's
+// Expose family the smoke test tries before declaring the mutant
+// uncaught. Most mutants fall on the first seed; counter-parity mutants
+// (drop-access) may need a few.
+const mutantSeedBudget = 25
+
+// findCounterexample generates Expose-family programs until one makes
+// the mutant fail the oracle cross-check.
+func findCounterexample(m Mutant) (*trace.Trace, int64, error) {
+	var lastErr error
+	for seed := int64(0); seed < mutantSeedBudget; seed++ {
+		prog := Generate(m.Expose, seed)
+		// The honest design must pass the very programs that expose the
+		// mutant — otherwise the "catch" would be vacuous.
+		if _, err := CheckTrace(prog.Trace, prog.DRF, prog.Planted, Options{Designs: []string{m.Design}}); err != nil {
+			lastErr = fmt.Errorf("honest design failed on seed %d: %w", seed, err)
+			continue
+		}
+		if CheckMutant(prog.Trace, m) != nil {
+			return prog.Trace, seed, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no counterexample within %d seeds", mutantSeedBudget)
+	}
+	return nil, 0, lastErr
+}
+
+// TestMutationSmoke: every deliberately broken protocol variant must be
+// caught by the differential checker within the seed budget of its
+// exposing program family.
+func TestMutationSmoke(t *testing.T) {
+	for _, m := range Mutants() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			tr, seed, err := findCounterexample(m)
+			if err != nil {
+				t.Fatalf("mutant %s (%s) escaped: %v", m.Name, m.Desc, err)
+			}
+			t.Logf("mutant %s caught at seed %d (%d events)", m.Name, seed, tr.Events())
+		})
+	}
+}
+
+// TestShrinkMutantCounterexample is the acceptance check for the
+// shrinker: a generated counterexample for the narrow-access mutant must
+// reduce to a minimal repro of at most 3 threads and 30 events that
+// still catches the mutant and still passes on the honest designs.
+func TestShrinkMutantCounterexample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrinking simulates hundreds of candidates")
+	}
+	m, ok := MutantByName("narrow-access")
+	if !ok {
+		t.Fatal("narrow-access mutant missing")
+	}
+	tr, _, err := findCounterexample(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, stats := Shrink(tr, func(c *trace.Trace) bool { return CheckMutant(c, m) != nil }, 0)
+	t.Logf("shrunk %d events -> %d events, %d threads (%d attempts, %d accepted)",
+		tr.Events(), min.Events(), min.NumThreads(), stats.Attempts, stats.Accepted)
+	if min.NumThreads() > 3 || min.Events() > 30 {
+		t.Fatalf("shrunk repro too large: %d threads, %d events\n%s",
+			min.NumThreads(), min.Events(), renderTrace(min))
+	}
+	if CheckMutant(min, m) == nil {
+		t.Fatal("shrunk repro no longer catches the mutant")
+	}
+	if _, err := CheckTrace(min, false, nil, Options{}); err != nil {
+		t.Fatalf("shrunk repro fails on honest designs: %v", err)
+	}
+}
+
+// reproDir holds the checked-in minimal counterexamples, one per mutant,
+// serialized with the trace binary codec.
+const reproDir = "testdata/repros"
+
+// TestReproCorpus replays every checked-in minimal repro: each must
+// still catch the mutant it is named after, still pass on the honest
+// designs, and stay minimal (<= 3 threads, <= 30 events).
+func TestReproCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(reproDir, "*.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no repro corpus in %s; regenerate with ARCSIM_UPDATE_REPROS=1 go test ./internal/conformance/", reproDir)
+	}
+	for _, path := range files {
+		name := strings.TrimSuffix(filepath.Base(path), ".trace")
+		t.Run(name, func(t *testing.T) {
+			m, ok := MutantByName(name)
+			if !ok {
+				t.Fatalf("repro %s names no known mutant", path)
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			tr, err := trace.ReadFrom(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.NumThreads() > 3 || tr.Events() > 30 {
+				t.Errorf("repro not minimal: %d threads, %d events", tr.NumThreads(), tr.Events())
+			}
+			if CheckMutant(tr, m) == nil {
+				t.Errorf("repro no longer catches mutant %s", m.Name)
+			}
+			if _, err := CheckTrace(tr, false, nil, Options{}); err != nil {
+				t.Errorf("repro fails on honest designs: %v", err)
+			}
+		})
+	}
+}
+
+// TestUpdateReproCorpus regenerates the corpus. Gated behind an env var
+// so a normal test run never rewrites checked-in files:
+//
+//	ARCSIM_UPDATE_REPROS=1 go test ./internal/conformance/ -run UpdateReproCorpus
+func TestUpdateReproCorpus(t *testing.T) {
+	if os.Getenv("ARCSIM_UPDATE_REPROS") == "" {
+		t.Skip("set ARCSIM_UPDATE_REPROS=1 to regenerate the repro corpus")
+	}
+	if err := os.MkdirAll(reproDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Mutants() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			tr, seed, err := findCounterexample(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			min, stats := Shrink(tr, func(c *trace.Trace) bool { return CheckMutant(c, m) != nil }, 0)
+			min.Name = fmt.Sprintf("repro-%s-s%d", m.Name, seed)
+			f, err := os.Create(filepath.Join(reproDir, m.Name+".trace"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if err := trace.WriteTo(f, min); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %d -> %d events, %d threads (%d attempts)",
+				m.Name, tr.Events(), min.Events(), min.NumThreads(), stats.Attempts)
+		})
+	}
+}

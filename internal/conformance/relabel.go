@@ -1,0 +1,69 @@
+package conformance
+
+import (
+	"fmt"
+
+	"arcsim/internal/trace"
+)
+
+// Relabeling transformations for the metamorphic tests: a DRF program
+// stays DRF under any bijective renaming of thread IDs and lock/barrier
+// IDs, so the oracle conflict set must stay empty and the executed event
+// count must be invariant.
+//
+// Cycle counts are a subtler invariant: the mesh gives every thread a
+// tile position and every sync ID a home tile (id % cores), so arbitrary
+// renamings legitimately change timing. Offsetting sync IDs by a
+// multiple of the core count preserves every home tile — the one
+// relabeling under which Cycles must be bit-identical.
+
+// PermuteThreads returns a copy of tr with thread i's event stream moved
+// to position perm[i]. perm must be a permutation of 0..NumThreads-1.
+func PermuteThreads(tr *trace.Trace, perm []int) (*trace.Trace, error) {
+	n := tr.NumThreads()
+	if len(perm) != n {
+		return nil, fmt.Errorf("conformance: permutation of length %d for %d threads", len(perm), n)
+	}
+	seen := make([]bool, n)
+	out := &trace.Trace{Name: tr.Name + "-perm", Threads: make([][]trace.Event, n)}
+	for i, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			return nil, fmt.Errorf("conformance: invalid permutation %v", perm)
+		}
+		seen[p] = true
+		out.Threads[p] = append([]trace.Event(nil), tr.Threads[i]...)
+	}
+	return out, nil
+}
+
+// OffsetSyncIDs returns a copy of tr with every lock ID shifted by
+// lockDelta and every barrier ID by barrierDelta. Any deltas preserve
+// validity (the renaming is bijective per ID space); deltas that are
+// multiples of the core count additionally preserve every sync
+// variable's home tile, and with it the run's exact timing.
+func OffsetSyncIDs(tr *trace.Trace, lockDelta, barrierDelta uint32) *trace.Trace {
+	out := &trace.Trace{Name: tr.Name + "-sync", Threads: make([][]trace.Event, len(tr.Threads))}
+	for i, th := range tr.Threads {
+		evs := append([]trace.Event(nil), th...)
+		for j := range evs {
+			switch evs[j].Op {
+			case trace.OpAcquire, trace.OpRelease:
+				evs[j].Arg += lockDelta
+			case trace.OpBarrier:
+				evs[j].Arg += barrierDelta
+			}
+		}
+		out.Threads[i] = evs
+	}
+	return out
+}
+
+// Reversed returns the reversal permutation (thread i -> n-1-i), a
+// convenient fixed bijection for the metamorphic tests.
+func Reversed(n int) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = n - 1 - i
+	}
+	return perm
+}

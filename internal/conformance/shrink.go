@@ -1,0 +1,273 @@
+package conformance
+
+import (
+	"arcsim/internal/trace"
+)
+
+// Predicate reports whether a candidate trace still exhibits the
+// behaviour being minimized (typically "this mutant still fails the
+// differential check on it"). Candidates are always structurally valid:
+// the shrinker discards any transformation whose result fails
+// trace.Validate before consulting the predicate.
+type Predicate func(*trace.Trace) bool
+
+// ShrinkStats accounts for the shrink run.
+type ShrinkStats struct {
+	// Attempts counts predicate evaluations; Accepted counts the ones
+	// that kept the behaviour and were adopted.
+	Attempts, Accepted int
+}
+
+// defaultShrinkBudget bounds predicate evaluations; each evaluation
+// simulates the candidate, so the budget caps shrink cost.
+const defaultShrinkBudget = 4000
+
+// Shrink greedily reduces tr while interesting(tr) holds, iterating
+// passes to a fixpoint (or until the attempt budget is exhausted):
+//
+//  1. drop whole threads,
+//  2. drop barrier columns (the k-th barrier of every thread at once),
+//  3. drop matched acquire/release pairs,
+//  4. drop memory/compute events (largest chunks first, ddmin-style),
+//  5. shrink compute durations (halving).
+//
+// The input trace must satisfy the predicate; Shrink returns the
+// smallest accepted candidate. budget <= 0 selects the default.
+func Shrink(tr *trace.Trace, interesting Predicate, budget int) (*trace.Trace, ShrinkStats) {
+	if budget <= 0 {
+		budget = defaultShrinkBudget
+	}
+	s := &shrinker{pred: interesting, budget: budget}
+	cur := cloneTrace(tr)
+	for {
+		improved := false
+		improved = s.dropThreads(&cur) || improved
+		improved = s.dropBarrierColumns(&cur) || improved
+		improved = s.dropLockPairs(&cur) || improved
+		improved = s.dropEvents(&cur) || improved
+		improved = s.shrinkCompute(&cur) || improved
+		if !improved || s.exhausted() {
+			return cur, s.stats
+		}
+	}
+}
+
+type shrinker struct {
+	pred   Predicate
+	budget int
+	stats  ShrinkStats
+}
+
+func (s *shrinker) exhausted() bool { return s.stats.Attempts >= s.budget }
+
+// accept validates and tests a candidate, adopting it into cur on
+// success.
+func (s *shrinker) accept(cur **trace.Trace, cand *trace.Trace) bool {
+	if s.exhausted() || cand.Validate() != nil {
+		return false
+	}
+	s.stats.Attempts++
+	if !s.pred(cand) {
+		return false
+	}
+	s.stats.Accepted++
+	*cur = cand
+	return true
+}
+
+func (s *shrinker) dropThreads(cur **trace.Trace) bool {
+	improved := false
+	for t := (*cur).NumThreads() - 1; t >= 0 && (*cur).NumThreads() > 1; t-- {
+		cand := cloneTrace(*cur)
+		cand.Threads = append(cand.Threads[:t:t], cand.Threads[t+1:]...)
+		if s.accept(cur, cand) {
+			improved = true
+		}
+	}
+	return improved
+}
+
+// dropBarrierColumns removes the k-th barrier event of every thread at
+// once: removing a barrier on one thread alone would desynchronize the
+// barrier sequences and fail validation.
+func (s *shrinker) dropBarrierColumns(cur **trace.Trace) bool {
+	improved := false
+	for {
+		n := barrierCount((*cur).Threads[0])
+		removedOne := false
+		for k := n - 1; k >= 0; k-- {
+			cand := cloneTrace(*cur)
+			for t := range cand.Threads {
+				if idx := nthBarrierIndex(cand.Threads[t], k); idx >= 0 {
+					cand.Threads[t] = removeAt(cand.Threads[t], idx)
+				}
+			}
+			if s.accept(cur, cand) {
+				improved, removedOne = true, true
+				break // indices shifted; recompute
+			}
+		}
+		if !removedOne {
+			return improved
+		}
+	}
+}
+
+func (s *shrinker) dropLockPairs(cur **trace.Trace) bool {
+	improved := false
+	for t := 0; t < (*cur).NumThreads(); t++ {
+		for {
+			pairs := matchLockPairs((*cur).Threads[t])
+			removedOne := false
+			for i := len(pairs) - 1; i >= 0; i-- {
+				cand := cloneTrace(*cur)
+				cand.Threads[t] = removeAt(cand.Threads[t], pairs[i][1])
+				cand.Threads[t] = removeAt(cand.Threads[t], pairs[i][0])
+				if s.accept(cur, cand) {
+					improved, removedOne = true, true
+					break // pair indices shifted; recompute
+				}
+			}
+			if !removedOne {
+				break
+			}
+		}
+	}
+	return improved
+}
+
+// dropEvents removes runs of memory/compute events, largest chunks
+// first (ddmin-style): big cuts early make the tail of the search cheap.
+func (s *shrinker) dropEvents(cur **trace.Trace) bool {
+	improved := false
+	for t := 0; t < (*cur).NumThreads(); t++ {
+		idxs := removableIndices((*cur).Threads[t])
+		size := len(idxs)
+		for size > 0 {
+			removedOne := false
+			idxs = removableIndices((*cur).Threads[t])
+			if size > len(idxs) {
+				size = len(idxs)
+			}
+			for start := 0; start+size <= len(idxs); start += size {
+				cand := cloneTrace(*cur)
+				cand.Threads[t] = removeIndices(cand.Threads[t], idxs[start:start+size])
+				if s.accept(cur, cand) {
+					improved, removedOne = true, true
+					break // indices shifted; recompute at same size
+				}
+			}
+			if !removedOne {
+				size /= 2
+			}
+		}
+	}
+	return improved
+}
+
+func (s *shrinker) shrinkCompute(cur **trace.Trace) bool {
+	improved := false
+	for t := 0; t < (*cur).NumThreads(); t++ {
+		for i := 0; i < len((*cur).Threads[t]); i++ {
+			ev := (*cur).Threads[t][i]
+			for ev.Op == trace.OpCompute && ev.Arg > 0 {
+				cand := cloneTrace(*cur)
+				cand.Threads[t][i].Arg = ev.Arg / 2
+				if !s.accept(cur, cand) {
+					break
+				}
+				improved = true
+				ev = (*cur).Threads[t][i]
+			}
+		}
+	}
+	return improved
+}
+
+// ---------------------------------------------------------------------------
+// Trace-surgery helpers.
+
+func cloneTrace(tr *trace.Trace) *trace.Trace {
+	out := &trace.Trace{Name: tr.Name, Threads: make([][]trace.Event, len(tr.Threads))}
+	for i, th := range tr.Threads {
+		out.Threads[i] = append([]trace.Event(nil), th...)
+	}
+	return out
+}
+
+func removeAt(th []trace.Event, i int) []trace.Event {
+	out := make([]trace.Event, 0, len(th)-1)
+	out = append(out, th[:i]...)
+	return append(out, th[i+1:]...)
+}
+
+// removeIndices drops the given (ascending) indices from th.
+func removeIndices(th []trace.Event, idxs []int) []trace.Event {
+	drop := make(map[int]bool, len(idxs))
+	for _, i := range idxs {
+		drop[i] = true
+	}
+	out := make([]trace.Event, 0, len(th)-len(idxs))
+	for i, ev := range th {
+		if !drop[i] {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func barrierCount(th []trace.Event) int {
+	n := 0
+	for _, ev := range th {
+		if ev.Op == trace.OpBarrier {
+			n++
+		}
+	}
+	return n
+}
+
+func nthBarrierIndex(th []trace.Event, k int) int {
+	seen := 0
+	for i, ev := range th {
+		if ev.Op == trace.OpBarrier {
+			if seen == k {
+				return i
+			}
+			seen++
+		}
+	}
+	return -1
+}
+
+// matchLockPairs returns the (acquire, release) index pairs of th,
+// matched LIFO per lock ID. Valid traces never interleave a barrier
+// into a held-lock span, so removing a matched pair keeps the trace
+// valid.
+func matchLockPairs(th []trace.Event) [][2]int {
+	open := map[uint32][]int{}
+	var pairs [][2]int
+	for i, ev := range th {
+		switch ev.Op {
+		case trace.OpAcquire:
+			open[ev.Arg] = append(open[ev.Arg], i)
+		case trace.OpRelease:
+			stack := open[ev.Arg]
+			if n := len(stack); n > 0 {
+				pairs = append(pairs, [2]int{stack[n-1], i})
+				open[ev.Arg] = stack[:n-1]
+			}
+		}
+	}
+	return pairs
+}
+
+func removableIndices(th []trace.Event) []int {
+	var out []int
+	for i, ev := range th {
+		switch ev.Op {
+		case trace.OpRead, trace.OpWrite, trace.OpCompute:
+			out = append(out, i)
+		}
+	}
+	return out
+}

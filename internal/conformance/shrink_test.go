@@ -1,0 +1,75 @@
+package conformance
+
+import (
+	"testing"
+
+	"arcsim/internal/core"
+	"arcsim/internal/trace"
+)
+
+// TestShrinkToTrivial: with an always-true predicate the shrinker must
+// collapse any program to a near-empty, still-valid trace.
+func TestShrinkToTrivial(t *testing.T) {
+	prog := Generate(Config{Phases: 3, Locks: 6, MaxNest: 3}, 7)
+	min, stats := Shrink(prog.Trace, func(*trace.Trace) bool { return true }, 0)
+	if err := min.Validate(); err != nil {
+		t.Fatalf("shrunk trace invalid: %v", err)
+	}
+	if min.NumThreads() != 1 {
+		t.Errorf("want 1 thread, got %d", min.NumThreads())
+	}
+	if min.Events() > 2 {
+		t.Errorf("want <= 2 events, got %d:\n%s", min.Events(), renderTrace(min))
+	}
+	if stats.Accepted == 0 {
+		t.Error("shrinker accepted nothing")
+	}
+}
+
+// TestShrinkPreservesPredicate: the shrinker must keep a structural
+// property (here: "some thread still writes the planted line") while
+// stripping everything else.
+func TestShrinkPreservesPredicate(t *testing.T) {
+	prog := Generate(Config{Plant: PlantOverlap}, 3)
+	writesPlant := func(tr *trace.Trace) bool {
+		for _, th := range tr.Threads {
+			for _, ev := range th {
+				if ev.Op == trace.OpWrite && core.LineOf(ev.Addr) == prog.Planted[0] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	min, _ := Shrink(prog.Trace, writesPlant, 0)
+	if !writesPlant(min) {
+		t.Fatal("shrinker dropped the property it was told to preserve")
+	}
+	if min.Events() > 2 {
+		t.Errorf("want <= 2 events, got %d:\n%s", min.Events(), renderTrace(min))
+	}
+}
+
+// TestShrinkRespectsBudget: a tiny budget must bound predicate
+// evaluations.
+func TestShrinkRespectsBudget(t *testing.T) {
+	prog := Generate(Config{}, 1)
+	_, stats := Shrink(prog.Trace, func(*trace.Trace) bool { return true }, 10)
+	if stats.Attempts > 10 {
+		t.Fatalf("budget 10 exceeded: %d attempts", stats.Attempts)
+	}
+}
+
+// TestShrinkBarrierColumns: barrier removal must stay synchronized
+// across threads (single-thread removal would fail validation).
+func TestShrinkBarrierColumns(t *testing.T) {
+	prog := Generate(Config{Phases: 4}, 5)
+	min, _ := Shrink(prog.Trace, func(*trace.Trace) bool { return true }, 0)
+	for _, th := range min.Threads {
+		for _, ev := range th {
+			if ev.Op == trace.OpBarrier {
+				t.Fatalf("barrier survived an always-true shrink:\n%s", renderTrace(min))
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"arcsim/internal/aim"
 	"arcsim/internal/cache"
@@ -80,6 +81,25 @@ type Result struct {
 	CoreEvents []uint64
 
 	Counters map[string]uint64
+}
+
+// NoCQueuePerAccess returns interconnect queueing cycles per memory
+// access, the F7 saturation metric; 0 for runs that made no accesses.
+func (r *Result) NoCQueuePerAccess() float64 {
+	if r.MemAccesses == 0 {
+		return 0
+	}
+	return float64(r.NoC.QueueCycles) / float64(r.MemAccesses)
+}
+
+// finiteOrZero maps NaN/Inf to 0: degenerate runs (zero cycles, no
+// traffic, a windowless 1-tile mesh) can produce 0/0 utilization ratios,
+// and a per-cycle ratio of a run that did nothing is best reported as 0.
+func finiteOrZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }
 
 // LoadImbalance returns max(core finish) / mean(core finish) — 1.0 means
@@ -357,8 +377,8 @@ func fill(res *Result, m *machine.Machine) {
 	res.AIM = m.AIMStats()
 	res.NoC = m.Mesh.Stats
 	res.DRAM = m.Mem.Stats
-	res.NoCPeakUtil = m.Mesh.PeakUtilization()
-	res.DRAMPeakUtil = m.Mem.PeakUtilization()
+	res.NoCPeakUtil = finiteOrZero(m.Mesh.PeakUtilization())
+	res.DRAMPeakUtil = finiteOrZero(m.Mem.PeakUtilization())
 	res.EnergyPJ = m.Meter.Breakdown()
 	res.TotalEnergyPJ = m.Meter.TotalPJ()
 	res.Conflicts = m.Conflicts.Len()

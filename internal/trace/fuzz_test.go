@@ -3,6 +3,10 @@ package trace
 import (
 	"bytes"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
 	"testing"
 )
 
@@ -50,6 +54,131 @@ func TestCodecNeverPanicsOnGarbage(t *testing.T) {
 			continue
 		}
 		// Decoded successfully: Validate must not panic either.
+		_ = tr.Validate()
+		_ = Characterize(tr)
+	}
+}
+
+// FuzzCodec is the native fuzz target for the binary codec: any input
+// that decodes must survive Validate and Characterize without panicking
+// and must round-trip (encode -> decode -> identical trace). The seed
+// corpus under testdata/fuzz/FuzzCodec covers every event kind plus
+// truncation/corruption shapes; `make fuzz` runs this continuously.
+func FuzzCodec(f *testing.F) {
+	for _, tr := range corpusTraces() {
+		var buf bytes.Buffer
+		if err := WriteTo(&buf, tr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte("ARCT"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: only panics/hangs are failures
+		}
+		_ = tr.Validate()
+		_ = Characterize(tr)
+		// A decoded trace is within the encoder's limits (the decoder
+		// caps thread count and name length), so it must round-trip.
+		var buf bytes.Buffer
+		if err := WriteTo(&buf, tr); err != nil {
+			t.Fatalf("re-encode of decoded trace failed: %v", err)
+		}
+		again, err := ReadFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(tr, again) {
+			t.Fatalf("round-trip mismatch:\n%+v\n%+v", tr, again)
+		}
+	})
+}
+
+// corpusTraces are the seed traces for FuzzCodec: every opcode, empty
+// and End-only threads, sub-word accesses, and a large-arg compute.
+func corpusTraces() []*Trace {
+	return []*Trace{
+		{Name: "basic", Threads: [][]Event{
+			{Read(0x100, 4), Write(0x108, 8), End()},
+		}},
+		{Name: "sync", Threads: [][]Event{
+			{Acquire(1), Write(0x200, 2), Release(1), Barrier(0), End()},
+			{Compute(5), Barrier(0), End()},
+		}},
+		{Name: "degenerate", Threads: [][]Event{
+			{},
+			{End()},
+			{Compute(0), End()},
+		}},
+		{Name: "subword", Threads: [][]Event{
+			{Read(0x3f, 1), Write(0x40, 1), Read(0x7ffc, 4), End()},
+		}},
+		{Name: "big-args", Threads: [][]Event{
+			{Compute(1 << 30), Acquire(0xffff_ffff), Release(0xffff_ffff), End()},
+		}},
+		{Name: "", Threads: [][]Event{{End()}}},
+	}
+}
+
+// TestUpdateFuzzCorpus writes the seed corpus into testdata so the seeds
+// are versioned (and exercised even when fuzzing is unavailable). Gated:
+//
+//	ARCSIM_UPDATE_CORPUS=1 go test ./internal/trace/ -run UpdateFuzzCorpus
+func TestUpdateFuzzCorpus(t *testing.T) {
+	if os.Getenv("ARCSIM_UPDATE_CORPUS") == "" {
+		t.Skip("set ARCSIM_UPDATE_CORPUS=1 to regenerate the fuzz seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzCodec")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range corpusTraces() {
+		var buf bytes.Buffer
+		if err := WriteTo(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(buf.String()) + ")\n"
+		name := filepath.Join(dir, "seed-"+strconv.Itoa(i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFuzzCorpusDecodes replays the checked-in corpus files through the
+// decoder (the same property the fuzz target checks), so the corpus is
+// exercised on every plain `go test` run.
+func TestFuzzCorpusDecodes(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "fuzz", "FuzzCodec", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no fuzz seed corpus; regenerate with ARCSIM_UPDATE_CORPUS=1 go test ./internal/trace/")
+	}
+	for _, path := range files {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Corpus file format: "go test fuzz v1\n[]byte(<quoted>)\n".
+		lines := bytes.SplitN(raw, []byte("\n"), 2)
+		if len(lines) != 2 {
+			t.Fatalf("%s: malformed corpus file", path)
+		}
+		payload := string(bytes.TrimSpace(lines[1]))
+		payload = payload[len("[]byte(") : len(payload)-1]
+		data, err := strconv.Unquote(payload)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		tr, err := ReadFrom(bytes.NewReader([]byte(data)))
+		if err != nil {
+			continue
+		}
 		_ = tr.Validate()
 		_ = Characterize(tr)
 	}
