@@ -3,8 +3,12 @@ GO ?= go
 
 # Benchmark baseline: `make bench` runs every benchmark suite once and
 # archives the results as JSON (override BENCHTIME/BENCHOUT to taste).
+# BENCHOUT defaults to the next free BENCH_NNNN.json so a re-run never
+# silently overwrites an archived baseline.
 BENCHTIME ?= 1x
-BENCHOUT  ?= BENCH_0002.json
+BENCHOUT  ?= $(shell n=$$(ls BENCH_[0-9][0-9][0-9][0-9].json 2>/dev/null \
+	| sed -E 's/BENCH_0*([0-9]+)\.json/\1/' | sort -n | tail -1); \
+	printf 'BENCH_%04d.json' $$(( $${n:--1} + 1 )))
 
 # Fuzz smoke: `make fuzz` runs each native fuzz target for FUZZTIME
 # (CI uses 30s; local default 10s per target).
@@ -22,10 +26,12 @@ vet:
 	$(GO) vet ./...
 
 # Race-enabled pass over the concurrent subset: the parallel experiment
-# harness (worker pool + singleflight memo), the engine it drives, and
-# the differential conformance checker.
+# harness (worker pool + singleflight memo), the engine it drives, the
+# differential conformance checker, and the daemon's service + store
+# layers.
 race:
-	$(GO) test -race -short ./internal/bench/ ./internal/sim/ ./internal/conformance/
+	$(GO) test -race -short ./internal/bench/ ./internal/sim/ ./internal/conformance/ \
+		./internal/server/ ./internal/store/
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -1,0 +1,256 @@
+// Command arcsimctl is the thin client for an arcsimd daemon: it
+// submits simulation jobs, watches their lifecycle, and fetches
+// results, so the whole experiment workflow can run against a warm
+// remote store instead of simulating locally.
+//
+// Usage:
+//
+//	arcsimctl [-server URL] submit -workload x264 -protocol arc -cores 32 [-wait]
+//	arcsimctl [-server URL] get j000001
+//	arcsimctl [-server URL] result j000001
+//	arcsimctl [-server URL] watch j000001
+//	arcsimctl [-server URL] cancel j000001
+//	arcsimctl [-server URL] list
+//	arcsimctl [-server URL] health
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"arcsim/internal/server"
+)
+
+func main() {
+	serverURL := flag.String("server", "http://localhost:8080", "arcsimd base URL")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: arcsimctl [-server URL] <submit|get|result|watch|cancel|list|health> ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c := &client{base: strings.TrimRight(*serverURL, "/")}
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "submit":
+		err = c.submit(args)
+	case "get":
+		err = c.jobJSON(args, "")
+	case "result":
+		err = c.jobJSON(args, "/result")
+	case "watch":
+		err = c.watch(args)
+	case "cancel":
+		err = c.cancel(args)
+	case "list":
+		err = c.list()
+	case "health":
+		err = c.getJSON("/healthz", os.Stdout)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arcsimctl:", err)
+		os.Exit(1)
+	}
+}
+
+type client struct{ base string }
+
+// do performs one request and decodes an API error payload on non-2xx.
+func (c *client) do(method, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			msg += " (Retry-After: " + ra + "s)"
+		}
+		return nil, fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, msg)
+	}
+	return resp, nil
+}
+
+func (c *client) getJSON(path string, w io.Writer) error {
+	resp, err := c.do(http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+func (c *client) submit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var spec server.JobSpec
+	fs.StringVar(&spec.Workload, "workload", "", "catalog workload name (or falseshare/aimstress)")
+	fs.StringVar(&spec.Protocol, "protocol", "arc", "design: mesi, ce, ce+, arc (and ablation variants)")
+	fs.IntVar(&spec.Cores, "cores", 0, "core count (0 = daemon default 8)")
+	fs.IntVar(&spec.AIMEntries, "aim", 0, "AIM entries override (0 = design default)")
+	fs.Float64Var(&spec.Scale, "scale", 0, "workload scale (0 = daemon default 0.25)")
+	fs.Int64Var(&spec.Seed, "seed", 0, "workload seed (0 = daemon default 1)")
+	fs.BoolVar(&spec.Oracle, "oracle", false, "cross-check conflicts against the golden oracle")
+	wait := fs.Bool("wait", false, "stream events until the job finishes, then print the result")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(http.MethodPost, "/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var view server.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return err
+	}
+	if !*wait {
+		fmt.Println(view.ID)
+		return nil
+	}
+	final, err := c.follow(view.ID, os.Stderr)
+	if err != nil {
+		return err
+	}
+	if final.State != server.StateDone {
+		return fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error)
+	}
+	return c.getJSON("/v1/jobs/"+final.ID+"/result", os.Stdout)
+}
+
+func oneID(args []string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("expected exactly one job id, got %d args", len(args))
+	}
+	return args[0], nil
+}
+
+func (c *client) jobJSON(args []string, suffix string) error {
+	id, err := oneID(args)
+	if err != nil {
+		return err
+	}
+	return c.getJSON("/v1/jobs/"+id+suffix, os.Stdout)
+}
+
+func (c *client) cancel(args []string) error {
+	id, err := oneID(args)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(http.MethodPost, "/v1/jobs/"+id+"/cancel", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+func (c *client) watch(args []string) error {
+	id, err := oneID(args)
+	if err != nil {
+		return err
+	}
+	final, err := c.follow(id, os.Stdout)
+	if err != nil {
+		return err
+	}
+	if final.State != server.StateDone && final.Error != "" {
+		return fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error)
+	}
+	return nil
+}
+
+// follow consumes the job's SSE stream, echoing events to w, and
+// returns the terminal JobView carried by the final "done" event.
+func (c *client) follow(id string, w io.Writer) (server.JobView, error) {
+	var final server.JobView
+	resp, err := c.do(http.MethodGet, "/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return final, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			fmt.Fprintf(w, "%-5s %s\n", event, data)
+			if event == "done" {
+				if err := json.Unmarshal([]byte(data), &final); err != nil {
+					return final, fmt.Errorf("bad done event %q: %w", data, err)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return final, err
+	}
+	if final.ID == "" {
+		return final, fmt.Errorf("stream for %s ended without a done event (daemon draining?)", id)
+	}
+	return final, nil
+}
+
+func (c *client) list() error {
+	resp, err := c.do(http.MethodGet, "/v1/jobs", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Jobs []server.JobView `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return err
+	}
+	fmt.Printf("%-9s %-10s %-14s %-8s %5s %9s %8s  %s\n",
+		"id", "state", "workload", "proto", "cores", "cycles", "cache", "error")
+	for _, j := range payload.Jobs {
+		cache := ""
+		if j.CacheHit {
+			cache = "hit"
+		}
+		fmt.Printf("%-9s %-10s %-14s %-8s %5d %9d %8s  %s\n",
+			j.ID, j.State, j.Spec.Workload, j.Spec.Protocol, j.Spec.Cores, j.Cycles, cache, j.Error)
+	}
+	return nil
+}

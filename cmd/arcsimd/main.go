@@ -1,0 +1,92 @@
+// Command arcsimd is the arcsim simulation daemon: a networked service
+// that accepts simulation jobs over HTTP/JSON, runs them on a bounded
+// worker pool, and persists every completed result in an on-disk store
+// so nothing is ever simulated twice — across requests, clients, or
+// daemon restarts.
+//
+// Examples:
+//
+//	arcsimd -addr :8080 -store ./results
+//	arcsimd -addr :8080 -store ./results -workers 8 -queue 128 -v
+//
+// See README "Running as a service" for the API and a curl session;
+// cmd/arcsimctl is the matching client. SIGINT/SIGTERM drain gracefully:
+// running simulations finish and flush to the store before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"arcsim/internal/server"
+	"arcsim/internal/store"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		storeDir = flag.String("store", "", "persistent result store directory (empty = in-memory only)")
+		workers  = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "bounded job queue depth (full queue returns 429)")
+		drainFor = flag.Duration("drain-timeout", 10*time.Minute, "max wait for running jobs on shutdown")
+		verbose  = flag.Bool("v", false, "log each simulation run")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "arcsimd: ", log.LstdFlags)
+
+	cfg := server.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Logf:       logger.Printf,
+	}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+	if *storeDir != "" {
+		st, open, err := store.Open(*storeDir)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("%s (%s)", open, *storeDir)
+		cfg.Store = st
+	} else {
+		logger.Printf("no -store: results live only as long as this process")
+	}
+
+	srv := server.New(cfg)
+	srv.Start()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatal(err)
+		}
+	case sig := <-sigCh:
+		logger.Printf("%v: draining (in-flight jobs finish and flush to the store)", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			logger.Printf("drain: %v", err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Printf("http shutdown: %v", err)
+		}
+		logger.Printf("drained, exiting")
+	}
+}

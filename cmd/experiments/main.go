@@ -26,23 +26,33 @@ import (
 
 	"arcsim/internal/bench"
 	"arcsim/internal/stats"
+	"arcsim/internal/store"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "comma-separated experiment IDs (T1,T2,F1..F8,T3,A1..A3,R1,CONF/conformance) or 'all'")
-		scale   = flag.Float64("scale", 0.25, "workload scale (1.0 = full evaluation)")
-		cores   = flag.Int("cores", 32, "core count for per-workload figures")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		sweep   = flag.String("sweep", "8,16,32,64", "core counts for scalability experiments")
-		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
-		mdPath  = flag.String("md", "", "write the markdown record (EXPERIMENTS.md) to this path")
-		outDir  = flag.String("out", "", "also write each experiment's artifact to <dir>/<ID>.txt")
-		verbose = flag.Bool("v", false, "print one line per simulation run")
+		run      = flag.String("run", "all", "comma-separated experiment IDs (T1,T2,F1..F8,T3,A1..A3,R1,CONF/conformance) or 'all'")
+		scale    = flag.Float64("scale", 0.25, "workload scale (1.0 = full evaluation)")
+		cores    = flag.Int("cores", 32, "core count for per-workload figures")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		sweep    = flag.String("sweep", "8,16,32,64", "core counts for scalability experiments")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
+		mdPath   = flag.String("md", "", "write the markdown record (EXPERIMENTS.md) to this path")
+		outDir   = flag.String("out", "", "also write each experiment's artifact to <dir>/<ID>.txt")
+		storeDir = flag.String("store", "", "persistent result store directory (shared with arcsimd): reuse proven results, persist new ones")
+		verbose  = flag.Bool("v", false, "print one line per simulation run")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Seed: *seed, Cores: *cores, Jobs: *jobs}
+	if *storeDir != "" {
+		st, open, err := store.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s (%s)\n", open, *storeDir)
+		cfg.Cache = st
+	}
 	for _, s := range strings.Split(*sweep, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil {
@@ -126,6 +136,9 @@ func timingSummary(r *bench.Runner, wall time.Duration) string {
 	t.AddRow("critical path (longest run)", fmt.Sprintf("%v (%s)",
 		tm.LongestRun.Round(time.Millisecond), tm.LongestKey))
 	t.AddRow("wall-clock", wall.Round(time.Millisecond).String())
+	if tm.CacheHits+tm.CacheMisses > 0 {
+		t.AddRow("store hits / misses", fmt.Sprintf("%d / %d", tm.CacheHits, tm.CacheMisses))
+	}
 	if wall > 0 {
 		t.AddRow("speedup (sim time / wall)", fmt.Sprintf("%.2fx", float64(tm.SimTime)/float64(wall)))
 	}

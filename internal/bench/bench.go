@@ -7,6 +7,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -40,6 +42,34 @@ type Config struct {
 	Jobs int
 	// Progress, when non-nil, receives one line per simulation run.
 	Progress io.Writer
+	// Cache, when non-nil, is a persistent result layer under the
+	// in-memory singleflight memo (the daemon's on-disk store, or any
+	// other implementation). It is consulted before a simulation
+	// executes and written after one succeeds, using CacheKey's
+	// canonical key. Results served from it carry CacheHit=true.
+	Cache Cache
+}
+
+// Cache is the persistent layer under the Runner's memo. Get reports a
+// miss (not an error) for anything it cannot serve; Put failures are
+// surfaced to the caller of the run that produced the result.
+type Cache interface {
+	Get(key string) (*sim.Result, bool)
+	Put(key string, res *sim.Result) error
+}
+
+// CacheKeyVersion stamps the canonical key scheme. Bump it whenever the
+// simulator's observable results change meaning (a new statistic, a
+// semantic fix): old store entries become unreachable instead of serving
+// stale science.
+const CacheKeyVersion = "v1"
+
+// CacheKey returns the canonical persistent-cache key for one run under
+// this config: unlike the in-memory memo key, it carries everything that
+// determines the result bytes — scheme version, scale, seed, and the
+// run coordinates.
+func (c Config) CacheKey(s RunSpec) string {
+	return fmt.Sprintf("%s/scale=%g/seed=%d/%s", CacheKeyVersion, c.Scale, c.Seed, s.key().String())
 }
 
 func (c Config) normalized() Config {
@@ -114,6 +144,10 @@ type Timing struct {
 	SimTime    time.Duration // summed per-run wall-clock (serial cost)
 	LongestRun time.Duration // slowest single run (parallel critical-path floor)
 	LongestKey string        // workload/proto/cores of the slowest run
+	// CacheHits/CacheMisses count persistent-cache (Config.Cache)
+	// consultations; runs served from the cache do not count as Runs.
+	CacheHits   int
+	CacheMisses int
 }
 
 // Runner executes and memoizes simulation runs; experiments that share
@@ -168,13 +202,21 @@ func (r *Runner) record(label string, elapsed time.Duration) {
 // aimEntries 0 selects the design default; oracle-checking is off for
 // performance runs (protocol correctness is covered by the test suite).
 func (r *Runner) Result(wl, proto string, cores, aimEntries int) (*sim.Result, error) {
-	return r.result(wl, proto, cores, aimEntries, false)
+	return r.result(context.Background(), RunSpec{wl, proto, cores, aimEntries, false})
 }
 
 // CheckedResult is Result with the golden-oracle cross-check enabled
 // (used by T3).
 func (r *Runner) CheckedResult(wl, proto string, cores, aimEntries int) (*sim.Result, error) {
-	return r.result(wl, proto, cores, aimEntries, true)
+	return r.result(context.Background(), RunSpec{wl, proto, cores, aimEntries, true})
+}
+
+// SpecResult is the context-aware entry point used by the daemon: the
+// run is abandoned (sim.ErrCanceled) once ctx is done. A canceled run is
+// evicted from the memo so a later request re-executes it; concurrent
+// waiters collapsed onto the canceled flight share its error.
+func (r *Runner) SpecResult(ctx context.Context, s RunSpec) (*sim.Result, error) {
+	return r.result(ctx, s)
 }
 
 // Prefetch executes specs through the memo with up to cfg.Jobs
@@ -190,7 +232,7 @@ func (r *Runner) Prefetch(specs []RunSpec) {
 	}
 	if workers <= 1 {
 		for _, s := range specs {
-			r.result(s.Workload, s.Proto, s.Cores, s.AIMEntries, s.Oracle) //nolint:errcheck
+			r.result(context.Background(), s) //nolint:errcheck
 		}
 		return
 	}
@@ -201,7 +243,7 @@ func (r *Runner) Prefetch(specs []RunSpec) {
 		go func() {
 			defer wg.Done()
 			for s := range work {
-				r.result(s.Workload, s.Proto, s.Cores, s.AIMEntries, s.Oracle) //nolint:errcheck
+				r.result(context.Background(), s) //nolint:errcheck
 			}
 		}()
 	}
@@ -212,8 +254,8 @@ func (r *Runner) Prefetch(specs []RunSpec) {
 	wg.Wait()
 }
 
-func (r *Runner) result(wl, proto string, cores, aimEntries int, oracle bool) (*sim.Result, error) {
-	key := runKey{wl, proto, cores, aimEntries, oracle}
+func (r *Runner) result(ctx context.Context, spec RunSpec) (*sim.Result, error) {
+	key := spec.key()
 	r.mu.Lock()
 	if e, ok := r.memo[key]; ok {
 		r.mu.Unlock()
@@ -224,13 +266,42 @@ func (r *Runner) result(wl, proto string, cores, aimEntries int, oracle bool) (*
 	r.memo[key] = e
 	r.mu.Unlock()
 
-	e.res, e.err = r.execute(key)
+	// Persistent layer first: a result proven in a past process is
+	// served without simulating, flagged so callers can tell.
+	if r.cfg.Cache != nil {
+		if res, ok := r.cfg.Cache.Get(r.cfg.CacheKey(spec)); ok {
+			res.CacheHit = true
+			r.statMu.Lock()
+			r.timing.CacheHits++
+			r.statMu.Unlock()
+			e.res = res
+			close(e.done)
+			return e.res, e.err
+		}
+		r.statMu.Lock()
+		r.timing.CacheMisses++
+		r.statMu.Unlock()
+	}
+
+	e.res, e.err = r.execute(ctx, key)
+	if e.err == nil && r.cfg.Cache != nil {
+		e.err = r.cfg.Cache.Put(r.cfg.CacheKey(spec), e.res)
+	}
+	if e.err != nil && errors.Is(e.err, sim.ErrCanceled) {
+		// A canceled run proves nothing about the configuration: drop
+		// the memo slot so the next request re-executes.
+		r.mu.Lock()
+		if r.memo[key] == e {
+			delete(r.memo, key)
+		}
+		r.mu.Unlock()
+	}
 	close(e.done)
 	return e.res, e.err
 }
 
 // execute performs one simulation (no memo interaction).
-func (r *Runner) execute(key runKey) (*sim.Result, error) {
+func (r *Runner) execute(ctx context.Context, key runKey) (*sim.Result, error) {
 	wl, proto, cores := key.workload, key.proto, key.cores
 	params := workload.Params{Threads: cores, Seed: r.cfg.Seed, Scale: r.cfg.Scale}
 	var tr *trace.Trace
@@ -259,7 +330,7 @@ func (r *Runner) execute(key runKey) (*sim.Result, error) {
 		return nil, err
 	}
 	start := time.Now()
-	res, err := sim.Run(m, p, tr, sim.Options{CheckWithOracle: key.oracle})
+	res, err := sim.RunContext(ctx, m, p, tr, sim.Options{CheckWithOracle: key.oracle})
 	elapsed := time.Since(start)
 	if err != nil {
 		return nil, fmt.Errorf("bench: %s/%s/%d: %w", wl, proto, cores, err)

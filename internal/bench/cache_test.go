@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+
+	"arcsim/internal/sim"
+)
+
+// memCache is an in-memory bench.Cache for tests.
+type memCache struct {
+	mu   sync.Mutex
+	m    map[string]*sim.Result
+	gets []string
+	puts []string
+}
+
+func newMemCache() *memCache { return &memCache{m: make(map[string]*sim.Result)} }
+
+func (c *memCache) Get(key string) (*sim.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gets = append(c.gets, key)
+	res, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	// Decode a fresh copy, as an on-disk store would.
+	data, err := json.Marshal(res)
+	if err != nil {
+		return nil, false
+	}
+	var cp sim.Result
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, false
+	}
+	return &cp, true
+}
+
+func (c *memCache) Put(key string, res *sim.Result) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts = append(c.puts, key)
+	c.m[key] = res
+	return nil
+}
+
+func TestCacheKeyCanonicalForm(t *testing.T) {
+	cfg := Config{Scale: 0.25, Seed: 7}.normalized()
+	got := cfg.CacheKey(RunSpec{Workload: "x264", Proto: "arc", Cores: 32, AIMEntries: 1024, Oracle: true})
+	want := "v1/scale=0.25/seed=7/x264/arc/32/aim1024/oracle"
+	if got != want {
+		t.Fatalf("CacheKey = %q, want %q", got, want)
+	}
+	// The key must separate configurations the memo key does not.
+	other := Config{Scale: 1.0, Seed: 7}.normalized()
+	if cfg.CacheKey(RunSpec{Workload: "x264", Proto: "arc", Cores: 32}) ==
+		other.CacheKey(RunSpec{Workload: "x264", Proto: "arc", Cores: 32}) {
+		t.Fatal("keys collide across scales")
+	}
+}
+
+func TestRunnerPersistentCache(t *testing.T) {
+	cache := newMemCache()
+	cfg := Config{Scale: 0.05, Seed: 1, Jobs: 1, Cache: cache}
+	spec := RunSpec{Workload: "blackscholes", Proto: "arc", Cores: 4}
+
+	// Cold: the run executes and is persisted.
+	r1 := NewRunner(cfg)
+	res1, err := r1.SpecResult(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.CacheHit {
+		t.Fatal("cold run flagged as cache hit")
+	}
+	if tm := r1.Timing(); tm.Runs != 1 || tm.CacheHits != 0 || tm.CacheMisses != 1 {
+		t.Fatalf("cold timing %+v", tm)
+	}
+	if len(cache.puts) != 1 {
+		t.Fatalf("expected 1 Put, got %v", cache.puts)
+	}
+
+	// A second request on the same runner hits the in-memory memo, not
+	// the persistent layer.
+	if _, err := r1.SpecResult(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cache.gets); got != 1 {
+		t.Fatalf("memo hit consulted the persistent cache (%d gets)", got)
+	}
+
+	// A fresh runner (a new process) serves from the persistent layer
+	// without executing, and flags the result.
+	r2 := NewRunner(cfg)
+	res2, err := r2.SpecResult(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.CacheHit {
+		t.Fatal("warm run not flagged as cache hit")
+	}
+	if tm := r2.Timing(); tm.Runs != 0 || tm.CacheHits != 1 {
+		t.Fatalf("warm timing %+v", tm)
+	}
+	b1, _ := json.Marshal(res1)
+	b2, _ := json.Marshal(res2)
+	if string(b1) != string(b2) {
+		t.Fatalf("persistent round trip differs:\n%s\n%s", b1, b2)
+	}
+}
+
+func TestCanceledRunEvictedFromMemo(t *testing.T) {
+	r := NewRunner(Config{Scale: 0.25, Seed: 1, Jobs: 1})
+	spec := RunSpec{Workload: "x264", Proto: "arc", Cores: 8}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.SpecResult(ctx, spec); !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// The canceled flight must not poison the memo: a fresh context
+	// re-executes and succeeds.
+	res, err := r.SpecResult(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("memo poisoned by canceled run: %v", err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("re-executed run produced no cycles")
+	}
+	if tm := r.Timing(); tm.Runs != 1 {
+		t.Fatalf("expected exactly the successful run recorded, got %+v", tm)
+	}
+}

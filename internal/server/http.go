@@ -1,0 +1,216 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// httpError carries a status (and optional headers) from the service
+// layer to the handler.
+type httpError struct {
+	status  int
+	msg     string
+	headers http.Header
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone: nothing to do
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	he, ok := err.(*httpError)
+	if !ok {
+		he = &httpError{http.StatusInternalServerError, err.Error(), nil}
+	}
+	for k, vs := range he.headers {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	writeJSON(w, he.status, map[string]string{"error": he.msg})
+}
+
+func mustJSON(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf(`{"error":%q}`, err.Error())
+	}
+	return string(data)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, &httpError{http.StatusBadRequest, "bad job spec: " + err.Error(), nil})
+		return
+	}
+	j, err := s.submit(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.mu.Lock()
+	view := s.viewLocked(j)
+	s.mu.Unlock()
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobList()})
+}
+
+func (s *Server) lookup(r *http.Request) (*job, error) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, &httpError{http.StatusNotFound, fmt.Sprintf("no job %q", id), nil}
+	}
+	return j, nil
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.mu.Lock()
+	view := s.viewLocked(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	found, canceled := s.cancelJob(id)
+	if !found {
+		writeError(w, &httpError{http.StatusNotFound, fmt.Sprintf("no job %q", id), nil})
+		return
+	}
+	if !canceled {
+		writeError(w, &httpError{http.StatusConflict, "job already finished", nil})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": "canceling"})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.mu.Lock()
+	state, res := j.State, j.result
+	s.mu.Unlock()
+	if state != StateDone || res == nil {
+		writeError(w, &httpError{http.StatusConflict, fmt.Sprintf("job is %s, not done", state), nil})
+		return
+	}
+	// json.Marshal (not the indenting encoder): these bytes are the
+	// store's canonical result encoding, byte-identical across cache
+	// hits and daemon restarts.
+	data, err := json.Marshal(res)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck
+}
+
+// handleEvents streams the job's lifecycle as server-sent events:
+// history first, then live until the job reaches a terminal state, the
+// client disconnects, or the daemon drains.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, &httpError{http.StatusNotImplemented, "streaming unsupported", nil})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	history, live := j.subscribe()
+	if live != nil {
+		defer j.unsubscribe(live)
+	}
+	seq := 0
+	write := func(ev event) {
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", seq, ev.Name, ev.Data)
+		seq++
+	}
+	for _, ev := range history {
+		write(ev)
+	}
+	fl.Flush()
+	if live == nil {
+		return // terminal job: history was complete
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.drainCh:
+			return
+		case _, ok := <-live:
+			// A slow subscriber can drop fan-out sends (the channel is
+			// bounded), so the history — not the channel — is the source
+			// of truth: emit whatever the client has not seen yet.
+			for _, h := range j.history()[seq:] {
+				write(h)
+			}
+			fl.Flush()
+			if !ok {
+				return // job finished and history is final
+			}
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := map[string]any{
+		"status":  "ok",
+		"uptime":  time.Since(s.started).Round(time.Second).String(),
+		"workers": s.cfg.Workers,
+	}
+	if s.draining.Load() {
+		h["status"] = "draining"
+	}
+	if s.cfg.Store != nil {
+		h["store"] = map[string]any{
+			"dir":     s.cfg.Store.Dir(),
+			"results": s.cfg.Store.Len(),
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
+}

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// handleMetrics renders Prometheus text format (hand-rolled: the repo is
+// stdlib-only by design). Metric names are part of the public surface —
+// README "Running as a service" documents them; change both together.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+
+	fmt.Fprintf(w, "# HELP arcsimd_up Whether the daemon is serving (0 while draining).\n")
+	fmt.Fprintf(w, "# TYPE arcsimd_up gauge\n")
+	up := 1
+	if s.draining.Load() {
+		up = 0
+	}
+	fmt.Fprintf(w, "arcsimd_up %d\n", up)
+
+	fmt.Fprintf(w, "# HELP arcsimd_uptime_seconds Seconds since the daemon started.\n")
+	fmt.Fprintf(w, "# TYPE arcsimd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "arcsimd_uptime_seconds %.0f\n", time.Since(s.started).Seconds())
+
+	fmt.Fprintf(w, "# HELP arcsimd_workers Size of the simulation worker pool.\n")
+	fmt.Fprintf(w, "# TYPE arcsimd_workers gauge\n")
+	fmt.Fprintf(w, "arcsimd_workers %d\n", s.cfg.Workers)
+
+	fmt.Fprintf(w, "# HELP arcsimd_queue_depth Jobs waiting in the bounded queue.\n")
+	fmt.Fprintf(w, "# TYPE arcsimd_queue_depth gauge\n")
+	fmt.Fprintf(w, "arcsimd_queue_depth %d\n", len(s.queue))
+
+	fmt.Fprintf(w, "# HELP arcsimd_queue_capacity Bounded queue capacity.\n")
+	fmt.Fprintf(w, "# TYPE arcsimd_queue_capacity gauge\n")
+	fmt.Fprintf(w, "arcsimd_queue_capacity %d\n", cap(s.queue))
+
+	fmt.Fprintf(w, "# HELP arcsimd_jobs Jobs by lifecycle state.\n")
+	fmt.Fprintf(w, "# TYPE arcsimd_jobs gauge\n")
+	counts := s.stateCounts()
+	for _, st := range States() {
+		fmt.Fprintf(w, "arcsimd_jobs{state=%q} %d\n", st, counts[st])
+	}
+
+	fmt.Fprintf(w, "# HELP arcsimd_jobs_running Simulations executing right now.\n")
+	fmt.Fprintf(w, "# TYPE arcsimd_jobs_running gauge\n")
+	fmt.Fprintf(w, "arcsimd_jobs_running %d\n", s.running.Load())
+
+	fmt.Fprintf(w, "# HELP arcsimd_sim_cycles_total Simulated cycles served, by protocol.\n")
+	fmt.Fprintf(w, "# TYPE arcsimd_sim_cycles_total counter\n")
+	cycles := s.cycleCounts()
+	for _, proto := range sortedKeys(cycles) {
+		fmt.Fprintf(w, "arcsimd_sim_cycles_total{protocol=%q} %d\n", proto, cycles[proto])
+	}
+
+	if s.cfg.Store != nil {
+		fmt.Fprintf(w, "# HELP arcsimd_store_results Results in the persistent store.\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_store_results gauge\n")
+		fmt.Fprintf(w, "arcsimd_store_results %d\n", s.cfg.Store.Len())
+
+		fmt.Fprintf(w, "# HELP arcsimd_store_hits_total Store lookups served without simulating.\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_store_hits_total counter\n")
+		fmt.Fprintf(w, "arcsimd_store_hits_total %d\n", s.cfg.Store.Hits())
+
+		fmt.Fprintf(w, "# HELP arcsimd_store_misses_total Store lookups that required simulation.\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_store_misses_total counter\n")
+		fmt.Fprintf(w, "arcsimd_store_misses_total %d\n", s.cfg.Store.Misses())
+	}
+}

@@ -1,0 +1,518 @@
+// Package server is arcsimd's service layer: an HTTP/JSON job API over
+// the bench.Runner engine, with a bounded work queue, per-job
+// cancellation, server-sent-event progress streams, Prometheus-text
+// metrics, and a persistent result store (internal/store) under the
+// runner's memo so a restarted daemon never re-proves a result.
+//
+// Endpoints (README "Running as a service" shows a full curl session):
+//
+//	POST   /v1/jobs               submit a JobSpec; 429 + Retry-After when the queue is full
+//	GET    /v1/jobs               list jobs (newest last)
+//	GET    /v1/jobs/{id}          one job's state
+//	POST   /v1/jobs/{id}/cancel   cancel (queued or mid-run); DELETE /v1/jobs/{id} is an alias
+//	GET    /v1/jobs/{id}/result   the raw persisted sim.Result JSON
+//	GET    /v1/jobs/{id}/events   SSE lifecycle stream (replays history, then follows)
+//	GET    /healthz               liveness + store summary
+//	GET    /metrics               Prometheus text format
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arcsim/internal/bench"
+	"arcsim/internal/machine"
+	"arcsim/internal/protocols"
+	"arcsim/internal/sim"
+	"arcsim/internal/store"
+	"arcsim/internal/workload"
+)
+
+// JobSpec is a client's run request: the same coordinates the experiment
+// harness feeds bench.Runner. Zero values take the harness defaults
+// (scale 0.25, seed 1, cores 8).
+type JobSpec struct {
+	Workload   string  `json:"workload"`
+	Protocol   string  `json:"protocol"`
+	Cores      int     `json:"cores,omitempty"`
+	AIMEntries int     `json:"aimEntries,omitempty"`
+	Scale      float64 `json:"scale,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	Oracle     bool    `json:"oracle,omitempty"`
+}
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// States lists every job state, in lifecycle order (for metrics).
+func States() []string {
+	return []string{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled}
+}
+
+// JobView is the client-facing snapshot of one job.
+type JobView struct {
+	ID      string    `json:"id"`
+	Spec    JobSpec   `json:"spec"`
+	State   string    `json:"state"`
+	Error   string    `json:"error,omitempty"`
+	Created time.Time `json:"created"`
+	Started time.Time `json:"started"`
+	Done    time.Time `json:"finished"`
+	// CacheHit reports the result was served from the persistent store
+	// without simulating.
+	CacheHit bool `json:"cacheHit"`
+	// Cycles summarizes the result inline (full result at /result).
+	Cycles uint64 `json:"cycles,omitempty"`
+}
+
+// job is the server-side record. The server's mu guards JobView's
+// mutable fields; the SSE history has its own lock so streaming never
+// contends with the scheduler.
+type job struct {
+	JobView
+
+	result *sim.Result
+	cancel context.CancelCauseFunc
+	ctx    context.Context
+
+	evMu   sync.Mutex
+	events []event
+	subs   map[chan event]struct{}
+}
+
+type event struct {
+	Name string // SSE event: field
+	Data string // SSE data: field (JSON)
+}
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds concurrently running simulations (default
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs waiting to run (default 64). A full queue
+	// rejects submissions with 429 + Retry-After.
+	QueueDepth int
+	// Store, when non-nil, persists every completed result and serves
+	// repeats without simulating.
+	Store *store.Store
+	// Logf receives one line per lifecycle transition (default: none).
+	Logf func(format string, args ...any)
+	// Progress receives the runner's per-simulation lines (optional).
+	Progress io.Writer
+}
+
+func (c Config) normalized() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the arcsimd service. Create with New, install Handler into
+// an http.Server, call Start, and Drain on shutdown.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue chan *job
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // creation order
+	nextID  int
+	runners map[string]*bench.Runner // one per (scale, seed)
+	cycles  map[string]uint64        // simulated cycles per protocol
+
+	running  atomic.Int64
+	draining atomic.Bool
+	drainCh  chan struct{}
+	wg       sync.WaitGroup
+	started  time.Time
+
+	// runJob executes one spec; tests substitute a stub to script
+	// slow/failing runs without simulating.
+	runJob func(ctx context.Context, spec JobSpec) (*sim.Result, error)
+}
+
+// New builds a Server (workers not yet started).
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.normalized(),
+		jobs:    make(map[string]*job),
+		runners: make(map[string]*bench.Runner),
+		cycles:  make(map[string]uint64),
+		drainCh: make(chan struct{}),
+		started: time.Now(),
+	}
+	s.queue = make(chan *job, s.cfg.QueueDepth)
+	s.runJob = s.simulate
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Drain stops accepting jobs (submissions get 503), lets every running
+// simulation finish and flush its result to the store, marks still-queued
+// jobs canceled, and returns. ctx bounds the wait.
+func (s *Server) Drain(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil // already draining
+	}
+	close(s.drainCh)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+	}
+	// Workers are gone; whatever is still queued will never run.
+	for {
+		select {
+		case j := <-s.queue:
+			s.finish(j, nil, errors.New("daemon draining"), StateCanceled)
+		default:
+			return nil
+		}
+	}
+}
+
+// worker pulls jobs until drain. The current job always completes (and
+// its result is persisted) before the worker exits.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.drainCh:
+			return
+		case j := <-s.queue:
+			s.process(j)
+		}
+	}
+}
+
+func (s *Server) process(j *job) {
+	s.mu.Lock()
+	if j.State != StateQueued { // canceled while queued
+		s.mu.Unlock()
+		return
+	}
+	j.State = StateRunning
+	j.Started = time.Now()
+	s.mu.Unlock()
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	s.emit(j, "state", fmt.Sprintf(`{"id":%q,"state":%q}`, j.ID, StateRunning))
+	s.cfg.Logf("job %s running: %s/%s/%d", j.ID, j.Spec.Workload, j.Spec.Protocol, j.Spec.Cores)
+
+	res, err := s.runJob(j.ctx, j.Spec)
+	switch {
+	case err == nil:
+		s.finish(j, res, nil, StateDone)
+	case errors.Is(err, sim.ErrCanceled) || errors.Is(err, context.Canceled):
+		s.finish(j, nil, context.Cause(j.ctx), StateCanceled)
+	default:
+		s.finish(j, nil, err, StateFailed)
+	}
+}
+
+// finish moves j to a terminal state and publishes the final event.
+func (s *Server) finish(j *job, res *sim.Result, err error, state string) {
+	s.mu.Lock()
+	j.State = state
+	j.Done = time.Now()
+	j.result = res
+	if res != nil {
+		j.CacheHit = res.CacheHit
+		j.Cycles = res.Cycles
+		s.cycles[j.Spec.Protocol] += res.Cycles
+	}
+	if err != nil {
+		j.Error = err.Error()
+	}
+	view := s.viewLocked(j)
+	s.mu.Unlock()
+	s.emit(j, "state", fmt.Sprintf(`{"id":%q,"state":%q}`, j.ID, state))
+	s.emit(j, "done", mustJSON(view))
+	s.closeSubs(j)
+	s.cfg.Logf("job %s %s (cacheHit=%v, err=%v)", j.ID, state, j.CacheHit, err)
+}
+
+// simulate is the production runJob: route the spec through the shared
+// per-(scale,seed) runner so concurrent identical jobs singleflight and
+// the persistent store sits under the memo.
+func (s *Server) simulate(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+	return s.runner(spec).SpecResult(ctx, bench.RunSpec{
+		Workload:   spec.Workload,
+		Proto:      spec.Protocol,
+		Cores:      spec.Cores,
+		AIMEntries: spec.AIMEntries,
+		Oracle:     spec.Oracle,
+	})
+}
+
+// runner returns (creating on first use) the runner for spec's
+// scale/seed pair.
+func (s *Server) runner(spec JobSpec) *bench.Runner {
+	key := fmt.Sprintf("%g|%d", spec.Scale, spec.Seed)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.runners[key]; ok {
+		return r
+	}
+	cfg := bench.Config{Scale: spec.Scale, Seed: spec.Seed, Progress: s.cfg.Progress}
+	if s.cfg.Store != nil {
+		cfg.Cache = s.cfg.Store
+	}
+	r := bench.NewRunner(cfg)
+	s.runners[key] = r
+	return r
+}
+
+// submit validates, registers, and enqueues a job. It returns the job,
+// or an httpError carrying the status to serve.
+func (s *Server) submit(spec JobSpec) (*job, error) {
+	if err := normalizeSpec(&spec); err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error(), nil}
+	}
+	if s.draining.Load() {
+		return nil, &httpError{http.StatusServiceUnavailable, "daemon is draining", nil}
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	s.mu.Lock()
+	s.nextID++
+	j := &job{
+		JobView: JobView{
+			ID:      fmt.Sprintf("j%06d", s.nextID),
+			Spec:    spec,
+			State:   StateQueued,
+			Created: time.Now(),
+		},
+		ctx:    ctx,
+		cancel: cancel,
+		subs:   make(map[chan event]struct{}),
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		cancel(nil)
+		return nil, &httpError{
+			http.StatusTooManyRequests, "job queue is full",
+			http.Header{"Retry-After": []string{"5"}},
+		}
+	}
+	s.emit(j, "state", fmt.Sprintf(`{"id":%q,"state":%q}`, j.ID, StateQueued))
+	s.cfg.Logf("job %s queued: %s/%s/%d", j.ID, spec.Workload, spec.Protocol, spec.Cores)
+	return j, nil
+}
+
+// cancelJob cancels a queued or running job. Terminal jobs are left
+// untouched (reported via the bool).
+func (s *Server) cancelJob(id string) (found, canceled bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return false, false
+	}
+	state := j.State
+	s.mu.Unlock()
+	switch state {
+	case StateQueued:
+		// The worker's process() skips jobs that left StateQueued; mark
+		// it canceled right here so the client sees it immediately.
+		j.cancel(errors.New("canceled while queued"))
+		s.finish(j, nil, errors.New("canceled while queued"), StateCanceled)
+		return true, true
+	case StateRunning:
+		// The run's context unwinds sim.RunContext; the worker
+		// finalizes the state.
+		j.cancel(errors.New("canceled by client"))
+		return true, true
+	default:
+		return true, false
+	}
+}
+
+// emit appends one SSE event to the job's history and fans it out.
+func (s *Server) emit(j *job, name, data string) {
+	j.evMu.Lock()
+	defer j.evMu.Unlock()
+	ev := event{Name: name, Data: data}
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: it will see the event on replay-catch-up
+		}
+	}
+}
+
+// subscribe returns the event history so far plus a live channel (nil
+// once the job is terminal and history is complete).
+func (j *job) subscribe() ([]event, chan event) {
+	j.evMu.Lock()
+	defer j.evMu.Unlock()
+	history := append([]event(nil), j.events...)
+	if j.subs == nil { // closed: terminal job, history is final
+		return history, nil
+	}
+	ch := make(chan event, 16)
+	j.subs[ch] = struct{}{}
+	return history, ch
+}
+
+// history snapshots the event log without subscribing.
+func (j *job) history() []event {
+	j.evMu.Lock()
+	defer j.evMu.Unlock()
+	return append([]event(nil), j.events...)
+}
+
+func (j *job) unsubscribe(ch chan event) {
+	j.evMu.Lock()
+	defer j.evMu.Unlock()
+	if j.subs != nil {
+		delete(j.subs, ch)
+	}
+}
+
+// closeSubs ends every live stream after the terminal event.
+func (s *Server) closeSubs(j *job) {
+	j.evMu.Lock()
+	defer j.evMu.Unlock()
+	for ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+}
+
+// normalizeSpec applies defaults and validates against the same rules
+// the engine enforces, so bad requests fail at submit time with a 400
+// instead of becoming failed jobs.
+func normalizeSpec(spec *JobSpec) error {
+	spec.Protocol = strings.ToLower(strings.TrimSpace(spec.Protocol))
+	spec.Workload = strings.TrimSpace(spec.Workload)
+	if spec.Scale <= 0 {
+		spec.Scale = 0.25
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	if spec.Cores == 0 {
+		spec.Cores = 8
+	}
+	if spec.Workload == "" {
+		return errors.New("workload is required")
+	}
+	switch spec.Workload {
+	case "falseshare", "aimstress": // engine specials outside the catalog
+	default:
+		if _, ok := workload.ByName(spec.Workload); !ok {
+			return fmt.Errorf("unknown workload %q", spec.Workload)
+		}
+	}
+	if spec.Cores < 1 || spec.Cores > 256 {
+		return fmt.Errorf("cores %d out of range [1,256]", spec.Cores)
+	}
+	if spec.AIMEntries < 0 {
+		return fmt.Errorf("aimEntries %d must be >= 0", spec.AIMEntries)
+	}
+	// Building the machine validates protocol name, core count, and AIM
+	// geometry with the engine's own rules.
+	mcfg := machine.Default(spec.Cores)
+	if spec.AIMEntries > 0 {
+		mcfg.AIM.Entries = spec.AIMEntries
+	}
+	if _, _, err := protocols.Build(spec.Protocol, mcfg); err != nil {
+		return err
+	}
+	return nil
+}
+
+// viewLocked snapshots a job for JSON (caller holds s.mu).
+func (s *Server) viewLocked(j *job) JobView {
+	return j.JobView
+}
+
+// jobList snapshots every job in creation order.
+func (s *Server) jobList() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.viewLocked(s.jobs[id]))
+	}
+	return out
+}
+
+// stateCounts returns the number of jobs in each state.
+func (s *Server) stateCounts() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	counts := make(map[string]int, 5)
+	for _, j := range s.jobs {
+		counts[j.State]++
+	}
+	return counts
+}
+
+// cycleCounts snapshots the per-protocol simulated-cycle counters.
+func (s *Server) cycleCounts() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.cycles))
+	for k, v := range s.cycles {
+		out[k] = v
+	}
+	return out
+}
+
+// sortedKeys is a tiny helper for deterministic metric ordering.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,333 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"arcsim/internal/sim"
+	"arcsim/internal/store"
+)
+
+func postJob(t *testing.T, ts *httptest.Server, spec JobSpec) (*http.Response, JobView) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view JobView
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(data, &view); err != nil {
+			t.Fatalf("bad submit response %s: %v", data, err)
+		}
+	}
+	return resp, view
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) JobView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	return view
+}
+
+// waitState polls until the job reaches any of the wanted states.
+func waitState(t *testing.T, ts *httptest.Server, id string, want ...string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		v := getJob(t, ts, id)
+		for _, w := range want {
+			if v.State == w {
+				return v
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %v", id, want)
+	return JobView{}
+}
+
+func fetchResult(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result fetch: %d %s", resp.StatusCode, data)
+	}
+	return data
+}
+
+// sseEvents reads the job's SSE stream until it ends (terminal job) and
+// returns the event names in order.
+func sseEvents(t *testing.T, ts *httptest.Server, id string) []string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type %q", ct)
+	}
+	var names []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if name, ok := strings.CutPrefix(sc.Text(), "event: "); ok {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// tinySpec is a real simulation small enough for tests.
+func tinySpec() JobSpec {
+	return JobSpec{Workload: "blackscholes", Protocol: "arc", Cores: 4, Scale: 0.05, Seed: 1}
+}
+
+// TestLifecycleAcrossRestart is the tentpole's acceptance test: submit a
+// real job, fetch its result, drain; then restart the daemon on the same
+// store and observe a cache hit with byte-identical result bytes and no
+// re-simulation.
+func TestLifecycleAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: 2, QueueDepth: 4, Store: st})
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+
+	resp, view := postJob(t, ts, tinySpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	done := waitState(t, ts, view.ID, StateDone, StateFailed)
+	if done.State != StateDone {
+		t.Fatalf("first run: %+v", done)
+	}
+	if done.CacheHit {
+		t.Fatal("first run claims a cache hit on an empty store")
+	}
+	if done.Cycles == 0 {
+		t.Fatal("done job reports zero cycles")
+	}
+	first := fetchResult(t, ts, view.ID)
+
+	// SSE on a finished job replays the full history and terminates.
+	events := sseEvents(t, ts, view.ID)
+	if want := []string{"state", "state", "state", "done"}; fmt.Sprint(events) != fmt.Sprint(want) {
+		t.Fatalf("event stream %v, want %v", events, want)
+	}
+
+	// Graceful drain, then a restart over the same store directory.
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := postJob(t, ts, tinySpec()); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining daemon accepted a job: %d", resp.StatusCode)
+	}
+	ts.Close()
+
+	st2, open, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.Entries != 1 {
+		t.Fatalf("store after restart: %+v", open)
+	}
+	srv2 := New(Config{Workers: 2, QueueDepth: 4, Store: st2})
+	srv2.Start()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	defer srv2.Drain(context.Background()) //nolint:errcheck
+
+	_, view2 := postJob(t, ts2, tinySpec())
+	done2 := waitState(t, ts2, view2.ID, StateDone, StateFailed)
+	if done2.State != StateDone {
+		t.Fatalf("replay run: %+v", done2)
+	}
+	if !done2.CacheHit {
+		t.Fatal("restarted daemon re-simulated instead of hitting the store")
+	}
+	second := fetchResult(t, ts2, view2.ID)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("cache hit not byte-identical:\n first %s\n second %s", first, second)
+	}
+	if tm := srv2.runners[fmt.Sprintf("%g|%d", 0.05, int64(1))].Timing(); tm.Runs != 0 || tm.CacheHits != 1 {
+		t.Fatalf("runner executed %d run(s), cacheHits=%d; want 0 runs, 1 hit", tm.Runs, tm.CacheHits)
+	}
+
+	// /metrics exposes queue depth, jobs by state, and store counters.
+	resp3, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	for _, want := range []string{
+		"arcsimd_queue_depth 0",
+		`arcsimd_jobs{state="done"} 1`,
+		"arcsimd_store_hits_total 1",
+		"arcsimd_store_misses_total",
+		"arcsimd_store_results 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// /healthz reports the store.
+	resp4, err := http.Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health, _ := io.ReadAll(resp4.Body)
+	resp4.Body.Close()
+	if !strings.Contains(string(health), `"ok"`) || !strings.Contains(string(health), `"results": 1`) {
+		t.Errorf("healthz: %s", health)
+	}
+}
+
+// TestQueueFullCancelAndSSE scripts the bounded queue and cancellation
+// paths with a stubbed runner: one worker, queue depth one.
+func TestQueueFullCancelAndSSE(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	srv.runJob = func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: %v", sim.ErrCanceled, context.Cause(ctx))
+		case <-release:
+			return &sim.Result{Protocol: spec.Protocol, Workload: spec.Workload, Cores: spec.Cores, Cycles: 42}, nil
+		}
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(context.Background()) //nolint:errcheck
+
+	// j1 occupies the worker; j2 fills the queue; j3 must bounce.
+	_, j1 := postJob(t, ts, tinySpec())
+	waitState(t, ts, j1.ID, StateRunning)
+	_, j2 := postJob(t, ts, tinySpec())
+	resp3, _ := postJob(t, ts, tinySpec())
+	if resp3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue returned %d, want 429", resp3.StatusCode)
+	}
+	if ra := resp3.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// Cancel the queued job: it must go terminal without ever running.
+	if resp, err := http.Post(ts.URL+"/v1/jobs/"+j2.ID+"/cancel", "", nil); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel queued: %v %v", resp.StatusCode, err)
+	}
+	if v := waitState(t, ts, j2.ID, StateCanceled); !v.Started.IsZero() {
+		t.Fatalf("canceled queued job had started: %+v", v)
+	}
+
+	// Cancel the running job mid-run: the stub unwinds via ctx exactly
+	// like sim.RunContext does.
+	if resp, err := http.Post(ts.URL+"/v1/jobs/"+j1.ID+"/cancel", "", nil); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel running: %v %v", resp.StatusCode, err)
+	}
+	waitState(t, ts, j1.ID, StateCanceled)
+	events := sseEvents(t, ts, j1.ID)
+	if want := []string{"state", "state", "state", "done"}; fmt.Sprint(events) != fmt.Sprint(want) {
+		t.Fatalf("canceled job events %v, want %v", events, want)
+	}
+
+	// Canceling a terminal job is a 409; unknown jobs are 404.
+	if resp, _ := http.Post(ts.URL+"/v1/jobs/"+j1.ID+"/cancel", "", nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("re-cancel: %d, want 409", resp.StatusCode)
+	}
+	if resp, _ := http.Get(ts.URL + "/v1/jobs/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Fatal("missing job not 404")
+	}
+
+	// The worker is free again: a fresh job runs to completion.
+	close(release)
+	_, j4 := postJob(t, ts, tinySpec())
+	if v := waitState(t, ts, j4.ID, StateDone); v.Cycles != 42 {
+		t.Fatalf("post-cancel job: %+v", v)
+	}
+
+	// Fetching the result of a canceled job is a 409.
+	if resp, _ := http.Get(ts.URL + "/v1/jobs/" + j1.ID + "/result"); resp.StatusCode != http.StatusConflict {
+		t.Fatal("canceled job served a result")
+	}
+}
+
+// TestLiveSSEFollowsJob subscribes before the job finishes and sees the
+// live transition to done.
+func TestLiveSSEFollowsJob(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	release := make(chan struct{})
+	srv.runJob = func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		<-release
+		return &sim.Result{Cycles: 7}, nil
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(context.Background()) //nolint:errcheck
+
+	_, j := postJob(t, ts, tinySpec())
+	waitState(t, ts, j.ID, StateRunning)
+	got := make(chan []string, 1)
+	go func() { got <- sseEvents(t, ts, j.ID) }()
+	time.Sleep(20 * time.Millisecond) // let the stream attach mid-run
+	close(release)
+	select {
+	case events := <-got:
+		if len(events) == 0 || events[len(events)-1] != "done" {
+			t.Fatalf("live stream events: %v", events)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("live SSE stream never terminated")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 1})
+	// No Start: validation must reject before anything reaches the queue.
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, spec := range []JobSpec{
+		{},                                    // no workload
+		{Workload: "nope", Protocol: "arc"},   // unknown workload
+		{Workload: "x264", Protocol: "turbo"}, // unknown protocol
+		{Workload: "x264", Protocol: "arc", Cores: -3},  // bad cores
+		{Workload: "x264", Protocol: "arc", Cores: 999}, // too many cores
+	} {
+		resp, _ := postJob(t, ts, spec)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %+v: got %d, want 400", spec, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"arcsim/internal/machine"
+	"arcsim/internal/protocols"
+	"arcsim/internal/trace"
+	"arcsim/internal/workload"
+)
+
+func buildRun(t *testing.T) (*machine.Machine, machine.Protocol, *trace.Trace) {
+	t.Helper()
+	spec, ok := workload.ByName("x264")
+	if !ok {
+		t.Fatal("x264 not in catalog")
+	}
+	tr := spec.Build(workload.Params{Threads: 8, Seed: 1, Scale: 0.25})
+	m, p, err := protocols.Build(protocols.ARC, machine.Default(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, p, tr
+}
+
+func TestRunContextCanceledBeforeStart(t *testing.T) {
+	m, p, tr := buildRun(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, m, p, tr, Options{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if res != nil {
+		t.Fatal("canceled run returned a result")
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	m, p, tr := buildRun(t)
+	ctx, cancel := context.WithCancelCause(context.Background())
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := RunContext(ctx, m, p, tr, Options{})
+		done <- err
+	}()
+	<-started
+	cancel(errors.New("client went away"))
+	err := <-done
+	// The run either finished before the poll noticed (legal for tiny
+	// traces) or reports cancellation with the cause attached.
+	if err != nil {
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+		if got := err.Error(); !strings.Contains(got, "client went away") {
+			t.Fatalf("cause lost: %q", got)
+		}
+	}
+}
+
+func TestRunIsRunContextBackground(t *testing.T) {
+	// Run must stay un-cancellable and identical to a Background
+	// RunContext: same workload, same cycles.
+	m1, p1, tr1 := buildRun(t)
+	r1, err := Run(m1, p1, tr1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, p2, tr2 := buildRun(t)
+	r2, err := RunContext(context.Background(), m2, p2, tr2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Events != r2.Events {
+		t.Fatalf("Run and RunContext disagree: %d/%d vs %d/%d cycles/events",
+			r1.Cycles, r1.Events, r2.Cycles, r2.Events)
+	}
+}

@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -68,6 +69,11 @@ type Result struct {
 	Conflicts  int
 	Exceptions []core.Exception
 	Halted     bool
+	// CacheHit marks a result that was served from a persistent result
+	// store rather than simulated in this process. It is excluded from
+	// the persisted encoding so that a stored result and its cache-hit
+	// replay remain byte-identical.
+	CacheHit bool `json:"-"`
 	// OracleChecked records that this run was mirrored into the golden
 	// detector and its conflict set verified (Options.CheckWithOracle).
 	OracleChecked bool
@@ -127,7 +133,15 @@ var (
 	ErrDeadlock  = errors.New("sim: deadlock (all live cores blocked)")
 	ErrMaxCycles = errors.New("sim: cycle limit exceeded")
 	ErrThreads   = errors.New("sim: trace thread count does not match machine cores")
+	// ErrCanceled reports that the run's context was canceled before the
+	// trace finished (RunContext).
+	ErrCanceled = errors.New("sim: run canceled")
 )
+
+// cancelCheckInterval is how many scheduler steps pass between context
+// polls: frequent enough that cancellation lands within microseconds of
+// real time, rare enough that the select never shows up in a profile.
+const cancelCheckInterval = 4096
 
 type coreStatus uint8
 
@@ -150,8 +164,19 @@ type barrierState struct {
 	waiting []int
 }
 
-// Run simulates tr on machine m under protocol proto.
+// Run simulates tr on machine m under protocol proto. It cannot be
+// interrupted; long runs that may need to be abandoned (a service
+// handling a client disconnect, a canceled experiment) should use
+// RunContext.
 func Run(m *machine.Machine, proto machine.Protocol, tr *trace.Trace, opt Options) (*Result, error) {
+	return RunContext(context.Background(), m, proto, tr, opt)
+}
+
+// RunContext is Run with cooperative cancellation: the scheduler loop
+// polls ctx every few thousand steps and abandons the run with an error
+// wrapping ErrCanceled once the context is done. A canceled run returns
+// no Result — the machine's statistics are mid-flight and unusable.
+func RunContext(ctx context.Context, m *machine.Machine, proto machine.Protocol, tr *trace.Trace, opt Options) (*Result, error) {
 	if tr.NumThreads() != m.Cfg.Cores {
 		return nil, fmt.Errorf("%w: %d threads on %d cores", ErrThreads, tr.NumThreads(), m.Cfg.Cores)
 	}
@@ -195,7 +220,18 @@ func Run(m *machine.Machine, proto machine.Protocol, tr *trace.Trace, opt Option
 		return lat
 	}
 
+	var steps uint64
 	for {
+		steps++
+		// %interval == 1 so the very first step polls too: an
+		// already-canceled context never starts simulating.
+		if steps%cancelCheckInterval == 1 {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%w: %v", ErrCanceled, context.Cause(ctx))
+			default:
+			}
+		}
 		if m.Halted {
 			res.Halted = true
 			break

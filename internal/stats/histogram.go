@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/bits"
 	"strings"
@@ -97,6 +98,46 @@ func (h *Histogram) Merge(o *Histogram) {
 	if o.max > h.max {
 		h.max = o.max
 	}
+}
+
+// histogramJSON is the wire form: sparse buckets (index→count) keep the
+// mostly-empty 40-bucket array out of persisted results.
+type histogramJSON struct {
+	Buckets map[int]uint64 `json:"buckets,omitempty"`
+	Count   uint64         `json:"count"`
+	Sum     uint64         `json:"sum"`
+	Max     uint64         `json:"max"`
+}
+
+// MarshalJSON encodes the histogram losslessly; sim results carrying
+// latency profiles survive a trip through the persistent result store.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	w := histogramJSON{Count: h.count, Sum: h.sum, Max: h.max}
+	for i, c := range h.buckets {
+		if c != 0 {
+			if w.Buckets == nil {
+				w.Buckets = make(map[int]uint64)
+			}
+			w.Buckets[i] = c
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the MarshalJSON form.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*h = Histogram{count: w.Count, sum: w.Sum, max: w.Max}
+	for i, c := range w.Buckets {
+		if i < 0 || i >= len(h.buckets) {
+			return fmt.Errorf("stats: histogram bucket index %d out of range", i)
+		}
+		h.buckets[i] = c
+	}
+	return nil
 }
 
 // String renders the non-empty buckets as a compact ASCII profile.

@@ -1,0 +1,278 @@
+// Package store is the daemon's persistent result store: a
+// content-addressed on-disk map from canonical run keys (see
+// bench.Config.CacheKey) to completed sim.Results. A result proven once
+// — by any process, in any past daemon lifetime — is never recomputed.
+//
+// On-disk format (DESIGN.md "Persistent result store" has the full
+// rationale):
+//
+//	<dir>/index.json            key → {blob, sha256} map, version-stamped
+//	<dir>/blobs/<addr>.json     one envelope per result
+//	<dir>/quarantine/           corrupt blobs moved aside by Open
+//
+// The blob address is the hex SHA-256 of "arcsim-store-v1\x00" + key, so
+// a key maps to the same file name forever and concurrent writers of the
+// same key converge on the same blob. Every write is temp-file +
+// fsync-free atomic rename: a crash mid-Put leaves either the old state
+// or the new state, never a torn file. The index carries each blob's
+// SHA-256; Open re-hashes every blob and quarantines — rather than
+// trusts or deletes — anything that does not match.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"arcsim/internal/sim"
+)
+
+// FormatVersion stamps the index and every blob envelope. A reader that
+// sees a newer version refuses the store rather than misreading it.
+const FormatVersion = 1
+
+// addrSalt versions the key→address mapping itself: changing the
+// canonical key scheme means changing the salt, so stale-format blobs
+// become unreachable instead of wrongly matching.
+const addrSalt = "arcsim-store-v1\x00"
+
+// envelope is the blob file contents: the result plus enough context to
+// validate it standalone (a quarantined blob still says what it was).
+type envelope struct {
+	Version int         `json:"version"`
+	Key     string      `json:"key"`
+	Result  *sim.Result `json:"result"`
+}
+
+type indexEntry struct {
+	Blob   string `json:"blob"`
+	SHA256 string `json:"sha256"`
+}
+
+type indexFile struct {
+	Version int                   `json:"version"`
+	Entries map[string]indexEntry `json:"entries"`
+}
+
+// OpenStats summarizes what Open found.
+type OpenStats struct {
+	Entries     int // valid results available
+	Quarantined int // corrupt blobs moved to quarantine/
+}
+
+func (s OpenStats) String() string {
+	return fmt.Sprintf("store: %d result(s) loaded, %d quarantined", s.Entries, s.Quarantined)
+}
+
+// Store is a persistent result store rooted at one directory. It is safe
+// for concurrent use by a single process; the daemon owns its store
+// directory exclusively.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	index map[string]indexEntry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// Open opens (creating if needed) the store at dir, validates every
+// indexed blob's checksum, and quarantines corrupt entries instead of
+// failing. The returned OpenStats is the caller's one-line startup
+// summary.
+func Open(dir string) (*Store, OpenStats, error) {
+	var stats OpenStats
+	for _, d := range []string{dir, filepath.Join(dir, "blobs")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, stats, fmt.Errorf("store: %w", err)
+		}
+	}
+	s := &Store{dir: dir, index: make(map[string]indexEntry)}
+
+	data, err := os.ReadFile(s.indexPath())
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return s, stats, nil // fresh store
+	case err != nil:
+		return nil, stats, fmt.Errorf("store: read index: %w", err)
+	}
+	var idx indexFile
+	if err := json.Unmarshal(data, &idx); err != nil {
+		// A torn index should be impossible (atomic rename), but a
+		// corrupt one must not brick the daemon: quarantine it and
+		// start empty. The blobs remain; re-running repopulates.
+		if qerr := s.quarantine(s.indexPath()); qerr != nil {
+			return nil, stats, fmt.Errorf("store: corrupt index (%v) and quarantine failed: %w", err, qerr)
+		}
+		stats.Quarantined++
+		return s, stats, nil
+	}
+	if idx.Version > FormatVersion {
+		return nil, stats, fmt.Errorf("store: index version %d is newer than this binary's %d", idx.Version, FormatVersion)
+	}
+
+	// Validate every blob's checksum; quarantine mismatches.
+	keys := make([]string, 0, len(idx.Entries))
+	for k := range idx.Entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic quarantine order
+	for _, key := range keys {
+		e := idx.Entries[key]
+		path := filepath.Join(s.dir, "blobs", e.Blob)
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			stats.Quarantined++ // missing blob: drop the index entry
+			continue
+		}
+		if sum := sha256.Sum256(blob); hex.EncodeToString(sum[:]) != e.SHA256 {
+			if qerr := s.quarantine(path); qerr != nil {
+				return nil, stats, fmt.Errorf("store: quarantine %s: %w", e.Blob, qerr)
+			}
+			stats.Quarantined++
+			continue
+		}
+		s.index[key] = e
+		stats.Entries++
+	}
+	if stats.Quarantined > 0 {
+		// Rewrite the index so quarantined entries stay gone even if
+		// the process dies before the next Put.
+		if err := s.writeIndexLocked(); err != nil {
+			return nil, stats, err
+		}
+	}
+	return s, stats, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of stored results.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Hits and Misses are cumulative Get counters (exported to /metrics).
+func (s *Store) Hits() uint64   { return s.hits.Load() }
+func (s *Store) Misses() uint64 { return s.misses.Load() }
+
+// Keys returns the stored canonical keys, sorted.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Get returns the stored result for key. It satisfies bench.Cache: any
+// failure to produce a valid result (absent, unreadable, corrupt since
+// Open) is a miss, never an error — the caller simply re-simulates.
+func (s *Store) Get(key string) (*sim.Result, bool) {
+	s.mu.Lock()
+	e, ok := s.index[key]
+	s.mu.Unlock()
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	blob, err := os.ReadFile(filepath.Join(s.dir, "blobs", e.Blob))
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	if sum := sha256.Sum256(blob); hex.EncodeToString(sum[:]) != e.SHA256 {
+		s.misses.Add(1)
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(blob, &env); err != nil || env.Key != key || env.Result == nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return env.Result, true
+}
+
+// Put persists res under key: blob first, then index, each via atomic
+// rename, so a reader never observes an index entry whose blob is
+// missing or torn.
+func (s *Store) Put(key string, res *sim.Result) error {
+	blob, err := json.Marshal(envelope{Version: FormatVersion, Key: key, Result: res})
+	if err != nil {
+		return fmt.Errorf("store: encode %s: %w", key, err)
+	}
+	sum := sha256.Sum256(blob)
+	name := Addr(key) + ".json"
+	if err := atomicWrite(filepath.Join(s.dir, "blobs", name), blob); err != nil {
+		return fmt.Errorf("store: write blob for %s: %w", key, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.index[key] = indexEntry{Blob: name, SHA256: hex.EncodeToString(sum[:])}
+	return s.writeIndexLocked()
+}
+
+// Addr returns the content address (blob base name, without extension)
+// for a canonical key.
+func Addr(key string) string {
+	sum := sha256.Sum256([]byte(addrSalt + key))
+	return hex.EncodeToString(sum[:])
+}
+
+func (s *Store) indexPath() string { return filepath.Join(s.dir, "index.json") }
+
+func (s *Store) writeIndexLocked() error {
+	idx := indexFile{Version: FormatVersion, Entries: s.index}
+	data, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode index: %w", err)
+	}
+	if err := atomicWrite(s.indexPath(), data); err != nil {
+		return fmt.Errorf("store: write index: %w", err)
+	}
+	return nil
+}
+
+// quarantine moves path into <dir>/quarantine/ (creating it lazily),
+// keeping the evidence instead of deleting it.
+func (s *Store) quarantine(path string) error {
+	qdir := filepath.Join(s.dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return err
+	}
+	return os.Rename(path, filepath.Join(qdir, filepath.Base(path)))
+}
+
+// atomicWrite writes data to path via a temp file in the same directory
+// and an atomic rename.
+func atomicWrite(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

