@@ -27,11 +27,11 @@ vet:
 
 # Race-enabled pass over the concurrent subset: the parallel experiment
 # harness (worker pool + singleflight memo), the engine it drives, the
-# differential conformance checker, and the daemon's service + store
-# layers.
+# differential conformance checker, the daemon's service + store layers,
+# and the failover client that fans sweeps across daemons.
 race:
 	$(GO) test -race -short ./internal/bench/ ./internal/sim/ ./internal/conformance/ \
-		./internal/server/ ./internal/store/
+		./internal/server/ ./internal/store/ ./internal/client/
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -1,11 +1,16 @@
 // Command arcsimctl is the thin client for an arcsimd daemon: it
-// submits simulation jobs, watches their lifecycle, and fetches
-// results, so the whole experiment workflow can run against a warm
-// remote store instead of simulating locally.
+// submits simulation jobs (singly or in batches), watches their
+// lifecycle, and fetches results, so the whole experiment workflow can
+// run against a warm remote store instead of simulating locally. All
+// HTTP plumbing lives in internal/client (shared with cmd/experiments
+// -remote): transient failures retry with backoff, and a dropped watch
+// stream reconnects and resumes from the last event seen, so a daemon
+// blip does not strand the watcher.
 //
 // Usage:
 //
 //	arcsimctl [-server URL] submit -workload x264 -protocol arc -cores 32 [-wait]
+//	arcsimctl [-server URL] batch < specs.json
 //	arcsimctl [-server URL] get j000001
 //	arcsimctl [-server URL] result j000001
 //	arcsimctl [-server URL] watch j000001
@@ -15,23 +20,22 @@
 package main
 
 import (
-	"bufio"
-	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
-	"strings"
 
+	"arcsim/internal/client"
 	"arcsim/internal/server"
 )
 
 func main() {
 	serverURL := flag.String("server", "http://localhost:8080", "arcsimd base URL")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: arcsimctl [-server URL] <submit|get|result|watch|cancel|list|health> ...\n")
+		fmt.Fprintf(os.Stderr, "usage: arcsimctl [-server URL] <submit|batch|get|result|watch|cancel|list|health> ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -39,25 +43,28 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	c := &client{base: strings.TrimRight(*serverURL, "/")}
+	c := client.New(*serverURL, client.Options{})
+	ctx := context.Background()
 
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	var err error
 	switch cmd {
 	case "submit":
-		err = c.submit(args)
+		err = submit(ctx, c, args)
+	case "batch":
+		err = batch(ctx, c, args)
 	case "get":
-		err = c.jobJSON(args, "")
+		err = jobJSON(ctx, c, args, "")
 	case "result":
-		err = c.jobJSON(args, "/result")
+		err = jobJSON(ctx, c, args, "/result")
 	case "watch":
-		err = c.watch(args)
+		err = watch(ctx, c, args)
 	case "cancel":
-		err = c.cancel(args)
+		err = cancel(ctx, c, args)
 	case "list":
-		err = c.list()
+		err = list(ctx, c)
 	case "health":
-		err = c.getJSON("/healthz", os.Stdout)
+		err = health(ctx, c)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -68,52 +75,17 @@ func main() {
 	}
 }
 
-type client struct{ base string }
-
-// do performs one request and decodes an API error payload on non-2xx.
-func (c *client) do(method, path string, body io.Reader) (*http.Response, error) {
-	req, err := http.NewRequest(method, c.base+path, body)
-	if err != nil {
-		return nil, err
+// echoTo returns an event callback that renders the SSE stream one line
+// per event, the format watch has always printed.
+func echoTo(w io.Writer) func(name, data string) {
+	return func(name, data string) {
+		fmt.Fprintf(w, "%-5s %s\n", name, data)
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode >= 300 {
-		defer resp.Body.Close()
-		data, _ := io.ReadAll(resp.Body)
-		var e struct {
-			Error string `json:"error"`
-		}
-		msg := strings.TrimSpace(string(data))
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			msg = e.Error
-		}
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			msg += " (Retry-After: " + ra + "s)"
-		}
-		return nil, fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, msg)
-	}
-	return resp, nil
 }
 
-func (c *client) getJSON(path string, w io.Writer) error {
-	resp, err := c.do(http.MethodGet, path, nil)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	_, err = io.Copy(w, resp.Body)
-	return err
-}
-
-func (c *client) submit(args []string) error {
+func submit(ctx context.Context, c *client.Client, args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
-	var spec server.JobSpec
+	var spec client.JobSpec
 	fs.StringVar(&spec.Workload, "workload", "", "catalog workload name (or falseshare/aimstress)")
 	fs.StringVar(&spec.Protocol, "protocol", "arc", "design: mesi, ce, ce+, arc (and ablation variants)")
 	fs.IntVar(&spec.Cores, "cores", 0, "core count (0 = daemon default 8)")
@@ -124,31 +96,76 @@ func (c *client) submit(args []string) error {
 	wait := fs.Bool("wait", false, "stream events until the job finishes, then print the result")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
-	body, err := json.Marshal(spec)
+	view, err := c.Submit(ctx, spec)
 	if err != nil {
-		return err
-	}
-	resp, err := c.do(http.MethodPost, "/v1/jobs", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	var view server.JobView
-	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
 		return err
 	}
 	if !*wait {
 		fmt.Println(view.ID)
 		return nil
 	}
-	final, err := c.follow(view.ID, os.Stderr)
+	// Follow to the terminal state. A daemon restart loses the job
+	// record but not the proven result: resubmitting the same spec is a
+	// store hit, so -wait survives restarts instead of stranding.
+	final, err := c.Follow(ctx, view.ID, echoTo(os.Stderr))
+	for errors.Is(err, client.ErrJobLost) {
+		fmt.Fprintf(os.Stderr, "job %s lost to a daemon restart; resubmitting\n", view.ID)
+		if view, err = c.Submit(ctx, spec); err != nil {
+			return err
+		}
+		final, err = c.Follow(ctx, view.ID, echoTo(os.Stderr))
+	}
 	if err != nil {
 		return err
 	}
 	if final.State != server.StateDone {
 		return fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error)
 	}
-	return c.getJSON("/v1/jobs/"+final.ID+"/result", os.Stdout)
+	raw, err := c.ResultBytes(ctx, final.ID)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(raw)
+	return err
+}
+
+// batch reads a JSON array of job specs (or {"jobs":[...]}) from stdin
+// and submits them in one request, printing one line per entry.
+func batch(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("batch takes no arguments; specs come from stdin")
+	}
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		return err
+	}
+	var specs []client.JobSpec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		var wrapped struct {
+			Jobs []client.JobSpec `json:"jobs"`
+		}
+		if err2 := json.Unmarshal(data, &wrapped); err2 != nil || len(wrapped.Jobs) == 0 {
+			return fmt.Errorf("stdin is neither a spec array nor {\"jobs\":[...]}: %v", err)
+		}
+		specs = wrapped.Jobs
+	}
+	items, err := c.SubmitBatch(ctx, specs)
+	if err != nil {
+		return err
+	}
+	rejected := 0
+	for i, it := range items {
+		if it.Job != nil {
+			fmt.Printf("%d: %s\n", i, it.Job.ID)
+			continue
+		}
+		rejected++
+		fmt.Printf("%d: rejected (%d): %s\n", i, it.Status, it.Error)
+	}
+	if rejected > 0 {
+		return fmt.Errorf("%d of %d spec(s) rejected", rejected, len(items))
+	}
+	return nil
 }
 
 func oneID(args []string) (string, error) {
@@ -158,34 +175,47 @@ func oneID(args []string) (string, error) {
 	return args[0], nil
 }
 
-func (c *client) jobJSON(args []string, suffix string) error {
+func jobJSON(ctx context.Context, c *client.Client, args []string, suffix string) error {
 	id, err := oneID(args)
 	if err != nil {
 		return err
 	}
-	return c.getJSON("/v1/jobs/"+id+suffix, os.Stdout)
-}
-
-func (c *client) cancel(args []string) error {
-	id, err := oneID(args)
+	var raw []byte
+	if suffix == "/result" {
+		raw, err = c.ResultBytes(ctx, id)
+	} else {
+		view, verr := c.Job(ctx, id)
+		if verr != nil {
+			return verr
+		}
+		raw, err = json.MarshalIndent(view, "", "  ")
+		raw = append(raw, '\n')
+	}
 	if err != nil {
 		return err
 	}
-	resp, err := c.do(http.MethodPost, "/v1/jobs/"+id+"/cancel", nil)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	_, err = io.Copy(os.Stdout, resp.Body)
+	_, err = os.Stdout.Write(raw)
 	return err
 }
 
-func (c *client) watch(args []string) error {
+func cancel(ctx context.Context, c *client.Client, args []string) error {
 	id, err := oneID(args)
 	if err != nil {
 		return err
 	}
-	final, err := c.follow(id, os.Stdout)
+	if err := c.Cancel(ctx, id); err != nil {
+		return err
+	}
+	fmt.Printf("{\"id\":%q,\"state\":\"canceling\"}\n", id)
+	return nil
+}
+
+func watch(ctx context.Context, c *client.Client, args []string) error {
+	id, err := oneID(args)
+	if err != nil {
+		return err
+	}
+	final, err := c.Follow(ctx, id, echoTo(os.Stdout))
 	if err != nil {
 		return err
 	}
@@ -195,56 +225,14 @@ func (c *client) watch(args []string) error {
 	return nil
 }
 
-// follow consumes the job's SSE stream, echoing events to w, and
-// returns the terminal JobView carried by the final "done" event.
-func (c *client) follow(id string, w io.Writer) (server.JobView, error) {
-	var final server.JobView
-	resp, err := c.do(http.MethodGet, "/v1/jobs/"+id+"/events", nil)
+func list(ctx context.Context, c *client.Client) error {
+	jobs, err := c.List(ctx)
 	if err != nil {
-		return final, err
-	}
-	defer resp.Body.Close()
-	sc := bufio.NewScanner(resp.Body)
-	event := ""
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "event: "):
-			event = strings.TrimPrefix(line, "event: ")
-		case strings.HasPrefix(line, "data: "):
-			data := strings.TrimPrefix(line, "data: ")
-			fmt.Fprintf(w, "%-5s %s\n", event, data)
-			if event == "done" {
-				if err := json.Unmarshal([]byte(data), &final); err != nil {
-					return final, fmt.Errorf("bad done event %q: %w", data, err)
-				}
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return final, err
-	}
-	if final.ID == "" {
-		return final, fmt.Errorf("stream for %s ended without a done event (daemon draining?)", id)
-	}
-	return final, nil
-}
-
-func (c *client) list() error {
-	resp, err := c.do(http.MethodGet, "/v1/jobs", nil)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	var payload struct {
-		Jobs []server.JobView `json:"jobs"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
 		return err
 	}
 	fmt.Printf("%-9s %-10s %-14s %-8s %5s %9s %8s  %s\n",
 		"id", "state", "workload", "proto", "cores", "cycles", "cache", "error")
-	for _, j := range payload.Jobs {
+	for _, j := range jobs {
 		cache := ""
 		if j.CacheHit {
 			cache = "hit"
@@ -253,4 +241,13 @@ func (c *client) list() error {
 			j.ID, j.State, j.Spec.Workload, j.Spec.Protocol, j.Spec.Cores, j.Cycles, cache, j.Error)
 	}
 	return nil
+}
+
+func health(ctx context.Context, c *client.Client) error {
+	raw, err := c.Health(ctx)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(raw)
+	return err
 }

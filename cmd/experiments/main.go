@@ -12,9 +12,12 @@
 //	experiments -scale 1 -cores 32  # full evaluation scale
 //	experiments -j 1                # serial (debugging / timing baseline)
 //	experiments -md EXPERIMENTS.md  # also write the markdown record
+//	experiments -remote http://a:8080,http://b:8080   # dispatch across daemons
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +28,8 @@ import (
 	"time"
 
 	"arcsim/internal/bench"
+	"arcsim/internal/client"
+	"arcsim/internal/sim"
 	"arcsim/internal/stats"
 	"arcsim/internal/store"
 )
@@ -40,6 +45,7 @@ func main() {
 		mdPath   = flag.String("md", "", "write the markdown record (EXPERIMENTS.md) to this path")
 		outDir   = flag.String("out", "", "also write each experiment's artifact to <dir>/<ID>.txt")
 		storeDir = flag.String("store", "", "persistent result store directory (shared with arcsimd): reuse proven results, persist new ones")
+		remote   = flag.String("remote", "", "comma-separated arcsimd base URLs: dispatch simulations across the pool with failover, -j bounding in-flight runs; falls back to local execution when every endpoint is down")
 		verbose  = flag.Bool("v", false, "print one line per simulation run")
 	)
 	flag.Parse()
@@ -62,6 +68,15 @@ func main() {
 	}
 	if *verbose {
 		cfg.Progress = os.Stderr
+	}
+	if *remote != "" {
+		pool := client.NewPool(strings.Split(*remote, ","), client.PoolOptions{})
+		if len(pool.Endpoints()) == 0 {
+			fatal(fmt.Errorf("-remote %q names no endpoints", *remote))
+		}
+		fmt.Fprintf(os.Stderr, "dispatching runs to %s (falling back to local when all are down)\n",
+			strings.Join(pool.Endpoints(), ", "))
+		cfg.Exec = remoteExec(pool, cfg)
 	}
 	runner := bench.NewRunner(cfg)
 
@@ -124,6 +139,30 @@ func main() {
 	}
 }
 
+// remoteExec adapts a daemon pool to the Runner's Exec hook: each run
+// becomes a job submitted to a healthy endpoint (the Runner's memo and
+// worker pool already guarantee one dispatch per spec, at most -j in
+// flight). An exhausted pool maps to ErrRemoteUnavailable so the Runner
+// completes the sweep locally; the result bytes are the store's
+// canonical encoding either way, so artifacts stay byte-identical.
+func remoteExec(pool *client.Pool, cfg bench.Config) func(context.Context, bench.RunSpec) (*sim.Result, error) {
+	return func(ctx context.Context, spec bench.RunSpec) (*sim.Result, error) {
+		res, err := pool.Run(ctx, client.JobSpec{
+			Workload:   spec.Workload,
+			Protocol:   spec.Proto,
+			Cores:      spec.Cores,
+			AIMEntries: spec.AIMEntries,
+			Scale:      cfg.Scale,
+			Seed:       cfg.Seed,
+			Oracle:     spec.Oracle,
+		})
+		if errors.Is(err, client.ErrNoEndpoints) {
+			return nil, fmt.Errorf("%w: %v", bench.ErrRemoteUnavailable, err)
+		}
+		return res, err
+	}
+}
+
 // timingSummary reports serial cost vs. wall-clock: SimTime is what the
 // run would have cost one worker, LongestRun is the floor no worker
 // count can beat, and speedup is how much the pool recovered.
@@ -138,6 +177,10 @@ func timingSummary(r *bench.Runner, wall time.Duration) string {
 	t.AddRow("wall-clock", wall.Round(time.Millisecond).String())
 	if tm.CacheHits+tm.CacheMisses > 0 {
 		t.AddRow("store hits / misses", fmt.Sprintf("%d / %d", tm.CacheHits, tm.CacheMisses))
+	}
+	if tm.RemoteRuns > 0 {
+		t.AddRow("remote runs", fmt.Sprintf("%d", tm.RemoteRuns))
+		t.AddRow("remote dispatch time", tm.RemoteTime.Round(time.Millisecond).String())
 	}
 	if wall > 0 {
 		t.AddRow("speedup (sim time / wall)", fmt.Sprintf("%.2fx", float64(tm.SimTime)/float64(wall)))

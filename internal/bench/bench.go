@@ -48,7 +48,20 @@ type Config struct {
 	// executes and written after one succeeds, using CacheKey's
 	// canonical key. Results served from it carry CacheHit=true.
 	Cache Cache
+	// Exec, when non-nil, replaces local execution: every run the memo
+	// and Cache could not serve is handed to it (cmd/experiments wires a
+	// client.Pool here to spread sweeps across daemons). An error
+	// wrapping ErrRemoteUnavailable falls back to executing locally —
+	// the sweep completes on one machine when the whole pool is down;
+	// any other error is the run's result, exactly as a local failure
+	// would be. Exec must honor ctx and is called concurrently.
+	Exec func(ctx context.Context, spec RunSpec) (*sim.Result, error)
 }
+
+// ErrRemoteUnavailable is returned (wrapped) by a Config.Exec
+// implementation to report that no backend can take the run right now;
+// the Runner responds by executing locally instead of failing the run.
+var ErrRemoteUnavailable = errors.New("bench: remote execution unavailable")
 
 // Cache is the persistent layer under the Runner's memo. Get reports a
 // miss (not an error) for anything it cannot serve; Put failures are
@@ -148,6 +161,11 @@ type Timing struct {
 	// consultations; runs served from the cache do not count as Runs.
 	CacheHits   int
 	CacheMisses int
+	// RemoteRuns/RemoteTime count runs served by Config.Exec (dispatch
+	// wall-clock, not the backend's simulation cost); remote runs do not
+	// count toward Runs/SimTime, which stay the local serial cost.
+	RemoteRuns int
+	RemoteTime time.Duration
 }
 
 // Runner executes and memoizes simulation runs; experiments that share
@@ -283,7 +301,7 @@ func (r *Runner) result(ctx context.Context, spec RunSpec) (*sim.Result, error) 
 		r.statMu.Unlock()
 	}
 
-	e.res, e.err = r.execute(ctx, key)
+	e.res, e.err = r.run(ctx, spec, key)
 	if e.err == nil && r.cfg.Cache != nil {
 		e.err = r.cfg.Cache.Put(r.cfg.CacheKey(spec), e.res)
 	}
@@ -298,6 +316,40 @@ func (r *Runner) result(ctx context.Context, spec RunSpec) (*sim.Result, error) 
 	}
 	close(e.done)
 	return e.res, e.err
+}
+
+// run dispatches one cache-missed run: remotely through cfg.Exec when
+// wired (falling back to local execution if the whole pool is
+// unavailable), locally otherwise.
+func (r *Runner) run(ctx context.Context, spec RunSpec, key runKey) (*sim.Result, error) {
+	if r.cfg.Exec != nil {
+		start := time.Now()
+		res, err := r.cfg.Exec(ctx, spec)
+		switch {
+		case err == nil:
+			r.statMu.Lock()
+			r.timing.RemoteRuns++
+			r.timing.RemoteTime += time.Since(start)
+			r.statMu.Unlock()
+			if r.cfg.Progress != nil {
+				r.progressMu.Lock()
+				fmt.Fprintf(r.cfg.Progress, "  remote %-14s %-10s %2d cores: %12d cycles, %d conflicts (%v)\n",
+					spec.Workload, spec.Proto, spec.Cores, res.Cycles, res.Conflicts,
+					time.Since(start).Round(time.Millisecond))
+				r.progressMu.Unlock()
+			}
+			return res, nil
+		case errors.Is(err, ErrRemoteUnavailable):
+			if r.cfg.Progress != nil {
+				r.progressMu.Lock()
+				fmt.Fprintf(r.cfg.Progress, "  remote pool unavailable, running %s locally: %v\n", key, err)
+				r.progressMu.Unlock()
+			}
+		default:
+			return nil, err
+		}
+	}
+	return r.execute(ctx, key)
 }
 
 // execute performs one simulation (no memo interaction).

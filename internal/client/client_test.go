@@ -1,0 +1,461 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"arcsim/internal/server"
+	"arcsim/internal/sim"
+)
+
+// fastRetry keeps test backoffs in the microsecond range.
+func fastRetry() Options {
+	return Options{
+		Retry:          Retry{Attempts: 4, Base: time.Millisecond, Max: 5 * time.Millisecond},
+		RequestTimeout: 2 * time.Second,
+	}
+}
+
+// newDaemon builds a real server.Server whose runJob is the given stub,
+// wrapped in an httptest server. The cleanup unblocks the stub via ctx
+// before draining so tests never deadlock.
+func newDaemon(t *testing.T, run func(ctx context.Context, spec JobSpec) (*sim.Result, error)) (*server.Server, *httptest.Server) {
+	t.Helper()
+	srv := server.New(server.Config{Workers: 2, QueueDepth: 16})
+	if run != nil {
+		srv.SetRunJob(run)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Drain(ctx) //nolint:errcheck
+	})
+	return srv, ts
+}
+
+// syntheticResult is the deterministic payload both fake daemons serve,
+// so cross-daemon results are comparable byte for byte.
+func syntheticResult(spec JobSpec) *sim.Result {
+	return &sim.Result{
+		Workload: spec.Workload,
+		Protocol: spec.Protocol,
+		Cores:    spec.Cores,
+		Cycles:   uint64(1000 + len(spec.Workload)),
+	}
+}
+
+func instantRun(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+	return syntheticResult(spec), nil
+}
+
+// TestRetriesTransientFailures: an endpoint that throws 500s and cut
+// connections before recovering still serves the call, within the retry
+// budget, without the caller seeing the turbulence.
+func TestRetriesTransientFailures(t *testing.T) {
+	_, ts := newDaemon(t, instantRun)
+	var calls atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			http.Error(w, "transient", http.StatusInternalServerError)
+		case 2:
+			// Tear the connection mid-response: the client sees a
+			// transport error, not an HTTP status.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("no hijacker")
+				return
+			}
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+		default:
+			proxyTo(ts.URL, w, r)
+		}
+	}))
+	defer flaky.Close()
+
+	c := New(flaky.URL, fastRetry())
+	view, err := c.Submit(context.Background(), JobSpec{Workload: "lu", Protocol: "arc", Cores: 2})
+	if err != nil {
+		t.Fatalf("submit through flaky endpoint: %v", err)
+	}
+	if view.ID == "" {
+		t.Fatal("no job id")
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("flaky endpoint saw %d calls, want 3 (500, reset, success)", n)
+	}
+}
+
+// TestClientErrorsDoNotRetry: 4xx responses surface immediately.
+func TestClientErrorsDoNotRetry(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"unknown workload"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, fastRetry())
+	_, err := c.Submit(context.Background(), JobSpec{Workload: "nope"})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400 APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("400 retried: %d calls", calls.Load())
+	}
+}
+
+// proxyTo forwards one request to the real daemon (a hand-rolled
+// single-request proxy keeps the failure scripting explicit).
+func proxyTo(base string, w http.ResponseWriter, r *http.Request) {
+	req, err := http.NewRequest(r.Method, base+r.URL.Path, r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	buf := make([]byte, 512)
+	fl, _ := w.(http.Flusher)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			w.Write(buf[:n]) //nolint:errcheck
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// TestFollowResumesAcrossDrop kills the SSE connection after the first
+// event; the client must reconnect with Last-Event-ID and deliver every
+// event exactly once, in order, through to done.
+func TestFollowResumesAcrossDrop(t *testing.T) {
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	_, ts := newDaemon(t, func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			return syntheticResult(spec), nil
+		}
+	})
+
+	var streamCalls atomic.Int64
+	var resumeHeader atomic.Value // Last-Event-ID of the reconnect
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasSuffix(r.URL.Path, "/events") {
+			proxyTo(ts.URL, w, r)
+			return
+		}
+		switch streamCalls.Add(1) {
+		case 1:
+			// Deliver exactly one event, then tear the connection.
+			w.Header().Set("Content-Type", "text/event-stream")
+			fmt.Fprint(w, "id: 0\nevent: state\ndata: {\"state\":\"queued\"}\n\n")
+			w.(http.Flusher).Flush()
+			conn, _, _ := w.(http.Hijacker).Hijack()
+			conn.Close()
+		default:
+			resumeHeader.Store(r.Header.Get("Last-Event-ID"))
+			releaseOnce.Do(func() { close(release) })
+			proxyTo(ts.URL, w, r)
+		}
+	}))
+	defer front.Close()
+
+	c := New(front.URL, fastRetry())
+	view, err := c.Submit(context.Background(), JobSpec{Workload: "lu", Protocol: "arc", Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []string
+	final, err := c.Follow(context.Background(), view.ID, func(name, data string) {
+		events = append(events, name)
+	})
+	if err != nil {
+		t.Fatalf("follow across drop: %v", err)
+	}
+	if final.State != server.StateDone {
+		t.Fatalf("final state %q", final.State)
+	}
+	if got := fmt.Sprint(events); got != fmt.Sprint([]string{"state", "state", "state", "done"}) {
+		t.Fatalf("events %v: dropped or duplicated across the reconnect", events)
+	}
+	if h, _ := resumeHeader.Load().(string); h != "0" {
+		t.Fatalf("reconnect sent Last-Event-ID %q, want \"0\"", h)
+	}
+	if streamCalls.Load() != 2 {
+		t.Fatalf("stream opened %d times, want 2", streamCalls.Load())
+	}
+}
+
+// TestFollowJobLostAfterRestart: the SSE connection drops and the
+// reconnect lands on a "restarted" daemon with an empty job table; the
+// client must report ErrJobLost (its cue to resubmit the spec) rather
+// than hanging or mislabeling the 404.
+func TestFollowJobLostAfterRestart(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	_, ts1 := newDaemon(t, func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			return syntheticResult(spec), nil
+		}
+	})
+	restarted := server.New(server.Config{Workers: 1, QueueDepth: 4}) // fresh job table
+
+	var streamCalls atomic.Int64
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasSuffix(r.URL.Path, "/events") {
+			proxyTo(ts1.URL, w, r)
+			return
+		}
+		if streamCalls.Add(1) == 1 {
+			// One event, then the daemon "dies" mid-stream.
+			w.Header().Set("Content-Type", "text/event-stream")
+			fmt.Fprint(w, "id: 0\nevent: state\ndata: {\"state\":\"queued\"}\n\n")
+			w.(http.Flusher).Flush()
+			conn, _, _ := w.(http.Hijacker).Hijack()
+			conn.Close()
+			return
+		}
+		restarted.Handler().ServeHTTP(w, r) // reconnect finds no such job
+	}))
+	defer front.Close()
+
+	c := New(front.URL, fastRetry())
+	view, err := c.Submit(context.Background(), JobSpec{Workload: "lu", Protocol: "arc", Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err = c.Follow(ctx, view.ID, nil)
+	if !errors.Is(err, ErrJobLost) {
+		t.Fatalf("err = %v, want ErrJobLost", err)
+	}
+}
+
+// TestPoolFailsOverWhenEndpointDies: two daemons; the one holding the
+// in-flight job dies mid-run. The pool must bench it, resubmit on the
+// survivor, and return the result — the caller never sees the death.
+func TestPoolFailsOverWhenEndpointDies(t *testing.T) {
+	stuck := make(chan struct{})
+	defer close(stuck)
+	// Daemon 1 wedges every job until the test ends (simulating a
+	// machine about to die); daemon 2 is healthy.
+	_, ts1 := newDaemon(t, func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-stuck:
+			return nil, errors.New("daemon died")
+		}
+	})
+	var served atomic.Int64
+	_, ts2 := newDaemon(t, func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		served.Add(1)
+		return syntheticResult(spec), nil
+	})
+
+	p := NewPool([]string{ts1.URL, ts2.URL}, PoolOptions{
+		Client:       fastRetry(),
+		CooldownBase: 50 * time.Millisecond,
+	})
+	// Kill daemon 1 shortly after the run lands on it.
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		ts1.CloseClientConnections()
+		ts1.Close()
+	}()
+	res, err := p.Run(context.Background(), JobSpec{Workload: "lu", Protocol: "arc", Cores: 2})
+	if err != nil {
+		t.Fatalf("pool run across endpoint death: %v", err)
+	}
+	if res.Workload != "lu" || res.Cycles == 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("survivor executed %d times, want 1", served.Load())
+	}
+	if p.Healthy() != 1 {
+		t.Fatalf("healthy endpoints = %d, want 1 (the dead one benched)", p.Healthy())
+	}
+	// Subsequent runs route straight to the survivor.
+	if _, err := p.Run(context.Background(), JobSpec{Workload: "radix", Protocol: "arc", Cores: 2}); err != nil {
+		t.Fatalf("post-failover run: %v", err)
+	}
+}
+
+// TestPoolExactlyOnceAcrossKill drives a sweep of distinct specs
+// through a two-daemon pool, killing one daemon partway. Every spec
+// must complete with a result, and no spec may complete its simulation
+// more than once across the fleet.
+func TestPoolExactlyOnceAcrossKill(t *testing.T) {
+	var mu sync.Mutex
+	completed := map[string]int{}
+	count := func(spec JobSpec) {
+		mu.Lock()
+		completed[spec.Workload]++
+		mu.Unlock()
+	}
+	_, ts1 := newDaemon(t, func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		count(spec)
+		return syntheticResult(spec), nil
+	})
+	_, ts2 := newDaemon(t, func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		count(spec)
+		return syntheticResult(spec), nil
+	})
+	p := NewPool([]string{ts1.URL, ts2.URL}, PoolOptions{
+		Client:       fastRetry(),
+		CooldownBase: 50 * time.Millisecond,
+	})
+
+	specs := []string{"lu", "radix", "barnes", "water", "x264", "dedup"}
+	results := map[string]*sim.Result{}
+	for i, wl := range specs {
+		if i == len(specs)/2 {
+			ts1.CloseClientConnections()
+			ts1.Close() // one daemon dies mid-sweep
+		}
+		res, err := p.Run(context.Background(), JobSpec{Workload: wl, Protocol: "arc", Cores: 2})
+		if err != nil {
+			t.Fatalf("spec %s: %v", wl, err)
+		}
+		results[wl] = res
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, wl := range specs {
+		if completed[wl] != 1 {
+			t.Errorf("spec %s completed %d times across the fleet, want exactly 1", wl, completed[wl])
+		}
+		if results[wl].Cycles != syntheticResult(JobSpec{Workload: wl}).Cycles {
+			t.Errorf("spec %s: wrong result %+v", wl, results[wl])
+		}
+	}
+}
+
+// TestPoolAllDownReturnsErrNoEndpoints: with every endpoint dead the
+// pool reports ErrNoEndpoints promptly — the signal cmd/experiments
+// maps to bench.ErrRemoteUnavailable to run locally.
+func TestPoolAllDownReturnsErrNoEndpoints(t *testing.T) {
+	dead1 := httptest.NewServer(http.NotFoundHandler())
+	dead2 := httptest.NewServer(http.NotFoundHandler())
+	dead1.Close()
+	dead2.Close()
+	p := NewPool([]string{dead1.URL, dead2.URL}, PoolOptions{
+		Client:       fastRetry(),
+		CooldownBase: time.Minute, // benched endpoints stay benched
+	})
+	start := time.Now()
+	_, err := p.Run(context.Background(), JobSpec{Workload: "lu", Protocol: "arc", Cores: 2})
+	if !errors.Is(err, ErrNoEndpoints) {
+		t.Fatalf("err = %v, want ErrNoEndpoints", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("all-down detection took %v", elapsed)
+	}
+	// Once benched, the next run short-circuits without dialing.
+	if _, err := p.Run(context.Background(), JobSpec{Workload: "radix"}); !errors.Is(err, ErrNoEndpoints) {
+		t.Fatalf("benched pool err = %v, want ErrNoEndpoints", err)
+	}
+	if p.Healthy() != 0 {
+		t.Fatalf("healthy = %d, want 0", p.Healthy())
+	}
+}
+
+// TestPoolJobFailureDoesNotFailOver: a deterministic simulation failure
+// is the run's answer; re-running it on every other daemon would just
+// fail again, so the pool must not bench the endpoint or retry.
+func TestPoolJobFailureDoesNotFailOver(t *testing.T) {
+	var runs1, runs2 atomic.Int64
+	_, ts1 := newDaemon(t, func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		runs1.Add(1)
+		return nil, errors.New("deadlock detected")
+	})
+	_, ts2 := newDaemon(t, func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		runs2.Add(1)
+		return nil, errors.New("deadlock detected")
+	})
+	p := NewPool([]string{ts1.URL, ts2.URL}, PoolOptions{Client: fastRetry()})
+	_, err := p.Run(context.Background(), JobSpec{Workload: "lu", Protocol: "arc", Cores: 2})
+	var jf *JobFailedError
+	if !errors.As(err, &jf) {
+		t.Fatalf("err = %v, want JobFailedError", err)
+	}
+	if total := runs1.Load() + runs2.Load(); total != 1 {
+		t.Fatalf("failed job executed %d times, want 1 (no failover on deterministic failure)", total)
+	}
+	if p.Healthy() != 2 {
+		t.Fatalf("healthy = %d, want 2 (job failure is not endpoint failure)", p.Healthy())
+	}
+}
+
+// TestBatchThroughClient exercises the typed batch API end to end.
+func TestBatchThroughClient(t *testing.T) {
+	_, ts := newDaemon(t, instantRun)
+	c := New(ts.URL, fastRetry())
+	items, err := c.SubmitBatch(context.Background(), []JobSpec{
+		{Workload: "barnes", Protocol: "arc", Cores: 2},
+		{Workload: "definitely-not-a-workload"},
+		{Workload: "lu", Protocol: "ce", Cores: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("items: %+v", items)
+	}
+	if items[0].Job == nil || items[2].Job == nil {
+		t.Fatalf("valid entries rejected: %+v", items)
+	}
+	if items[1].Job != nil || items[1].Status != http.StatusBadRequest {
+		t.Fatalf("invalid entry accepted: %+v", items[1])
+	}
+	// The accepted jobs run to completion and serve results.
+	for _, it := range []BatchItem{items[0], items[2]} {
+		final, err := c.Follow(context.Background(), it.Job.ID, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State != server.StateDone {
+			t.Fatalf("batch job ended %s", final.State)
+		}
+		if _, err := c.Result(context.Background(), final.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arcsim/internal/server"
+	"arcsim/internal/sim"
+)
+
+// ErrNoEndpoints reports that every endpoint in the pool is down (or the
+// pool is empty). Callers with a local engine treat it as the signal to
+// fall back to in-process execution.
+var ErrNoEndpoints = errors.New("client: no healthy endpoints")
+
+// JobFailedError reports a job that a daemon ran to completion and which
+// failed deterministically (a simulation error, not an endpoint fault).
+// The pool does not fail over on it: the run would fail identically
+// everywhere.
+type JobFailedError struct {
+	View JobView
+}
+
+func (e *JobFailedError) Error() string {
+	return fmt.Sprintf("job %s %s: %s", e.View.ID, e.View.State, e.View.Error)
+}
+
+// PoolOptions tunes a Pool.
+type PoolOptions struct {
+	// Client is applied to every endpoint's Client.
+	Client Options
+	// CooldownBase is how long an endpoint sits out after its first
+	// failure (default 1s); consecutive failures double it up to
+	// CooldownMax (default 30s). Success resets the endpoint.
+	CooldownBase time.Duration
+	CooldownMax  time.Duration
+}
+
+func (o PoolOptions) normalized() PoolOptions {
+	o.Client = o.Client.normalized()
+	if o.CooldownBase <= 0 {
+		o.CooldownBase = time.Second
+	}
+	if o.CooldownMax <= 0 {
+		o.CooldownMax = 30 * time.Second
+	}
+	return o
+}
+
+// endpoint is one daemon plus its health record.
+type endpoint struct {
+	*Client
+
+	mu        sync.Mutex
+	fails     int
+	downUntil time.Time
+}
+
+func (e *endpoint) healthy(now time.Time) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return !now.Before(e.downUntil)
+}
+
+func (e *endpoint) markUp() {
+	e.mu.Lock()
+	e.fails, e.downUntil = 0, time.Time{}
+	e.mu.Unlock()
+}
+
+func (e *endpoint) markDown(now time.Time, base, max time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.fails++
+	cool := base << (e.fails - 1)
+	if cool > max || cool <= 0 {
+		cool = max
+	}
+	e.downUntil = now.Add(cool)
+}
+
+// Pool dispatches jobs across a set of arcsimd daemons. A failing
+// endpoint is benched on an exponential cooldown and traffic fails over
+// to the survivors; a job the pool accepted is re-submitted elsewhere
+// if its endpoint dies mid-run, so one daemon crash costs a retry, not
+// the sweep. Safe for concurrent use.
+type Pool struct {
+	eps  []*endpoint
+	opts PoolOptions
+	next atomic.Uint64
+	now  func() time.Time
+}
+
+// NewPool builds a pool over the given base URLs.
+func NewPool(bases []string, opts PoolOptions) *Pool {
+	opts = opts.normalized()
+	p := &Pool{opts: opts, now: time.Now}
+	for _, b := range bases {
+		if b = strings.TrimSpace(b); b != "" {
+			p.eps = append(p.eps, &endpoint{Client: New(b, opts.Client)})
+		}
+	}
+	return p
+}
+
+// Endpoints returns the pool's base URLs.
+func (p *Pool) Endpoints() []string {
+	out := make([]string, len(p.eps))
+	for i, e := range p.eps {
+		out[i] = e.Base()
+	}
+	return out
+}
+
+// Healthy returns how many endpoints are currently in rotation.
+func (p *Pool) Healthy() int {
+	now, n := p.now(), 0
+	for _, e := range p.eps {
+		if e.healthy(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// pick returns the next healthy endpoint round-robin, or nil when every
+// endpoint is cooling down.
+func (p *Pool) pick() *endpoint {
+	if len(p.eps) == 0 {
+		return nil
+	}
+	now := p.now()
+	start := int(p.next.Add(1) - 1)
+	for i := 0; i < len(p.eps); i++ {
+		e := p.eps[(start+i)%len(p.eps)]
+		if e.healthy(now) {
+			return e
+		}
+	}
+	return nil
+}
+
+// Run executes one spec through the pool: submit to a healthy endpoint,
+// follow its SSE stream (resuming across connection drops), and fetch
+// the canonical result. Endpoint faults bench the endpoint and fail the
+// job over; a daemon restart resubmits (the restarted daemon's
+// persistent store makes that a cache hit, not a re-simulation).
+// Returns ErrNoEndpoints once every endpoint is benched — the caller's
+// cue to run locally.
+func (p *Pool) Run(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+	var lastErr error
+	// The try budget covers each endpoint failing plus a few restart
+	// resubmits; in practice success or ErrNoEndpoints comes far sooner.
+	for tries := 0; tries < 4*len(p.eps); tries++ {
+		ep := p.pick()
+		if ep == nil {
+			break
+		}
+		res, err := p.runOn(ctx, ep, spec)
+		if err == nil {
+			ep.markUp()
+			return res, nil
+		}
+		var jf *JobFailedError
+		if errors.As(err, &jf) {
+			// The endpoint served us fine; the simulation itself failed
+			// and would fail identically on every other daemon.
+			ep.markUp()
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+		if errors.Is(err, ErrJobLost) {
+			// The daemon restarted under us: it is back up (the 404 was
+			// served by a live process), so resubmit without benching.
+			continue
+		}
+		ep.markDown(p.now(), p.opts.CooldownBase, p.opts.CooldownMax)
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w (last: %v)", ErrNoEndpoints, lastErr)
+	}
+	return nil, ErrNoEndpoints
+}
+
+// runOn executes one spec against one endpoint: submit, follow, fetch.
+func (p *Pool) runOn(ctx context.Context, ep *endpoint, spec JobSpec) (*sim.Result, error) {
+	view, err := ep.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	final, err := ep.Follow(ctx, view.ID, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch final.State {
+	case server.StateDone:
+		return ep.Result(ctx, final.ID)
+	case server.StateFailed:
+		return nil, &JobFailedError{View: final}
+	default:
+		// Canceled: a drain took the job down with the daemon, or an
+		// operator canceled it. Either way another endpoint can run it.
+		return nil, fmt.Errorf("job %s ended %s on %s: %s", final.ID, final.State, ep.Base(), final.Error)
+	}
+}

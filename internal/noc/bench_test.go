@@ -18,3 +18,25 @@ func BenchmarkHops(b *testing.B) {
 	}
 	_ = sum
 }
+
+// BenchmarkObserveLongGap measures observe when every message lands
+// ~2^29 windows after the previous one. The per-window loop made this
+// O(gap/Window) per message; the fast-forward must keep it constant.
+func BenchmarkObserveLongGap(b *testing.B) {
+	m := New(DefaultConfig(64))
+	now := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 1 << 40
+		m.observe(now, 8)
+	}
+}
+
+// BenchmarkObserveDense is the no-gap baseline for comparison.
+func BenchmarkObserveDense(b *testing.B) {
+	m := New(DefaultConfig(64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.observe(uint64(i), 8)
+	}
+}

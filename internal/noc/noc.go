@@ -173,19 +173,57 @@ func (m *Mesh) Send(now uint64, src, dst, payloadBytes int) uint64 {
 
 // observe folds fh flit-hops injected at cycle now into the utilization
 // window. Calls must have non-decreasing now (the simulator processes
-// events in global time order).
+// events in global time order). A message after a long quiet gap closes
+// all elapsed windows in O(1): only the first close can carry flit-hops,
+// and every further close halves util (0.5*util + 0.5*0), so the decay
+// fast-forwards as util * 0.5^k instead of one iteration per window.
 func (m *Mesh) observe(now uint64, fh uint64) {
-	for now >= m.winStart+m.cfg.Window {
-		// Close the window and decay into the smoothed estimate.
+	if now >= m.winStart+m.cfg.Window {
+		// Close the current window and decay it into the smoothed
+		// estimate — the only close whose instantaneous term is nonzero,
+		// and therefore the only one that can raise the peak.
 		inst := float64(m.winFlitHops) / (float64(m.cfg.Window) * m.links)
 		m.util = 0.5*m.util + 0.5*inst
 		if m.util > m.peakUtil {
 			m.peakUtil = m.util
 		}
 		m.winFlitHops = 0
-		m.winStart += m.cfg.Window
+		elapsed := (now - m.winStart) / m.cfg.Window
+		m.winStart += elapsed * m.cfg.Window
+		m.halve(elapsed - 1)
 	}
 	m.winFlitHops += fh
+}
+
+// halve applies k exact halvings to util without looping k times. While
+// the result stays a normal float64 a single Ldexp is bit-identical to k
+// repeated halvings (both are exact); in the subnormal tail each halving
+// rounds, so the remainder is looped — at most ~54 steps before util
+// reaches 0, a constant bound independent of k.
+func (m *Mesh) halve(k uint64) {
+	if k == 0 || m.util == 0 {
+		return
+	}
+	// util = f*2^exp with f in [0.5,1): after d halvings the value is
+	// still normal (>= 2^-1022 even at f=0.5) while d <= exp+1021.
+	_, exp := math.Frexp(m.util)
+	if drop := int64(exp) + 1021; drop > 0 {
+		if uint64(drop) >= k {
+			m.util = math.Ldexp(m.util, -int(k))
+			return
+		}
+		m.util = math.Ldexp(m.util, -int(drop))
+		k -= uint64(drop)
+	}
+	if k >= 60 {
+		// From the edge of the normal range, at most ~54 further
+		// halvings round to exact 0; skip the (slow) denormal ops.
+		m.util = 0
+		return
+	}
+	for ; k > 0 && m.util != 0; k-- {
+		m.util *= 0.5
+	}
 }
 
 // queueDelay converts current utilization into added delay for a message

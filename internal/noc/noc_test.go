@@ -180,3 +180,84 @@ func TestSingleTileMesh(t *testing.T) {
 		t.Error("flit-hops on single-tile mesh")
 	}
 }
+
+// refWindow replicates the pre-fast-forward observe: close idle windows
+// one loop iteration per window. It is the bit-exact reference the O(1)
+// fast-forward must match.
+type refWindow struct {
+	winStart    uint64
+	winFlitHops uint64
+	util        float64
+	peakUtil    float64
+}
+
+func (r *refWindow) observe(cfg Config, links float64, now, fh uint64) {
+	for now >= r.winStart+cfg.Window {
+		inst := float64(r.winFlitHops) / (float64(cfg.Window) * links)
+		r.util = 0.5*r.util + 0.5*inst
+		if r.util > r.peakUtil {
+			r.peakUtil = r.util
+		}
+		r.winFlitHops = 0
+		r.winStart += cfg.Window
+	}
+	r.winFlitHops += fh
+}
+
+// TestObserveFastForwardMatchesLoop drives the O(1) observe and the loop
+// reference through identical schedules — bursts, single-window steps,
+// and quiet gaps up to thousands of windows — asserting bit-identical
+// util, peakUtil, and window state after every message.
+func TestObserveFastForwardMatchesLoop(t *testing.T) {
+	cfg := DefaultConfig(16)
+	m := New(cfg)
+	ref := refWindow{}
+	rng := rand.New(rand.NewSource(42))
+	now := uint64(0)
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(4) {
+		case 0: // same window
+			now += rng.Uint64() % (cfg.Window / 4)
+		case 1: // next window or two
+			now += cfg.Window + rng.Uint64()%cfg.Window
+		case 2: // medium gap
+			now += cfg.Window * (2 + rng.Uint64()%50)
+		case 3: // long quiet gap (decays to ~0)
+			now += cfg.Window * (100 + rng.Uint64()%5000)
+		}
+		fh := rng.Uint64() % 40000
+		m.observe(now, fh)
+		ref.observe(cfg, m.links, now, fh)
+		if m.util != ref.util || m.peakUtil != ref.peakUtil {
+			t.Fatalf("step %d (now=%d): util %v/%v, want %v/%v",
+				i, now, m.util, m.peakUtil, ref.util, ref.peakUtil)
+		}
+		if m.winStart != ref.winStart || m.winFlitHops != ref.winFlitHops {
+			t.Fatalf("step %d (now=%d): window state (%d,%d), want (%d,%d)",
+				i, now, m.winStart, m.winFlitHops, ref.winStart, ref.winFlitHops)
+		}
+	}
+}
+
+// TestObserveAstronomicalGap: a gap of ~2^40 windows (which the loop
+// version would take hours to close) completes instantly and fully
+// decays utilization to zero without disturbing the peak.
+func TestObserveAstronomicalGap(t *testing.T) {
+	cfg := DefaultConfig(64)
+	m := New(cfg)
+	for j := 0; j < 5000; j++ {
+		m.observe(uint64(j), 500)
+	}
+	m.observe(cfg.Window*3, 1) // close the loaded window, establish util
+	if m.Utilization() == 0 {
+		t.Fatal("expected nonzero utilization after a loaded window")
+	}
+	peak := m.PeakUtilization()
+	m.observe(cfg.Window*(1<<40), 1)
+	if got := m.Utilization(); got != 0 {
+		t.Errorf("util after 2^40-window gap = %v, want exact 0", got)
+	}
+	if m.PeakUtilization() != peak {
+		t.Errorf("peak changed across an idle gap: %v -> %v", peak, m.PeakUtilization())
+	}
+}

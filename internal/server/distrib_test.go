@@ -1,0 +1,276 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"arcsim/internal/sim"
+)
+
+// TestRetryAfterDerivation scripts the service-time accounting directly
+// and checks the advertised backoff at each corner: the pre-observation
+// prior, a proportional backlog estimate, and both clamp edges.
+func TestRetryAfterDerivation(t *testing.T) {
+	srv := New(Config{Workers: 2, QueueDepth: 16})
+
+	// No completed jobs yet, empty queue: 2s prior, 1 pending, 2 workers
+	// -> ceil(1s) = 1.
+	if got := srv.retryAfter(); got != 1 {
+		t.Errorf("prior retryAfter = %d, want 1", got)
+	}
+
+	// Observed mean 10s, 5 queued + 2 running + this submission = 8
+	// pending over 2 workers -> 40s.
+	srv.svcTotal, srv.svcCount = 30*time.Second, 3
+	for i := 0; i < 5; i++ {
+		srv.queue <- &job{}
+	}
+	srv.running.Add(2)
+	if got := srv.retryAfter(); got != 40 {
+		t.Errorf("backlogged retryAfter = %d, want 40", got)
+	}
+
+	// A pathological mean clamps at 60 rather than advertising minutes.
+	srv.svcTotal = 10 * time.Minute
+	if got := srv.retryAfter(); got != 60 {
+		t.Errorf("clamped retryAfter = %d, want 60", got)
+	}
+
+	// Near-instant service (a store-warm daemon) still asks for >= 1s.
+	srv.svcTotal, srv.svcCount = 3*time.Millisecond, 3
+	if got := srv.retryAfter(); got != 1 {
+		t.Errorf("floor retryAfter = %d, want 1", got)
+	}
+}
+
+// TestRetryAfterHeader checks end to end that a 429 carries the derived
+// value: with one slow job observed, the advertised wait reflects its
+// service time and the backlog instead of the old hardcoded 5.
+func TestRetryAfterHeader(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	srv.runJob = func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			return &sim.Result{Cycles: 1}, nil
+		}
+	}
+	// Pretend two 8s jobs already completed: mean 8s, and once the
+	// worker and queue are full, 3 pending / 1 worker -> 24s.
+	srv.svcTotal, srv.svcCount = 16*time.Second, 2
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(context.Background()) //nolint:errcheck
+	defer close(release)                  // unblock the worker before Drain waits on it
+
+	_, j1 := postJob(t, ts, tinySpec())
+	waitState(t, ts, j1.ID, StateRunning)
+	postJob(t, ts, tinySpec()) // fills the queue
+	resp, _ := postJob(t, ts, tinySpec())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue returned %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q not an integer", resp.Header.Get("Retry-After"))
+	}
+	if ra != 24 {
+		t.Errorf("Retry-After = %d, want 24 (mean 8s x 3 pending / 1 worker)", ra)
+	}
+}
+
+func postBatch(t *testing.T, ts *httptest.Server, specs []JobSpec) (*http.Response, []BatchItem) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"jobs": specs})
+	resp, err := http.Post(ts.URL+"/v1/jobs/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Jobs []BatchItem `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatalf("bad batch response: %v", err)
+	}
+	return resp, payload.Jobs
+}
+
+// TestBatchSubmit covers the batch endpoint: all-accepted, mixed
+// validation failure, and a queue filling mid-batch.
+func TestBatchSubmit(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 8})
+	release := make(chan struct{})
+	srv.runJob = func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		<-release
+		return &sim.Result{Cycles: 9}, nil
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(context.Background()) //nolint:errcheck
+
+	resp, items := postBatch(t, ts, []JobSpec{tinySpec(), tinySpec()})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("all-valid batch: %d, want 202", resp.StatusCode)
+	}
+	if len(items) != 2 || items[0].Job == nil || items[1].Job == nil {
+		t.Fatalf("batch items: %+v", items)
+	}
+	if items[0].Job.ID == items[1].Job.ID {
+		t.Fatal("batch entries share a job id")
+	}
+
+	// A bad spec fails its slot without sinking the rest.
+	bad := tinySpec()
+	bad.Workload = "no-such-workload"
+	resp2, items2 := postBatch(t, ts, []JobSpec{bad, tinySpec()})
+	if resp2.StatusCode != http.StatusMultiStatus {
+		t.Fatalf("mixed batch: %d, want 207", resp2.StatusCode)
+	}
+	if items2[0].Status != http.StatusBadRequest || items2[0].Error == "" || items2[0].Job != nil {
+		t.Fatalf("invalid entry: %+v", items2[0])
+	}
+	if items2[1].Status != http.StatusAccepted || items2[1].Job == nil {
+		t.Fatalf("valid entry after invalid: %+v", items2[1])
+	}
+
+	// Overfilling the queue mid-batch 429s the tail entries only.
+	many := make([]JobSpec, 12)
+	for i := range many {
+		many[i] = tinySpec()
+	}
+	resp3, items3 := postBatch(t, ts, many)
+	if resp3.StatusCode != http.StatusMultiStatus {
+		t.Fatalf("overflow batch: %d, want 207", resp3.StatusCode)
+	}
+	var accepted, rejected int
+	for _, it := range items3 {
+		switch it.Status {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			t.Fatalf("unexpected batch status: %+v", it)
+		}
+	}
+	if accepted == 0 || rejected == 0 || accepted+rejected != len(many) {
+		t.Fatalf("overflow split accepted=%d rejected=%d", accepted, rejected)
+	}
+
+	// Empty and oversized batches are rejected outright.
+	if resp, _ := http.Post(ts.URL+"/v1/jobs/batch", "application/json",
+		strings.NewReader(`{"jobs":[]}`)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d, want 400", resp.StatusCode)
+	}
+	close(release)
+}
+
+// sseEventsFrom reads a job's SSE stream with a Last-Event-ID header and
+// returns "id/event" strings until the stream ends.
+func sseEventsFrom(t *testing.T, ts *httptest.Server, id string, lastEventID string) []string {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+id+"/events", nil)
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []string
+	sc := bufio.NewScanner(resp.Body)
+	eid := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			eid = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			out = append(out, eid+"/"+strings.TrimPrefix(line, "event: "))
+		}
+	}
+	return out
+}
+
+// TestSSEResume replays a finished job's stream from several
+// Last-Event-ID offsets and checks ids stay aligned with the history.
+func TestSSEResume(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	srv.runJob = func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		return &sim.Result{Cycles: 5}, nil
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(context.Background()) //nolint:errcheck
+
+	_, j := postJob(t, ts, tinySpec())
+	waitState(t, ts, j.ID, StateDone)
+
+	// Full history: queued, running, done-state, done. Ids 0..3.
+	full := sseEventsFrom(t, ts, j.ID, "")
+	if want := []string{"0/state", "1/state", "2/state", "3/done"}; fmt.Sprint(full) != fmt.Sprint(want) {
+		t.Fatalf("full replay %v, want %v", full, want)
+	}
+
+	// Resuming after id 1 replays exactly 2 and 3.
+	resumed := sseEventsFrom(t, ts, j.ID, "1")
+	if want := []string{"2/state", "3/done"}; fmt.Sprint(resumed) != fmt.Sprint(want) {
+		t.Fatalf("resume@1 %v, want %v", resumed, want)
+	}
+
+	// Resuming past the end replays nothing and terminates cleanly.
+	if tail := sseEventsFrom(t, ts, j.ID, "99"); len(tail) != 0 {
+		t.Fatalf("resume@99 replayed %v", tail)
+	}
+
+	// A malformed id falls back to a full replay.
+	if junk := sseEventsFrom(t, ts, j.ID, "bogus"); fmt.Sprint(junk) != fmt.Sprint(full) {
+		t.Fatalf("bogus id replay %v, want full %v", junk, full)
+	}
+}
+
+// TestSSEResumeLive reconnects mid-run with a Last-Event-ID and still
+// sees the live tail through to done.
+func TestSSEResumeLive(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	release := make(chan struct{})
+	srv.runJob = func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		<-release
+		return &sim.Result{Cycles: 5}, nil
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(context.Background()) //nolint:errcheck
+
+	_, j := postJob(t, ts, tinySpec())
+	waitState(t, ts, j.ID, StateRunning)
+	got := make(chan []string, 1)
+	go func() { got <- sseEventsFrom(t, ts, j.ID, "0") }() // already saw "queued"
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	select {
+	case events := <-got:
+		if want := []string{"1/state", "2/state", "3/done"}; fmt.Sprint(events) != fmt.Sprint(want) {
+			t.Fatalf("live resume %v, want %v", events, want)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("live resumed stream never terminated")
+	}
+}

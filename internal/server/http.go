@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -19,6 +20,7 @@ func (e *httpError) Error() string { return e.msg }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/jobs/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
@@ -74,6 +76,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	w.Header().Set("Location", "/v1/jobs/"+j.ID)
 	writeJSON(w, http.StatusAccepted, view)
+}
+
+// maxBatch bounds one batch-submit request; anything larger is a
+// client-side loop's job.
+const maxBatch = 1024
+
+// handleBatch accepts {"jobs":[spec...]} and submits each in order.
+// 202 when every spec was accepted, 207 when outcomes are mixed; the
+// body always carries one entry per input spec, in input order.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Jobs []JobSpec `json:"jobs"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, &httpError{http.StatusBadRequest, "bad batch request: " + err.Error(), nil})
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, &httpError{http.StatusBadRequest, "batch needs at least one job", nil})
+		return
+	}
+	if len(req.Jobs) > maxBatch {
+		writeError(w, &httpError{http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds the %d-job limit", len(req.Jobs), maxBatch), nil})
+		return
+	}
+	items := s.submitBatch(req.Jobs)
+	status := http.StatusAccepted
+	for _, it := range items {
+		if it.Status != http.StatusAccepted {
+			status = http.StatusMultiStatus
+			break
+		}
+	}
+	writeJSON(w, status, map[string]any{"jobs": items})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -144,7 +181,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents streams the job's lifecycle as server-sent events:
 // history first, then live until the job reaches a terminal state, the
-// client disconnects, or the daemon drains.
+// client disconnects, or the daemon drains. Event ids are indices into
+// the job's append-only history, so a reconnecting client that presents
+// a Last-Event-ID header resumes exactly where its previous connection
+// dropped, replaying only what it has not seen.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, err := s.lookup(r)
 	if err != nil {
@@ -165,11 +205,22 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		defer j.unsubscribe(live)
 	}
 	seq := 0
+	if raw := r.Header.Get("Last-Event-ID"); raw != "" {
+		if last, err := strconv.Atoi(raw); err == nil && last >= 0 {
+			seq = last + 1
+		}
+	}
+	if seq > len(history) {
+		// The client claims events this job never emitted (a stale id
+		// from a previous daemon lifetime): replay from the live edge
+		// rather than skipping future events.
+		seq = len(history)
+	}
 	write := func(ev event) {
 		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", seq, ev.Name, ev.Data)
 		seq++
 	}
-	for _, ev := range history {
+	for _, ev := range history[seq:] {
 		write(ev)
 	}
 	fl.Flush()

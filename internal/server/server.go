@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -150,6 +151,13 @@ type Server struct {
 	wg       sync.WaitGroup
 	started  time.Time
 
+	// Service-time accounting (under mu): total wall-clock and count of
+	// jobs that ran to a terminal state, feeding the 429 Retry-After
+	// estimate. now is replaceable so tests can script durations.
+	svcTotal time.Duration
+	svcCount int
+	now      func() time.Time
+
 	// runJob executes one spec; tests substitute a stub to script
 	// slow/failing runs without simulating.
 	runJob func(ctx context.Context, spec JobSpec) (*sim.Result, error)
@@ -164,6 +172,7 @@ func New(cfg Config) *Server {
 		cycles:  make(map[string]uint64),
 		drainCh: make(chan struct{}),
 		started: time.Now(),
+		now:     time.Now,
 	}
 	s.queue = make(chan *job, s.cfg.QueueDepth)
 	s.runJob = s.simulate
@@ -174,6 +183,13 @@ func New(cfg Config) *Server {
 
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetRunJob replaces the job executor. Call before Start; client-side
+// fault-injection tests use it to stand up daemons with scripted
+// behavior instead of real simulations.
+func (s *Server) SetRunJob(run func(ctx context.Context, spec JobSpec) (*sim.Result, error)) {
+	s.runJob = run
+}
 
 // Start launches the worker pool.
 func (s *Server) Start() {
@@ -233,7 +249,7 @@ func (s *Server) process(j *job) {
 		return
 	}
 	j.State = StateRunning
-	j.Started = time.Now()
+	j.Started = s.now()
 	s.mu.Unlock()
 	s.running.Add(1)
 	defer s.running.Add(-1)
@@ -255,7 +271,14 @@ func (s *Server) process(j *job) {
 func (s *Server) finish(j *job, res *sim.Result, err error, state string) {
 	s.mu.Lock()
 	j.State = state
-	j.Done = time.Now()
+	j.Done = s.now()
+	if !j.Started.IsZero() {
+		// The job actually ran: fold its service time into the mean that
+		// drives Retry-After (cache hits included — they are real,
+		// near-instant service and shrink the advertised backoff).
+		s.svcTotal += j.Done.Sub(j.Started)
+		s.svcCount++
+	}
 	j.result = res
 	if res != nil {
 		j.CacheHit = res.CacheHit
@@ -321,7 +344,7 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 			ID:      fmt.Sprintf("j%06d", s.nextID),
 			Spec:    spec,
 			State:   StateQueued,
-			Created: time.Now(),
+			Created: s.now(),
 		},
 		ctx:    ctx,
 		cancel: cancel,
@@ -337,12 +360,69 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 		cancel(nil)
 		return nil, &httpError{
 			http.StatusTooManyRequests, "job queue is full",
-			http.Header{"Retry-After": []string{"5"}},
+			http.Header{"Retry-After": []string{strconv.Itoa(s.retryAfter())}},
 		}
 	}
 	s.emit(j, "state", fmt.Sprintf(`{"id":%q,"state":%q}`, j.ID, StateQueued))
 	s.cfg.Logf("job %s queued: %s/%s/%d", j.ID, spec.Workload, spec.Protocol, spec.Cores)
 	return j, nil
+}
+
+// retryAfter estimates, in whole seconds, when a rejected submitter
+// should come back: the time for the worker pool to drain the current
+// backlog plus one slot, at the observed mean job service time. Before
+// any job has completed it assumes a 2s prior; the estimate is clamped
+// to [1, 60] so a pathological backlog never advertises an hour.
+func (s *Server) retryAfter() int {
+	s.mu.Lock()
+	total, count := s.svcTotal, s.svcCount
+	s.mu.Unlock()
+	mean := 2 * time.Second
+	if count > 0 {
+		mean = total / time.Duration(count)
+	}
+	pending := len(s.queue) + int(s.running.Load()) + 1
+	wait := mean * time.Duration(pending) / time.Duration(s.cfg.Workers)
+	sec := int((wait + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+// submitBatch registers one job per spec, in order. Each entry succeeds
+// or fails independently (a full queue rejects the remainder without
+// unwinding earlier accepts); the per-item error carries the same status
+// the single-submit endpoint would have returned.
+func (s *Server) submitBatch(specs []JobSpec) []BatchItem {
+	items := make([]BatchItem, len(specs))
+	for i, spec := range specs {
+		j, err := s.submit(spec)
+		if err != nil {
+			he, ok := err.(*httpError)
+			if !ok {
+				he = &httpError{http.StatusInternalServerError, err.Error(), nil}
+			}
+			items[i] = BatchItem{Status: he.status, Error: he.msg}
+			continue
+		}
+		s.mu.Lock()
+		view := s.viewLocked(j)
+		s.mu.Unlock()
+		items[i] = BatchItem{Status: http.StatusAccepted, Job: &view}
+	}
+	return items
+}
+
+// BatchItem is one entry of a batch-submit response: the accepted job,
+// or the HTTP status + error the spec would have drawn on its own.
+type BatchItem struct {
+	Status int      `json:"status"`
+	Job    *JobView `json:"job,omitempty"`
+	Error  string   `json:"error,omitempty"`
 }
 
 // cancelJob cancels a queued or running job. Terminal jobs are left
