@@ -11,10 +11,10 @@
 //
 //	arcsimctl [-server URL] submit -workload x264 -protocol arc -cores 32 [-wait]
 //	arcsimctl [-server URL] batch < specs.json
-//	arcsimctl [-server URL] get j000001
-//	arcsimctl [-server URL] result j000001
-//	arcsimctl [-server URL] watch j000001
-//	arcsimctl [-server URL] cancel j000001
+//	arcsimctl [-server URL] get j000001-4f2a91c8
+//	arcsimctl [-server URL] result j000001-4f2a91c8
+//	arcsimctl [-server URL] watch j000001-4f2a91c8
+//	arcsimctl [-server URL] cancel j000001-4f2a91c8
 //	arcsimctl [-server URL] list
 //	arcsimctl [-server URL] health
 package main
@@ -108,7 +108,15 @@ func submit(ctx context.Context, c *client.Client, args []string) error {
 	// record but not the proven result: resubmitting the same spec is a
 	// store hit, so -wait survives restarts instead of stranding.
 	final, err := c.Follow(ctx, view.ID, echoTo(os.Stderr))
-	for errors.Is(err, client.ErrJobLost) {
+	for {
+		if err == nil && final.Spec != view.Spec {
+			// The id names someone else's job now (id reuse across a
+			// restart): never print a foreign result; resubmit our spec.
+			err = fmt.Errorf("%w: job %s came back with a different spec", client.ErrJobLost, view.ID)
+		}
+		if !errors.Is(err, client.ErrJobLost) {
+			break
+		}
 		fmt.Fprintf(os.Stderr, "job %s lost to a daemon restart; resubmitting\n", view.ID)
 		if view, err = c.Submit(ctx, spec); err != nil {
 			return err
@@ -230,14 +238,14 @@ func list(ctx context.Context, c *client.Client) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-9s %-10s %-14s %-8s %5s %9s %8s  %s\n",
+	fmt.Printf("%-16s %-10s %-14s %-8s %5s %9s %8s  %s\n",
 		"id", "state", "workload", "proto", "cores", "cycles", "cache", "error")
 	for _, j := range jobs {
 		cache := ""
 		if j.CacheHit {
 			cache = "hit"
 		}
-		fmt.Printf("%-9s %-10s %-14s %-8s %5d %9d %8s  %s\n",
+		fmt.Printf("%-16s %-10s %-14s %-8s %5d %9d %8s  %s\n",
 			j.ID, j.State, j.Spec.Workload, j.Spec.Protocol, j.Spec.Cores, j.Cycles, cache, j.Error)
 	}
 	return nil

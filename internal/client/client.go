@@ -118,15 +118,20 @@ func (e *APIError) Error() string {
 
 // retryable reports whether err is worth retrying against the same
 // endpoint: transport errors and server-side conditions (5xx, 429) are;
-// client errors (4xx) are not.
-func retryable(err error) bool {
+// client errors (4xx) are not. ctx is the caller's context, which is
+// the only reliable arbiter of whose deadline fired: http.Client's
+// per-attempt Timeout surfaces as context.DeadlineExceeded too, so
+// matching the error alone would misread a single hung exchange as the
+// caller giving up and skip the retry that timeout exists to enable.
+func retryable(ctx context.Context, err error) bool {
 	var ae *APIError
 	if errors.As(err, &ae) {
 		return ae.Status >= 500 || ae.Status == http.StatusTooManyRequests
 	}
 	// Anything that never produced an HTTP status is a transport
-	// failure: connection refused/reset, timeout, torn body.
-	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+	// failure: connection refused/reset, per-attempt timeout, torn body.
+	// Retry while the caller still wants the answer.
+	return ctx.Err() == nil
 }
 
 // IsNotFound reports a 404 (unknown job id).
@@ -177,7 +182,7 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any) err
 			}
 		}
 		lastErr = c.once(ctx, method, path, in, out)
-		if lastErr == nil || !retryable(lastErr) {
+		if lastErr == nil || !retryable(ctx, lastErr) {
 			return lastErr
 		}
 	}
@@ -331,7 +336,7 @@ func (c *Client) Follow(ctx context.Context, id string, onEvent func(name, data 
 				return final, fmt.Errorf("%w: %s", ErrJobLost, id)
 			}
 			return final, err
-		case err != nil && !retryable(err):
+		case err != nil && !retryable(ctx, err):
 			return final, err
 		}
 		// Stream ended early (drain) or tore (reset, proxy timeout):

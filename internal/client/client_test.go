@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -151,6 +152,65 @@ func proxyTo(base string, w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return
 		}
+	}
+}
+
+// TestPerAttemptTimeoutRetries: http.Client's per-request Timeout
+// surfaces as context.DeadlineExceeded, the same error a canceled
+// caller produces; it must still be treated as a transient transport
+// failure and retried while the caller's own context is live — one
+// hung exchange is exactly what RequestTimeout exists to bound.
+func TestPerAttemptTimeoutRetries(t *testing.T) {
+	_, ts := newDaemon(t, instantRun)
+	var calls atomic.Int64
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			time.Sleep(400 * time.Millisecond) // beyond RequestTimeout
+			return
+		}
+		proxyTo(ts.URL, w, r)
+	}))
+	defer hung.Close()
+	opts := fastRetry()
+	opts.RequestTimeout = 50 * time.Millisecond
+	c := New(hung.URL, opts)
+	view, err := c.Submit(context.Background(), JobSpec{Workload: "lu", Protocol: "arc", Cores: 2})
+	if err != nil {
+		t.Fatalf("hung first exchange failed the call instead of retrying: %v", err)
+	}
+	if view.ID == "" {
+		t.Fatal("no job id")
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("endpoint saw %d calls, want 2 (timeout, success)", calls.Load())
+	}
+}
+
+// TestCallerCancelDoesNotRetry: when the caller's own context ends the
+// attempt, retrying is wrong — nobody is waiting for the answer.
+func TestCallerCancelDoesNotRetry(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		cancel()
+		// Stall long enough that the client's error is the cancellation,
+		// not this response. Bounded: with the request body unread the
+		// server never cancels r.Context() on client disconnect, so
+		// waiting for it would deadlock the deferred ts.Close().
+		select {
+		case <-r.Context().Done():
+		case <-time.After(2 * time.Second):
+		}
+	}))
+	defer ts.Close()
+	c := New(ts.URL, fastRetry())
+	if _, err := c.Submit(ctx, JobSpec{Workload: "lu"}); err == nil {
+		t.Fatal("submit succeeded after caller cancel")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("canceled call retried: %d attempts", calls.Load())
 	}
 }
 
@@ -421,6 +481,177 @@ func TestPoolJobFailureDoesNotFailOver(t *testing.T) {
 	}
 	if p.Healthy() != 2 {
 		t.Fatalf("healthy = %d, want 2 (job failure is not endpoint failure)", p.Healthy())
+	}
+}
+
+// writeJSONStatus is the fake daemons' response helper.
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+// sseDone writes a one-event SSE stream carrying the job's terminal view.
+func sseDone(w http.ResponseWriter, view JobView) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	data, _ := json.Marshal(view)
+	fmt.Fprintf(w, "id: 0\nevent: done\ndata: %s\n\n", data)
+}
+
+// TestPoolRejectsForeignJobAfterIDReuse scripts the pre-epoch collision
+// scenario: the daemon restarts between submit and follow, and the
+// submitted id now names a *different* client's job. The pool must
+// notice the spec mismatch, refuse the foreign result, and resubmit its
+// own spec — never harvest someone else's artifact into the sweep.
+func TestPoolRejectsForeignJobAfterIDReuse(t *testing.T) {
+	mine := JobSpec{Workload: "lu", Protocol: "arc", Cores: 2, Scale: 0.25, Seed: 1}
+	foreign := JobSpec{Workload: "radix", Protocol: "ce", Cores: 8, Scale: 0.25, Seed: 1}
+	var submits, foreignFetches atomic.Int64
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/jobs":
+			var spec JobSpec
+			json.NewDecoder(r.Body).Decode(&spec) //nolint:errcheck
+			id := fmt.Sprintf("j%06d", submits.Add(1))
+			writeJSONStatus(w, http.StatusAccepted, JobView{ID: id, Spec: spec, State: server.StateQueued})
+		case r.URL.Path == "/v1/jobs/j000001/events":
+			// j000001 belongs to the other client in this "lifetime".
+			sseDone(w, JobView{ID: "j000001", Spec: foreign, State: server.StateDone})
+		case r.URL.Path == "/v1/jobs/j000002/events":
+			sseDone(w, JobView{ID: "j000002", Spec: mine, State: server.StateDone})
+		case r.URL.Path == "/v1/jobs/j000001/result":
+			foreignFetches.Add(1)
+			writeJSONStatus(w, http.StatusOK, syntheticResult(foreign))
+		case r.URL.Path == "/v1/jobs/j000002/result":
+			writeJSONStatus(w, http.StatusOK, syntheticResult(mine))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer fake.Close()
+
+	p := NewPool([]string{fake.URL}, PoolOptions{Client: fastRetry()})
+	res, err := p.Run(context.Background(), mine)
+	if err != nil {
+		t.Fatalf("run across id reuse: %v", err)
+	}
+	if res.Workload != mine.Workload {
+		t.Fatalf("pool returned the foreign job's result: %+v", res)
+	}
+	if foreignFetches.Load() != 0 {
+		t.Fatal("pool fetched the foreign job's result")
+	}
+	if submits.Load() != 2 {
+		t.Fatalf("submits = %d, want 2 (mismatch detected, spec resubmitted)", submits.Load())
+	}
+	if p.Healthy() != 1 {
+		t.Fatal("endpoint benched: id reuse comes from a live daemon, not a fault")
+	}
+}
+
+// TestPoolOperatorCancelDoesNotFailOver: `arcsimctl cancel` of a
+// pool-run job must surface as ErrJobCanceled — not bench the healthy
+// daemon that honored the cancel, and not resurrect the job elsewhere.
+func TestPoolOperatorCancelDoesNotFailOver(t *testing.T) {
+	var runs1, runs2 atomic.Int64
+	running := make(chan struct{}, 4)
+	block := func(runs *atomic.Int64) func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		return func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+			runs.Add(1)
+			running <- struct{}{}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+	}
+	_, ts1 := newDaemon(t, block(&runs1))
+	_, ts2 := newDaemon(t, block(&runs2))
+	p := NewPool([]string{ts1.URL, ts2.URL}, PoolOptions{Client: fastRetry()})
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := p.Run(context.Background(), JobSpec{Workload: "lu", Protocol: "arc", Cores: 2})
+		errCh <- err
+	}()
+	<-running // the job is mid-run on one of the daemons
+	canceled := false
+	for _, base := range []string{ts1.URL, ts2.URL} {
+		c := New(base, fastRetry())
+		jobs, err := c.List(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range jobs {
+			if j.State == server.StateRunning {
+				if err := c.Cancel(context.Background(), j.ID); err != nil {
+					t.Fatal(err)
+				}
+				canceled = true
+			}
+		}
+	}
+	if !canceled {
+		t.Fatal("no running job found to cancel")
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrJobCanceled) {
+			t.Fatalf("err = %v, want ErrJobCanceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool never returned after the cancel")
+	}
+	if total := runs1.Load() + runs2.Load(); total != 1 {
+		t.Fatalf("canceled job started %d times, want 1 (no resurrection)", total)
+	}
+	if p.Healthy() != 2 {
+		t.Fatalf("healthy = %d, want 2 (cancel must not bench a healthy daemon)", p.Healthy())
+	}
+}
+
+// TestPoolDrainCancelFailsOver: a job canceled because its daemon is
+// draining is an endpoint fault, not an operator decision — the pool
+// benches the drainer and reruns the job on a survivor.
+func TestPoolDrainCancelFailsOver(t *testing.T) {
+	var mu sync.Mutex
+	var submitted JobSpec
+	draining := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/jobs":
+			var spec JobSpec
+			json.NewDecoder(r.Body).Decode(&spec) //nolint:errcheck
+			mu.Lock()
+			submitted = spec
+			mu.Unlock()
+			writeJSONStatus(w, http.StatusAccepted, JobView{ID: "j000001", Spec: spec, State: server.StateQueued})
+		case r.URL.Path == "/v1/jobs/j000001/events":
+			mu.Lock()
+			spec := submitted
+			mu.Unlock()
+			sseDone(w, JobView{ID: "j000001", Spec: spec, State: server.StateCanceled, Error: server.CancelReasonDrain})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer draining.Close()
+	var served atomic.Int64
+	_, survivor := newDaemon(t, func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		served.Add(1)
+		return syntheticResult(spec), nil
+	})
+
+	p := NewPool([]string{draining.URL, survivor.URL}, PoolOptions{
+		Client:       fastRetry(),
+		CooldownBase: 50 * time.Millisecond,
+	})
+	res, err := p.Run(context.Background(), JobSpec{Workload: "lu", Protocol: "arc", Cores: 2})
+	if err != nil {
+		t.Fatalf("run across a draining daemon: %v", err)
+	}
+	if res.Workload != "lu" || served.Load() != 1 {
+		t.Fatalf("survivor served %d runs, result %+v", served.Load(), res)
+	}
+	if p.Healthy() != 1 {
+		t.Fatalf("healthy = %d, want 1 (the drainer benched)", p.Healthy())
 	}
 }
 

@@ -18,6 +18,14 @@ import (
 // fall back to in-process execution.
 var ErrNoEndpoints = errors.New("client: no healthy endpoints")
 
+// ErrJobCanceled reports a job an operator canceled (arcsimctl cancel)
+// on a healthy daemon. The pool honors the cancellation: the endpoint
+// is not benched (it did nothing wrong) and the job is not resubmitted
+// elsewhere (that would resurrect what the operator killed). Distinct
+// from a drain-time cancellation, which is an endpoint fault and does
+// fail over.
+var ErrJobCanceled = errors.New("client: job canceled")
+
 // JobFailedError reports a job that a daemon ran to completion and which
 // failed deterministically (a simulation error, not an endpoint fault).
 // The pool does not fail over on it: the run would fail identically
@@ -151,7 +159,8 @@ func (p *Pool) pick() *endpoint {
 // job over; a daemon restart resubmits (the restarted daemon's
 // persistent store makes that a cache hit, not a re-simulation).
 // Returns ErrNoEndpoints once every endpoint is benched — the caller's
-// cue to run locally.
+// cue to run locally — and ErrJobCanceled when an operator canceled
+// the job, which is final rather than grounds for failover.
 func (p *Pool) Run(ctx context.Context, spec JobSpec) (*sim.Result, error) {
 	var lastErr error
 	// The try budget covers each endpoint failing plus a few restart
@@ -170,6 +179,12 @@ func (p *Pool) Run(ctx context.Context, spec JobSpec) (*sim.Result, error) {
 		if errors.As(err, &jf) {
 			// The endpoint served us fine; the simulation itself failed
 			// and would fail identically on every other daemon.
+			ep.markUp()
+			return nil, err
+		}
+		if errors.Is(err, ErrJobCanceled) {
+			// A healthy daemon honored an operator's cancel; benching it
+			// or resubmitting would undo the operator's decision.
 			ep.markUp()
 			return nil, err
 		}
@@ -200,14 +215,27 @@ func (p *Pool) runOn(ctx context.Context, ep *endpoint, spec JobSpec) (*sim.Resu
 	if err != nil {
 		return nil, err
 	}
+	// Identity check: job ids embed a per-lifetime epoch so a restarted
+	// daemon 404s stale ids, but if an id ever does name someone else's
+	// job, the submit-time spec catches it here — before a foreign
+	// result is fetched and silently corrupts the sweep. ErrJobLost
+	// makes the caller resubmit the spec it actually wants.
+	if final.Spec != view.Spec {
+		return nil, fmt.Errorf("%w: job %s came back with a different spec", ErrJobLost, view.ID)
+	}
 	switch final.State {
 	case server.StateDone:
 		return ep.Result(ctx, final.ID)
 	case server.StateFailed:
 		return nil, &JobFailedError{View: final}
+	case server.StateCanceled:
+		if final.Error == server.CancelReasonDrain {
+			// A drain took the queued job down with the daemon; another
+			// endpoint can run it.
+			return nil, fmt.Errorf("job %s canceled by drain on %s", final.ID, ep.Base())
+		}
+		return nil, fmt.Errorf("%w: job %s on %s: %s", ErrJobCanceled, final.ID, ep.Base(), final.Error)
 	default:
-		// Canceled: a drain took the job down with the daemon, or an
-		// operator canceled it. Either way another endpoint can run it.
 		return nil, fmt.Errorf("job %s ended %s on %s: %s", final.ID, final.State, ep.Base(), final.Error)
 	}
 }

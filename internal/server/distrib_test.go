@@ -16,6 +16,35 @@ import (
 	"arcsim/internal/sim"
 )
 
+// TestJobIDsUniqueAcrossLifetimes: the sequential job counter restarts
+// at zero on every boot, so without the per-lifetime epoch suffix two
+// daemon lifetimes would mint identical ids and a client holding a
+// pre-restart id could silently address — and harvest the result of —
+// a different job. With the epoch, ids never collide and a stale id
+// 404s into the ErrJobLost/resubmit path.
+func TestJobIDsUniqueAcrossLifetimes(t *testing.T) {
+	a, b := New(Config{}), New(Config{})
+	ja, err := a.submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ja.ID == jb.ID {
+		t.Fatalf("job id %q collides across two daemon lifetimes", ja.ID)
+	}
+	// Within one lifetime ids stay sequential and distinct.
+	ja2, err := a.submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ja2.ID == ja.ID {
+		t.Fatalf("duplicate id %q within one lifetime", ja.ID)
+	}
+}
+
 // TestRetryAfterDerivation scripts the service-time accounting directly
 // and checks the advertised backoff at each corner: the pre-observation
 // prior, a proportional backlog estimate, and both clamp edges.

@@ -18,6 +18,8 @@ package server
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -64,6 +66,12 @@ const (
 func States() []string {
 	return []string{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled}
 }
+
+// CancelReasonDrain is the Error carried by jobs a drain canceled while
+// they were still queued. Clients use it to tell "the daemon is going
+// down, run the job elsewhere" from an operator cancel, which must be
+// honored rather than failed over.
+const CancelReasonDrain = "daemon draining"
 
 // JobView is the client-facing snapshot of one job.
 type JobView struct {
@@ -142,6 +150,7 @@ type Server struct {
 	jobs    map[string]*job
 	order   []string // creation order
 	nextID  int
+	epoch   string                   // per-lifetime id suffix; see epochToken
 	runners map[string]*bench.Runner // one per (scale, seed)
 	cycles  map[string]uint64        // simulated cycles per protocol
 
@@ -170,6 +179,7 @@ func New(cfg Config) *Server {
 		jobs:    make(map[string]*job),
 		runners: make(map[string]*bench.Runner),
 		cycles:  make(map[string]uint64),
+		epoch:   epochToken(),
 		drainCh: make(chan struct{}),
 		started: time.Now(),
 		now:     time.Now,
@@ -221,7 +231,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	for {
 		select {
 		case j := <-s.queue:
-			s.finish(j, nil, errors.New("daemon draining"), StateCanceled)
+			s.finish(j, nil, errors.New(CancelReasonDrain), StateCanceled)
 		default:
 			return nil
 		}
@@ -327,6 +337,21 @@ func (s *Server) runner(spec JobSpec) *bench.Runner {
 	return r
 }
 
+// epochToken returns eight hex characters unique to this daemon
+// lifetime. Job ids embed it so ids from different lifetimes can never
+// collide: the sequential counter restarts from zero on every boot, and
+// without the epoch a client holding a pre-restart id could silently
+// address (and harvest the result of) a different job submitted after
+// the restart. With it, a stale id simply 404s, which clients already
+// map to ErrJobLost-and-resubmit.
+func epochToken() string {
+	var b [4]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%08x", uint32(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // submit validates, registers, and enqueues a job. It returns the job,
 // or an httpError carrying the status to serve.
 func (s *Server) submit(spec JobSpec) (*job, error) {
@@ -341,7 +366,7 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 	s.nextID++
 	j := &job{
 		JobView: JobView{
-			ID:      fmt.Sprintf("j%06d", s.nextID),
+			ID:      fmt.Sprintf("j%06d-%s", s.nextID, s.epoch),
 			Spec:    spec,
 			State:   StateQueued,
 			Created: s.now(),
