@@ -14,7 +14,7 @@ BENCHOUT  ?= $(shell n=$$(ls BENCH_[0-9][0-9][0-9][0-9].json 2>/dev/null \
 # (CI uses 30s; local default 10s per target).
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race fmt-check bench fuzz ci
+.PHONY: build test vet lint race fmt-check bench fuzz ci
 
 build:
 	$(GO) build ./...
@@ -25,13 +25,18 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Repo-specific static checks (internal/lint): mutex-guard discipline in
+# the concurrent service layers, determinism in the simulation engine.
+lint:
+	$(GO) run ./internal/lint/cmd/arcsimvet
+
 # Race-enabled pass over the concurrent subset: the parallel experiment
 # harness (worker pool + singleflight memo), the engine it drives, the
 # differential conformance checker, the daemon's service + store layers,
 # and the failover client that fans sweeps across daemons.
 race:
 	$(GO) test -race -short ./internal/bench/ ./internal/sim/ ./internal/conformance/ \
-		./internal/server/ ./internal/store/ ./internal/client/
+		./internal/server/ ./internal/store/ ./internal/client/ ./internal/static/
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -44,5 +49,6 @@ bench:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzCodec -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzConformance -fuzztime=$(FUZZTIME) ./internal/conformance/
+	$(GO) test -run='^$$' -fuzz=FuzzStatic -fuzztime=$(FUZZTIME) ./internal/conformance/
 
-ci: build vet fmt-check test race
+ci: build vet lint fmt-check test race

@@ -32,7 +32,6 @@ import (
 	"arcsim/internal/machine"
 	"arcsim/internal/protocols"
 	"arcsim/internal/sim"
-	"arcsim/internal/trace"
 	"arcsim/internal/workload"
 )
 
@@ -125,29 +124,18 @@ func Workloads() []WorkloadInfo {
 // "aimstress" (metadata-table pressure for AIM sizing).
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.normalized()
-	threads := cfg.Cores
 	if len(cfg.MachineJSON) > 0 {
 		parsed, err := config.Parse(cfg.MachineJSON)
 		if err != nil {
 			return nil, err
 		}
-		threads = parsed.Cores
+		cfg.Cores = parsed.Cores
 	}
-	params := workload.Params{Threads: threads, Seed: cfg.Seed, Scale: cfg.Scale}
-	var tr *trace.Trace
-	switch cfg.Workload {
-	case "falseshare":
-		tr = workload.FalseSharing(params)
-	case "aimstress":
-		tr = workload.AIMStress(params)
-	default:
-		spec, ok := workload.ByName(cfg.Workload)
-		if !ok {
-			return nil, fmt.Errorf("arcsim: unknown workload %q (see Workloads())", cfg.Workload)
-		}
-		tr = spec.Build(params)
+	t, err := WorkloadTrace(cfg)
+	if err != nil {
+		return nil, err
 	}
-	return runTrace(cfg, &Trace{inner: tr})
+	return runTrace(cfg, t)
 }
 
 // RunTrace simulates a custom trace (built with TraceBuilder) under cfg.

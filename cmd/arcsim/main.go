@@ -7,7 +7,13 @@
 //	arcsim -workload x264 -protocol arc -cores 32
 //	arcsim -workload racy-sharing -protocol ce+ -failstop
 //	arcsim -trace run.arct -protocol mesi -cores 8 -json
+//	arcsim -workload racy-sharing -analyze
 //	arcsim -list
+//
+// With -analyze the workload or trace is not simulated: the static
+// region-conflict analyzer reports whether the program is provably
+// data-race-free under every schedule, and if not, which byte ranges
+// may race (see the "Static analysis" section of the README).
 package main
 
 import (
@@ -35,6 +41,7 @@ func main() {
 		machineF = flag.String("machine", "", "machine description JSON (see -dump-machine)")
 		dumpM    = flag.Bool("dump-machine", false, "print the default machine JSON for -cores and exit")
 		compare  = flag.Bool("compare", false, "run the workload under all four designs and print a comparison")
+		analyze  = flag.Bool("analyze", false, "statically predict region conflicts instead of simulating")
 	)
 	flag.Parse()
 
@@ -75,6 +82,43 @@ func main() {
 			fatal(err)
 		}
 		cfg.MachineJSON = data
+	}
+
+	if *analyze {
+		var (
+			tr  *arcsim.Trace
+			err error
+		)
+		switch {
+		case *traceF != "":
+			f, ferr := os.Open(*traceF)
+			if ferr != nil {
+				fatal(ferr)
+			}
+			tr, err = arcsim.ReadTrace(f)
+			f.Close()
+		case *workload != "":
+			tr, err = arcsim.WorkloadTrace(cfg)
+		default:
+			fatal(fmt.Errorf("-analyze needs -workload or -trace"))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := tr.Analyze()
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		fmt.Print(rep)
+		return
 	}
 
 	if *compare {

@@ -36,7 +36,7 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "comma-separated experiment IDs (T1,T2,F1..F8,T3,A1..A3,R1,CONF/conformance) or 'all'")
+		run      = flag.String("run", "all", "comma-separated experiment IDs (T1,T2,F1..F8,T3,A1..A3,R1,CONF/conformance,STAT/static) or 'all'")
 		scale    = flag.Float64("scale", 0.25, "workload scale (1.0 = full evaluation)")
 		cores    = flag.Int("cores", 32, "core count for per-workload figures")
 		seed     = flag.Int64("seed", 1, "workload seed")

@@ -5,7 +5,12 @@
 //
 //	tracegen -workload canneal -cores 16 -o canneal.arct
 //	tracegen -inspect canneal.arct
+//	tracegen -inspect canneal.arct -analyze   # + static race prediction
 //	tracegen -characterize -cores 32   # print the workload table
+//
+// -analyze runs the static region-conflict analyzer (internal/static)
+// on the inspected or generated trace and prints its verdict: proven
+// data-race-free across all schedules, or the predicted conflicts.
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"arcsim/internal/static"
 	"arcsim/internal/stats"
 	"arcsim/internal/trace"
 	"arcsim/internal/workload"
@@ -27,6 +33,7 @@ func main() {
 		out     = flag.String("o", "", "output ARCT file (default <workload>.arct)")
 		inspect = flag.String("inspect", "", "ARCT file to characterize instead of generating")
 		char    = flag.Bool("characterize", false, "print the characteristics table for the whole catalog")
+		analyze = flag.Bool("analyze", false, "statically predict region conflicts for the inspected or generated trace")
 	)
 	flag.Parse()
 
@@ -45,6 +52,9 @@ func main() {
 			fatal(fmt.Errorf("trace is structurally invalid: %w", err))
 		}
 		fmt.Println(trace.Characterize(tr))
+		if *analyze {
+			printAnalysis(tr)
+		}
 
 	case *char:
 		t := stats.NewTable(
@@ -86,9 +96,32 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s: %s\n", path, trace.Characterize(tr))
+		if *analyze {
+			printAnalysis(tr)
+		}
 
 	default:
 		fatal(fmt.Errorf("need -workload, -inspect, or -characterize"))
+	}
+}
+
+// printAnalysis runs the static analyzer and prints the verdict plus up
+// to ten predicted conflicts.
+func printAnalysis(tr *trace.Trace) {
+	an, err := static.Analyze(tr)
+	if err != nil {
+		fatal(err)
+	}
+	st := an.Stats()
+	fmt.Printf("static: %s (%d regions, %d phases, %d shared lines)\n",
+		an.Verdict(), st.Regions, st.Phases, st.Shared)
+	cs := an.Conflicts()
+	for i, c := range cs {
+		if i == 10 {
+			fmt.Printf("  ... %d more\n", len(cs)-i)
+			break
+		}
+		fmt.Printf("  %s\n", c)
 	}
 }
 

@@ -1,6 +1,11 @@
-// Racedetect: run an intentionally racy workload under each detecting
-// design with fail-stop exception semantics (the paper's model) and print
-// the exception report each design delivers.
+// Racedetect: statically screen workloads for possible region conflicts,
+// then simulate only the ones that are not provably race-free — the
+// pre-filter pattern. A proven-DRF verdict covers every schedule, so no
+// design (CE, CE+, ARC) can deliver an exception on that program and the
+// simulation would be spent confirming silence; a may-conflict verdict
+// names the byte ranges to watch, and the simulation then shows each
+// detecting design delivering the exception under fail-stop semantics
+// (the paper's model).
 //
 //	go run ./examples/racedetect
 package main
@@ -13,39 +18,43 @@ import (
 )
 
 func main() {
-	for _, proto := range []arcsim.Protocol{arcsim.CE, arcsim.CEPlus, arcsim.ARC} {
-		rep, err := arcsim.Run(arcsim.Config{
-			Protocol: proto,
-			Workload: "racy-counter",
-			Cores:    8,
-			Scale:    0.25,
-			FailStop: true,
-			// Cross-check against the golden oracle while we're at it.
-			VerifyWithOracle: true,
-		})
+	for _, name := range []string{"bodytrack", "racy-counter"} {
+		cfg := arcsim.Config{Workload: name, Cores: 8, Scale: 0.25}
+
+		// Stage 1: static analysis — no simulation.
+		tr, err := arcsim.WorkloadTrace(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if !rep.Halted || len(rep.Conflicts) == 0 {
-			log.Fatalf("%s failed to deliver the exception", proto)
+		an, err := tr.Analyze()
+		if err != nil {
+			log.Fatal(err)
 		}
-		c := rep.Conflicts[0]
-		fmt.Printf("%-4s halted at cycle %d after %d accesses:\n", proto, c.Cycle, rep.MemAccesses)
-		fmt.Printf("     region conflict exception: %s\n\n", c)
-	}
+		if an.ProvenDRF {
+			fmt.Printf("%s: proven DRF across all schedules (%d regions, %d shared lines) — skipping simulation\n\n",
+				name, an.Regions, an.SharedLines)
+			continue
+		}
+		fmt.Printf("%s: %d predicted conflict(s), e.g. %s\n",
+			name, len(an.Conflicts), an.Conflicts[0])
 
-	// The same program with the counter protected by a lock is
-	// exception-free under every design.
-	rep, err := arcsim.Run(arcsim.Config{
-		Protocol: arcsim.ARC,
-		Workload: "bodytrack", // same phase structure, locked reduction
-		Cores:    8,
-		Scale:    0.25,
-		FailStop: true,
-	})
-	if err != nil {
-		log.Fatal(err)
+		// Stage 2: the program may race — run it under each detecting
+		// design with fail-stop exceptions and the golden oracle.
+		for _, proto := range []arcsim.Protocol{arcsim.CE, arcsim.CEPlus, arcsim.ARC} {
+			cfg.Protocol = proto
+			cfg.FailStop = true
+			cfg.VerifyWithOracle = true
+			rep, err := arcsim.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !rep.Halted || len(rep.Conflicts) == 0 {
+				log.Fatalf("%s failed to deliver the exception", proto)
+			}
+			c := rep.Conflicts[0]
+			fmt.Printf("  %-4s halted at cycle %d after %d accesses: %s\n",
+				proto, c.Cycle, rep.MemAccesses, c)
+		}
+		fmt.Println()
 	}
-	fmt.Printf("properly synchronized equivalent: %d conflicts, ran to completion (%d cycles)\n",
-		len(rep.Conflicts), rep.Cycles)
 }

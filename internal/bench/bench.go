@@ -509,6 +509,7 @@ func All() []Experiment {
 		{ID: "A3", Title: "Metadata granularity: byte vs word", Plan: planA3, Run: runA3},
 		{ID: "R1", Title: "Seed robustness", Run: runR1},
 		{ID: "CONF", Title: "Differential conformance of the conflict-detection designs", Run: runConformance},
+		{ID: "STAT", Title: "Static region-conflict analysis: precision and speed", Run: runStatic},
 	}
 }
 
@@ -525,11 +526,14 @@ func PlanAll(cfg Config, experiments []Experiment) []RunSpec {
 	return specs
 }
 
-// ByID finds an experiment by ID (case-insensitive). "conformance" is
-// accepted as a spelled-out alias for CONF.
+// ByID finds an experiment by ID (case-insensitive). "conformance" and
+// "static" are accepted as spelled-out aliases for CONF and STAT.
 func ByID(id string) (Experiment, bool) {
 	if strings.EqualFold(id, "conformance") {
 		id = "CONF"
+	}
+	if strings.EqualFold(id, "static") {
+		id = "STAT"
 	}
 	for _, e := range All() {
 		if strings.EqualFold(e.ID, id) {

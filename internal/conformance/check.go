@@ -7,6 +7,7 @@ import (
 	"arcsim/internal/machine"
 	"arcsim/internal/protocols"
 	"arcsim/internal/sim"
+	"arcsim/internal/static"
 	"arcsim/internal/trace"
 )
 
@@ -112,22 +113,45 @@ func Check(prog *Program, opt Options) (map[string]*sim.Result, error) {
 //     accesses (LogAndContinue must execute the full trace everywhere);
 //   - each planted line's conflict is reported by every detecting
 //     design (planted conflicts are schedule-independent, so presence
-//     must not depend on the design's timing).
+//     must not depend on the design's timing);
+//   - the static analyzer (internal/static) is sound against every run:
+//     each dynamically detected conflict pair was statically predicted
+//     (predicted ⊇ detected);
+//   - the static analyzer is precise on DRF-by-construction programs:
+//     they are proven DRF (their discipline — private arenas, read-only
+//     sharing, a fixed protecting lock per shared line, barrier-phased
+//     writes — is exactly lockset/phase-provable).
+//
+// A statically proven-DRF program additionally skips the baseline's
+// redundant golden-oracle mirror: the proof covers every schedule, which
+// is strictly stronger than one run's oracle emptiness (the detecting
+// designs stay oracle-mirrored — their conformance to the oracle is the
+// point of the differential check).
 //
 // Conflict sets of different designs are compared per-run against the
 // oracle rather than against each other: latencies differ across
 // designs, so racy programs can legitimately race differently under
-// each (see experiment T3) — only oracle agreement, DRF emptiness, and
-// planted presence are schedule-independent.
+// each (see experiment T3) — only oracle agreement, DRF emptiness,
+// planted presence, and the static predictions are
+// schedule-independent.
 func CheckTrace(tr *trace.Trace, drf bool, planted []core.Line, opt Options) (map[string]*sim.Result, error) {
 	opt = opt.normalized()
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
+	an, err := static.Analyze(tr)
+	if err != nil {
+		return nil, &Failure{Design: "static", Reason: err.Error()}
+	}
+	if drf && !an.ProvenDRF() {
+		return nil, &Failure{Design: "static",
+			Reason: fmt.Sprintf("precision: DRF-by-construction program not proven DRF; first prediction: %v",
+				an.Conflicts()[0])}
+	}
 	results := make(map[string]*sim.Result, len(opt.Designs))
 	var refEvents, refAccesses uint64
 	for i, name := range opt.Designs {
-		oracle := drf || detects(name)
+		oracle := (drf && !an.ProvenDRF()) || detects(name)
 		res, err := runOne(tr, DesignBuild(name), oracle, opt.MaxCycles)
 		if err != nil {
 			return results, &Failure{Design: name, Reason: err.Error()}
@@ -136,6 +160,14 @@ func CheckTrace(tr *trace.Trace, drf bool, planted []core.Line, opt Options) (ma
 		if drf && res.Conflicts != 0 {
 			return results, &Failure{Design: name,
 				Reason: fmt.Sprintf("%d conflicts on a DRF program: %v", res.Conflicts, res.Exceptions)}
+		}
+		for _, ex := range res.Exceptions {
+			c := ex.Conflict
+			if !an.PredictsPair(c.Line, c.First, c.Second) {
+				return results, &Failure{Design: name,
+					Reason: fmt.Sprintf("soundness: detected conflict not statically predicted: %v vs %v on line %#x (detected by core %d)",
+						c.First, c.Second, uint64(c.Line.Base()), ex.DetectedBy)}
+			}
 		}
 		if detects(name) {
 			for _, line := range planted {

@@ -1,0 +1,86 @@
+package conformance
+
+import (
+	"reflect"
+	"testing"
+
+	"arcsim/internal/protocols"
+	"arcsim/internal/static"
+)
+
+// FuzzStatic feeds fuzzer-chosen generator parameters through the static
+// analyzer alone (no full differential sweep — that is FuzzConformance's
+// job) and asserts its core contracts:
+//
+//   - the analyzer never panics and accepts every generated program;
+//
+//   - DRF-by-construction programs are proven DRF (precision floor);
+//
+//   - verdicts are invariant under the metamorphic relabelings (thread
+//     permutation, lock/barrier id offsets) — the analysis reads
+//     structure, not names;
+//
+//   - soundness vs the ce reference: every conflict ce detects in its
+//     schedule was statically predicted.
+//
+//     go test ./internal/conformance/ -run='^$' -fuzz=FuzzStatic -fuzztime=30s
+func FuzzStatic(f *testing.F) {
+	// Same seed corpus as FuzzConformance: one per program family.
+	f.Add(int64(1), uint8(3), uint8(30), uint8(1), uint8(0), uint8(3))
+	f.Add(int64(2), uint8(2), uint8(20), uint8(2), uint8(1), uint8(17))
+	f.Add(int64(3), uint8(3), uint8(10), uint8(0), uint8(2), uint8(33))
+	f.Add(int64(4), uint8(1), uint8(15), uint8(1), uint8(3), uint8(5))
+	f.Add(int64(5), uint8(1), uint8(25), uint8(0), uint8(4), uint8(40))
+	f.Add(int64(6), uint8(2), uint8(40), uint8(2), uint8(5), uint8(0))
+	f.Add(int64(7), uint8(0), uint8(0), uint8(0), uint8(2), uint8(255))
+	f.Fuzz(func(t *testing.T, seed int64, threads, ops, phases, mode, knobs uint8) {
+		prog := Generate(fuzzConfig(threads, ops, phases, mode, knobs), seed)
+		an, err := static.Analyze(prog.Trace)
+		if err != nil {
+			t.Fatalf("analyzer rejected a generated program: %v", err)
+		}
+		if prog.DRF && !an.ProvenDRF() {
+			t.Fatalf("precision: DRF-by-construction program not proven DRF: %v\n%s",
+				an.Conflicts()[0], renderTrace(prog.Trace))
+		}
+
+		// Metamorphic: offsetting sync ids renames locks and barriers but
+		// changes no structure, so the prediction set is identical.
+		shifted, err := static.Analyze(OffsetSyncIDs(prog.Trace, 7, 13))
+		if err != nil {
+			t.Fatalf("analyzer rejected sync-offset relabeling: %v", err)
+		}
+		if !reflect.DeepEqual(an.Conflicts(), shifted.Conflicts()) {
+			t.Fatalf("sync-id offset changed predictions:\n%v\nvs\n%v",
+				an.Conflicts(), shifted.Conflicts())
+		}
+
+		// Metamorphic: permuting threads renames regions inside each
+		// prediction but preserves the verdict and conflict count.
+		ptr, err := PermuteThreads(prog.Trace, Reversed(prog.Trace.NumThreads()))
+		if err != nil {
+			t.Fatalf("PermuteThreads: %v", err)
+		}
+		permuted, err := static.Analyze(ptr)
+		if err != nil {
+			t.Fatalf("analyzer rejected thread permutation: %v", err)
+		}
+		if an.Verdict() != permuted.Verdict() || len(an.Conflicts()) != len(permuted.Conflicts()) {
+			t.Fatalf("thread permutation changed verdict: %v/%d vs %v/%d",
+				an.Verdict(), len(an.Conflicts()), permuted.Verdict(), len(permuted.Conflicts()))
+		}
+
+		// Soundness vs the ce reference run.
+		res, err := runOne(prog.Trace, DesignBuild(protocols.CE), true, defaultMaxCycles)
+		if err != nil {
+			t.Fatalf("ce reference run: %v", err)
+		}
+		for _, ex := range res.Exceptions {
+			c := ex.Conflict
+			if !an.PredictsPair(c.Line, c.First, c.Second) {
+				t.Fatalf("soundness: ce detected %v vs %v on line %#x, not predicted\n%s",
+					c.First, c.Second, uint64(c.Line.Base()), renderTrace(prog.Trace))
+			}
+		}
+	})
+}

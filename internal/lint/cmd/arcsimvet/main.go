@@ -1,0 +1,72 @@
+// Command arcsimvet runs the repo's custom lint checks (internal/lint).
+// With no arguments it applies the standard policy from the repository
+// root — the mutexguard check over the concurrent service layers and the
+// determinism check over the simulation engine:
+//
+//	arcsimvet                              # make lint
+//	arcsimvet -check mutexguard ./internal/server
+//	arcsimvet -check determinism ./internal/sim
+//
+// Issues print as file:line:col: [check] message; the exit status is 1
+// when any issue is found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"arcsim/internal/lint"
+)
+
+// policy is the default check-to-directory assignment, mirroring the
+// repo's concurrency and determinism contracts.
+var policy = map[string][]string{
+	"mutexguard":  {"internal/server", "internal/client", "internal/store", "internal/bench"},
+	"determinism": {"internal/sim", "internal/core"},
+}
+
+func main() {
+	check := flag.String("check", "", "run one check (mutexguard or determinism) over the argument directories")
+	flag.Parse()
+
+	var issues []lint.Issue
+	run := func(check string, dirs []string) {
+		for _, dir := range dirs {
+			p, err := lint.Load(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "arcsimvet:", err)
+				os.Exit(2)
+			}
+			switch check {
+			case "mutexguard":
+				issues = append(issues, lint.MutexGuards(p)...)
+			case "determinism":
+				issues = append(issues, lint.Determinism(p)...)
+			default:
+				fmt.Fprintf(os.Stderr, "arcsimvet: unknown check %q\n", check)
+				os.Exit(2)
+			}
+		}
+	}
+
+	if *check != "" {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "arcsimvet: -check needs directories")
+			os.Exit(2)
+		}
+		run(*check, flag.Args())
+	} else {
+		for _, name := range []string{"mutexguard", "determinism"} {
+			run(name, policy[name])
+		}
+	}
+
+	for _, i := range issues {
+		fmt.Println(i)
+	}
+	if len(issues) > 0 {
+		fmt.Fprintf(os.Stderr, "arcsimvet: %d issue(s)\n", len(issues))
+		os.Exit(1)
+	}
+}

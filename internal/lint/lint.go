@@ -1,0 +1,321 @@
+// Package lint implements arcsim's repo-specific static checks as a
+// small vet-style analysis over go/ast. The module deliberately has no
+// dependencies, so instead of plugging into golang.org/x/tools'
+// go/analysis driver the package mirrors its shape — named checks over
+// parsed files producing positioned diagnostics — using only the
+// standard library. The cmd/arcsimvet driver wires the checks to the
+// repo's policy (`make lint`).
+//
+// Checks:
+//
+//   - mutexguard: a struct field declared directly below a sync.Mutex /
+//     sync.RWMutex field (with no blank-line or comment gap) is treated
+//     as guarded by that mutex — the layout convention used throughout
+//     internal/server and internal/client. A method that reads or
+//     writes a guarded field without locking the guard in its own body
+//     is flagged. Methods that document or declare a held lock
+//     ("...Locked" name suffix, or a doc comment containing "holds" or
+//     "held") are exempt: their callers own the critical section.
+//
+//   - determinism: flags wall-clock reads (time.Now, time.Since, ...)
+//     and math/rand use. The simulation engine must be a deterministic
+//     function of its inputs — byte-identical results across runs and
+//     machines are what the persistent store and the distributed sweep
+//     client key on — so internal/sim is checked with this.
+//
+// Both checks are syntactic heuristics tuned to this repository's
+// conventions, not general-purpose analyses: they prefer missing an
+// exotic access path over flagging correct code.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Issue is one diagnostic.
+type Issue struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (i Issue) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", i.Pos.Filename, i.Pos.Line, i.Pos.Column, i.Check, i.Message)
+}
+
+// Package is a parsed directory of Go source, excluding tests (test
+// files script concurrency and time freely).
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+}
+
+// Load parses every non-test .go file in dir.
+func Load(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{Fset: token.NewFileSet()}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(p.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		p.Files = append(p.Files, f)
+	}
+	if len(p.Files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return p, nil
+}
+
+// guardInfo maps guarded field name -> guarding mutex field name for one
+// struct type.
+type guardInfo map[string]string
+
+// mutexType reports whether the field type is sync.Mutex or
+// sync.RWMutex (by value — embedded pointers are not a guard
+// convention here).
+func mutexType(expr ast.Expr) bool {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "sync" {
+		return false
+	}
+	return sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex"
+}
+
+// collectGuards finds the guarded-field layout of every struct type:
+// fields following a mutex field named like a guard ("mu", "evMu", ...)
+// are guarded until the first gap (blank line or intervening comment) or
+// the next mutex/synchronization field.
+func collectGuards(p *Package) map[string]guardInfo {
+	out := map[string]guardInfo{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			guards := guardInfo{}
+			curMu := ""
+			prevEnd := 0
+			for _, field := range st.Fields.List {
+				startLine := p.Fset.Position(field.Pos()).Line
+				if field.Doc != nil {
+					startLine = p.Fset.Position(field.Doc.Pos()).Line
+				}
+				gap := prevEnd != 0 && startLine > prevEnd+1
+				prevEnd = p.Fset.Position(field.End()).Line
+				switch {
+				case mutexType(field.Type) && len(field.Names) == 1 &&
+					strings.Contains(strings.ToLower(field.Names[0].Name), "mu"):
+					curMu = field.Names[0].Name
+				case curMu != "" && !gap && len(field.Names) > 0:
+					for _, name := range field.Names {
+						guards[name.Name] = curMu
+					}
+				default:
+					curMu = ""
+				}
+			}
+			if len(guards) > 0 {
+				out[ts.Name.Name] = guards
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// recvType returns the receiver's base type name, or "".
+func recvType(fd *ast.FuncDecl) (typeName, recvName string) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return "", ""
+	}
+	r := fd.Recv.List[0]
+	t := r.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if len(r.Names) != 1 || r.Names[0].Name == "_" {
+		return id.Name, ""
+	}
+	return id.Name, r.Names[0].Name
+}
+
+// lockHeldByConvention reports whether the method declares that its
+// caller owns the critical section.
+func lockHeldByConvention(fd *ast.FuncDecl) bool {
+	if strings.Contains(fd.Name.Name, "Locked") {
+		return true
+	}
+	if fd.Doc != nil {
+		doc := strings.ToLower(fd.Doc.Text())
+		if strings.Contains(doc, "holds") || strings.Contains(doc, "held") {
+			return true
+		}
+	}
+	return false
+}
+
+// MutexGuards checks that methods lock a struct's guard mutex before
+// touching the fields it guards.
+func MutexGuards(p *Package) []Issue {
+	guards := collectGuards(p)
+	var issues []Issue
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			typeName, recvName := recvType(fd)
+			g := guards[typeName]
+			if len(g) == 0 || recvName == "" || lockHeldByConvention(fd) {
+				continue
+			}
+			// Mutexes the method locks (or defers unlocking — either
+			// direction proves the critical section is managed here).
+			locked := map[string]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Lock", "RLock", "Unlock", "RUnlock":
+				default:
+					return true
+				}
+				inner, ok := sel.X.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if base, ok := inner.X.(*ast.Ident); ok && base.Name == recvName {
+					locked[inner.Sel.Name] = true
+				}
+				return true
+			})
+			reported := map[string]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				base, ok := sel.X.(*ast.Ident)
+				if !ok || base.Name != recvName {
+					return true
+				}
+				mu, guarded := g[sel.Sel.Name]
+				if !guarded || locked[mu] || reported[sel.Sel.Name] {
+					return true
+				}
+				reported[sel.Sel.Name] = true
+				issues = append(issues, Issue{
+					Pos:   p.Fset.Position(sel.Pos()),
+					Check: "mutexguard",
+					Message: fmt.Sprintf("%s.%s is guarded by %s.%s, but %s never locks it (name the method ...Locked or document the held lock if the caller owns the critical section)",
+						typeName, sel.Sel.Name, typeName, mu, fd.Name.Name),
+				})
+				return true
+			})
+		}
+	}
+	sortIssues(issues)
+	return issues
+}
+
+// nondeterministic lists selector calls that make simulation output
+// depend on wall clock or process randomness.
+var nondeterministic = map[string]map[string]string{
+	"time": {
+		"Now":       "wall-clock read",
+		"Since":     "wall-clock read",
+		"Until":     "wall-clock read",
+		"Sleep":     "wall-clock dependence",
+		"After":     "wall-clock dependence",
+		"Tick":      "wall-clock dependence",
+		"NewTimer":  "wall-clock dependence",
+		"NewTicker": "wall-clock dependence",
+	},
+	"rand": {"": "process randomness"},
+}
+
+// Determinism flags nondeterminism sources in a package that must be a
+// pure function of its inputs (the simulation engine's step loop).
+func Determinism(p *Package) []Issue {
+	var issues []Issue
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			funcs, ok := nondeterministic[pkg.Name]
+			if !ok {
+				return true
+			}
+			reason, ok := funcs[sel.Sel.Name]
+			if !ok {
+				reason, ok = funcs[""]
+				if !ok {
+					return true
+				}
+			}
+			issues = append(issues, Issue{
+				Pos:   p.Fset.Position(sel.Pos()),
+				Check: "determinism",
+				Message: fmt.Sprintf("%s.%s in the simulation engine: %s breaks run-to-run reproducibility (results are cached and diffed byte-for-byte)",
+					pkg.Name, sel.Sel.Name, reason),
+			})
+			return true
+		})
+	}
+	sortIssues(issues)
+	return issues
+}
+
+func sortIssues(issues []Issue) {
+	sort.Slice(issues, func(i, j int) bool {
+		a, b := issues[i].Pos, issues[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}

@@ -1,0 +1,202 @@
+package lint_test
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"arcsim/internal/lint"
+)
+
+// parse builds a Package from in-memory sources.
+func parse(t *testing.T, srcs ...string) *lint.Package {
+	t.Helper()
+	p := &lint.Package{Fset: token.NewFileSet()}
+	for i, src := range srcs {
+		f, err := parser.ParseFile(p.Fset, "src.go", src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse source %d: %v", i, err)
+		}
+		p.Files = append(p.Files, f)
+	}
+	return p
+}
+
+const guardedStruct = `package x
+
+import "sync"
+
+type Server struct {
+	cfg int
+
+	mu    sync.Mutex
+	jobs  map[string]int
+	order []string
+
+	clock int
+}
+`
+
+func TestMutexGuardFlagsUnlockedAccess(t *testing.T) {
+	p := parse(t, guardedStruct+`
+func (s *Server) Bad() int { return len(s.jobs) }
+
+func (s *Server) Good() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+func (s *Server) Unguarded() int { return s.cfg + s.clock }
+`)
+	issues := lint.MutexGuards(p)
+	if len(issues) != 1 {
+		t.Fatalf("want exactly the Bad() issue, got %v", issues)
+	}
+	if !strings.Contains(issues[0].Message, "Server.jobs") || !strings.Contains(issues[0].Message, "Bad") {
+		t.Fatalf("issue does not name the field and method: %v", issues[0])
+	}
+	if issues[0].Check != "mutexguard" {
+		t.Fatalf("wrong check name: %v", issues[0])
+	}
+}
+
+func TestMutexGuardHonorsHeldConventions(t *testing.T) {
+	p := parse(t, guardedStruct+`
+// viewLocked snapshots a job (caller holds s.mu).
+func (s *Server) viewLocked() int { return len(s.jobs) }
+
+// drain assumes s.mu is held by the caller.
+func (s *Server) drain() int { return len(s.order) }
+`)
+	if issues := lint.MutexGuards(p); len(issues) != 0 {
+		t.Fatalf("held-lock conventions flagged: %v", issues)
+	}
+}
+
+func TestMutexGuardGroupEndsAtGap(t *testing.T) {
+	// clock sits after a blank line: not guarded (see guardedStruct).
+	p := parse(t, guardedStruct+`
+func (s *Server) Clock() int { return s.clock }
+`)
+	if issues := lint.MutexGuards(p); len(issues) != 0 {
+		t.Fatalf("post-gap field treated as guarded: %v", issues)
+	}
+}
+
+func TestMutexGuardRWMutexAndDefer(t *testing.T) {
+	p := parse(t, `package x
+
+import "sync"
+
+type cache struct {
+	stateMu sync.RWMutex
+	state   map[string]int
+}
+
+func (c *cache) get(k string) int {
+	c.stateMu.RLock()
+	defer c.stateMu.RUnlock()
+	return c.state[k]
+}
+
+func (c *cache) bad(k string) int { return c.state[k] }
+`)
+	issues := lint.MutexGuards(p)
+	if len(issues) != 1 || !strings.Contains(issues[0].Message, "cache.state") {
+		t.Fatalf("want one issue on cache.state from bad(), got %v", issues)
+	}
+}
+
+func TestDeterminismFlagsClockAndRand(t *testing.T) {
+	p := parse(t, `package x
+
+import (
+	"math/rand"
+	"time"
+)
+
+func step() int64 {
+	start := time.Now()
+	_ = rand.Intn(4)
+	return time.Since(start).Nanoseconds()
+}
+
+func fine(d time.Duration) time.Duration { return d * 2 }
+`)
+	issues := lint.Determinism(p)
+	if len(issues) != 3 {
+		t.Fatalf("want time.Now, time.Since, rand.Intn flagged, got %v", issues)
+	}
+	for _, i := range issues {
+		if i.Check != "determinism" {
+			t.Fatalf("wrong check name: %v", i)
+		}
+	}
+}
+
+func TestDeterminismIgnoresPureTimeArithmetic(t *testing.T) {
+	p := parse(t, `package x
+
+import "time"
+
+const tick = 10 * time.Millisecond
+
+func scale(n int) time.Duration { return time.Duration(n) * tick }
+`)
+	if issues := lint.Determinism(p); len(issues) != 0 {
+		t.Fatalf("pure duration arithmetic flagged: %v", issues)
+	}
+}
+
+// TestRepoIsClean runs the production policy over the real packages it
+// covers, pinning the repo-wide `make lint` contract in the unit tests.
+func TestRepoIsClean(t *testing.T) {
+	for _, dir := range []string{"../server", "../client", "../store", "../bench"} {
+		p, err := lint.Load(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		if issues := lint.MutexGuards(p); len(issues) != 0 {
+			t.Errorf("mutexguard issues in %s: %v", dir, issues)
+		}
+	}
+	for _, dir := range []string{"../sim", "../core"} {
+		p, err := lint.Load(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		if issues := lint.Determinism(p); len(issues) != 0 {
+			t.Errorf("determinism issues in %s: %v", dir, issues)
+		}
+	}
+}
+
+// TestMultipleGuardGroups guards against the checker silently matching
+// nothing when a struct carries several mutexes: each group binds to its
+// own guard, as in internal/server's Server (mu) and job (evMu).
+func TestMultipleGuardGroups(t *testing.T) {
+	p := parse(t, `package x
+
+import "sync"
+
+type j struct {
+	evMu   sync.Mutex
+	events []int
+
+	mu    sync.Mutex
+	state int
+}
+
+func (x *j) both() int {
+	x.evMu.Lock()
+	defer x.evMu.Unlock()
+	return len(x.events) + x.state // state needs x.mu, not x.evMu
+}
+`)
+	issues := lint.MutexGuards(p)
+	if len(issues) != 1 || !strings.Contains(issues[0].Message, "j.state") {
+		t.Fatalf("want exactly the j.state issue, got %v", issues)
+	}
+}
