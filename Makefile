@@ -31,12 +31,14 @@ lint:
 	$(GO) run ./internal/lint/cmd/arcsimvet
 
 # Race-enabled pass over the concurrent subset: the parallel experiment
-# harness (worker pool + singleflight memo), the engine it drives, the
-# differential conformance checker, the daemon's service + store layers,
-# and the failover client that fans sweeps across daemons.
+# harness (worker pool + singleflight memo), the engine it drives (now
+# phase-parallel), the trace/workload layers it fans goroutines over,
+# the differential conformance checker, the daemon's service + store
+# layers, and the failover client that fans sweeps across daemons.
 race:
 	$(GO) test -race -short ./internal/bench/ ./internal/sim/ ./internal/conformance/ \
-		./internal/server/ ./internal/store/ ./internal/client/ ./internal/static/
+		./internal/server/ ./internal/store/ ./internal/client/ ./internal/static/ \
+		./internal/trace/ ./internal/workload/
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -50,5 +52,6 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzCodec -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzConformance -fuzztime=$(FUZZTIME) ./internal/conformance/
 	$(GO) test -run='^$$' -fuzz=FuzzStatic -fuzztime=$(FUZZTIME) ./internal/conformance/
+	$(GO) test -run='^$$' -fuzz=FuzzPhasePar -fuzztime=$(FUZZTIME) ./internal/conformance/
 
 ci: build vet lint fmt-check test race

@@ -5,11 +5,19 @@
 package arcsim_test
 
 import (
+	"context"
 	"runtime"
 	"testing"
+	"time"
 
 	"arcsim"
 	"arcsim/internal/bench"
+	"arcsim/internal/machine"
+	"arcsim/internal/protocols"
+	"arcsim/internal/sim"
+	"arcsim/internal/static"
+	"arcsim/internal/trace"
+	"arcsim/internal/workload"
 )
 
 // benchCfg keeps per-iteration work bounded so `go test -bench=.`
@@ -54,6 +62,7 @@ func BenchmarkA1Ablations(b *testing.B)      { runExperiment(b, "A1") }
 func BenchmarkA2MOESI(b *testing.B)          { runExperiment(b, "A2") }
 func BenchmarkA3Granularity(b *testing.B)    { runExperiment(b, "A3") }
 func BenchmarkR1SeedRobustness(b *testing.B) { runExperiment(b, "R1") }
+func BenchmarkTIERTiered(b *testing.B)       { runExperiment(b, "TIER") }
 
 // runHarness regenerates the entire evaluation with the given worker
 // count; comparing Serial vs Parallel shows the prefetch pool's speedup
@@ -97,6 +106,89 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			}
 			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 		})
+	}
+}
+
+// phaseParSetup builds the disjoint-phase kernel (experiment TIER) at
+// full scale plus its phase-parallel execution plan.
+func phaseParSetup(b *testing.B, cores int) (*trace.Trace, *sim.PhasePlan, machine.Config) {
+	b.Helper()
+	tr := workload.PhaseDisjoint(workload.Params{Threads: cores, Seed: 1, Scale: 1})
+	an, err := static.Analyze(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mcfg := machine.Default(cores)
+	plan := sim.PlanPhases(an, tr, mcfg)
+	if plan == nil {
+		b.Fatal("phasedisjoint ineligible for phase-parallel execution")
+	}
+	return tr, plan, mcfg
+}
+
+// BenchmarkPhaseParStraight is the straight-line baseline for the
+// phase-parallel engine comparison archived in the benchmark JSON.
+func BenchmarkPhaseParStraight(b *testing.B) {
+	tr, _, mcfg := phaseParSetup(b, 16)
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		m, p, err := protocols.Build(protocols.ARC, mcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(m, p, tr, sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkPhaseParPhased runs the same kernel through sim.RunPhased.
+// Besides wall-clock it reports the critical-path speedup — straight-line
+// time over the slowest phase segment, the wall-clock floor on a host
+// with enough CPUs (see the TIER experiment for the byte-identity side).
+func BenchmarkPhaseParPhased(b *testing.B) {
+	tr, plan, mcfg := phaseParSetup(b, 16)
+	build := func() (*machine.Machine, machine.Protocol, error) {
+		return protocols.Build(protocols.ARC, mcfg)
+	}
+	m, p, err := protocols.Build(protocols.ARC, mcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	straightStart := time.Now()
+	if _, err := sim.Run(m, p, tr, sim.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	straight := time.Since(straightStart)
+
+	b.ResetTimer()
+	var events uint64
+	var critSum time.Duration
+	for i := 0; i < b.N; i++ {
+		segs := make([]time.Duration, plan.Phases())
+		res, err := sim.RunPhasedHooked(context.Background(), build, tr, plan, sim.Options{},
+			func(p int) func() {
+				s := time.Now()
+				return func() { segs[p] = time.Since(s) }
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+		var crit time.Duration
+		for _, d := range segs {
+			if d > crit {
+				crit = d
+			}
+		}
+		critSum += crit
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	if critSum > 0 {
+		b.ReportMetric(float64(straight)*float64(b.N)/float64(critSum), "critpath-speedup")
 	}
 }
 

@@ -93,6 +93,7 @@ func submit(ctx context.Context, c *client.Client, args []string) error {
 	fs.Float64Var(&spec.Scale, "scale", 0, "workload scale (0 = daemon default 0.25)")
 	fs.Int64Var(&spec.Seed, "seed", 0, "workload seed (0 = daemon default 1)")
 	fs.BoolVar(&spec.Oracle, "oracle", false, "cross-check conflicts against the golden oracle")
+	fs.BoolVar(&spec.ConflictsOnly, "conflicts-only", false, "only conflict-dependent outputs are needed; a tiering daemon may answer proven-DRF jobs without simulating")
 	wait := fs.Bool("wait", false, "stream events until the job finishes, then print the result")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
@@ -238,15 +239,19 @@ func list(ctx context.Context, c *client.Client) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-16s %-10s %-14s %-8s %5s %9s %8s  %s\n",
-		"id", "state", "workload", "proto", "cores", "cycles", "cache", "error")
+	fmt.Printf("%-16s %-10s %-14s %-8s %5s %9s %8s %-12s %s\n",
+		"id", "state", "workload", "proto", "cores", "cycles", "cache", "verdict", "error")
 	for _, j := range jobs {
 		cache := ""
 		if j.CacheHit {
 			cache = "hit"
 		}
-		fmt.Printf("%-16s %-10s %-14s %-8s %5d %9d %8s  %s\n",
-			j.ID, j.State, j.Spec.Workload, j.Spec.Protocol, j.Spec.Cores, j.Cycles, cache, j.Error)
+		verdict := j.Verdict
+		if j.Tiered {
+			verdict += "*" // synthesized: answered by the analyzer, not a simulation
+		}
+		fmt.Printf("%-16s %-10s %-14s %-8s %5d %9d %8s %-12s %s\n",
+			j.ID, j.State, j.Spec.Workload, j.Spec.Protocol, j.Spec.Cores, j.Cycles, cache, verdict, j.Error)
 	}
 	return nil
 }

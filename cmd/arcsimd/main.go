@@ -36,6 +36,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		queue    = flag.Int("queue", 64, "bounded job queue depth (full queue returns 429)")
 		drainFor = flag.Duration("drain-timeout", 10*time.Minute, "max wait for running jobs on shutdown")
+		tier     = flag.Bool("tier", true, "analyze-first tiered execution: record verdicts, short-circuit conflicts-only proven-DRF jobs, phase-parallel simulation")
 		verbose  = flag.Bool("v", false, "log each simulation run")
 	)
 	flag.Parse()
@@ -45,6 +46,7 @@ func main() {
 		Workers:    *workers,
 		QueueDepth: *queue,
 		Logf:       logger.Printf,
+		Tier:       *tier,
 	}
 	if *verbose {
 		cfg.Progress = os.Stderr

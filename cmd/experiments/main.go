@@ -46,11 +46,12 @@ func main() {
 		outDir   = flag.String("out", "", "also write each experiment's artifact to <dir>/<ID>.txt")
 		storeDir = flag.String("store", "", "persistent result store directory (shared with arcsimd): reuse proven results, persist new ones")
 		remote   = flag.String("remote", "", "comma-separated arcsimd base URLs: dispatch simulations across the pool with failover, -j bounding in-flight runs; falls back to local execution when every endpoint is down")
+		tier     = flag.Bool("tier", true, "analyze-first tiered execution: skip oracle mirroring on proven-DRF traces (locally and fleet-wide under -remote) and phase-parallelize eligible traces; artifacts stay byte-identical")
 		verbose  = flag.Bool("v", false, "print one line per simulation run")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{Scale: *scale, Seed: *seed, Cores: *cores, Jobs: *jobs}
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Cores: *cores, Jobs: *jobs, Tier: *tier}
 	if *storeDir != "" {
 		st, open, err := store.Open(*storeDir)
 		if err != nil {
@@ -181,6 +182,15 @@ func timingSummary(r *bench.Runner, wall time.Duration) string {
 	if tm.RemoteRuns > 0 {
 		t.AddRow("remote runs", fmt.Sprintf("%d", tm.RemoteRuns))
 		t.AddRow("remote dispatch time", tm.RemoteTime.Round(time.Millisecond).String())
+	}
+	if tm.AnalysisRuns > 0 {
+		t.AddRow("static analyses", fmt.Sprintf("%d (%v)", tm.AnalysisRuns, tm.AnalysisTime.Round(time.Millisecond)))
+	}
+	if tm.OracleSkips > 0 {
+		t.AddRow("oracle runs skipped (proven DRF)", fmt.Sprintf("%d", tm.OracleSkips))
+	}
+	if tm.PhaseParRuns > 0 {
+		t.AddRow("phase-parallel runs", fmt.Sprintf("%d", tm.PhaseParRuns))
 	}
 	if wall > 0 {
 		t.AddRow("speedup (sim time / wall)", fmt.Sprintf("%.2fx", float64(tm.SimTime)/float64(wall)))

@@ -19,6 +19,7 @@ import (
 	"arcsim/internal/machine"
 	"arcsim/internal/protocols"
 	"arcsim/internal/sim"
+	"arcsim/internal/static"
 	"arcsim/internal/trace"
 	"arcsim/internal/workload"
 )
@@ -56,6 +57,16 @@ type Config struct {
 	// any other error is the run's result, exactly as a local failure
 	// would be. Exec must honor ctx and is called concurrently.
 	Exec func(ctx context.Context, spec RunSpec) (*sim.Result, error)
+	// Tier enables analyze-first tiered execution: every requested run
+	// first consults the static analyzer (memoized per workload/cores),
+	// oracle-checked runs on ProvenDRF traces execute unchecked (the
+	// golden mirror is timing-neutral and soundness guarantees both
+	// conflict sets are empty, so only the OracleChecked flag differs —
+	// which the tier sets), and traces that pass sim.PlanPhases simulate
+	// their barrier phases on parallel goroutines. Results are
+	// byte-identical to straight-line execution at every tier (the
+	// conformance suite proves it); only wall-clock changes.
+	Tier bool
 }
 
 // ErrRemoteUnavailable is returned (wrapped) by a Config.Exec
@@ -74,8 +85,10 @@ type Cache interface {
 // CacheKeyVersion stamps the canonical key scheme. Bump it whenever the
 // simulator's observable results change meaning (a new statistic, a
 // semantic fix): old store entries become unreachable instead of serving
-// stale science.
-const CacheKeyVersion = "v1"
+// stale science. v2: the simulator now quiesces NoC/DRAM contention
+// state at every barrier release (machine.PhaseFence), shifting timing
+// on barrier-heavy workloads.
+const CacheKeyVersion = "v2"
 
 // CacheKey returns the canonical persistent-cache key for one run under
 // this config: unlike the in-memory memo key, it carries everything that
@@ -150,6 +163,19 @@ type memoEntry struct {
 	err  error
 }
 
+// anKey/anEntry are the analysis memo's singleflight analogues of
+// runKey/memoEntry.
+type anKey struct {
+	workload string
+	cores    int
+}
+
+type anEntry struct {
+	done chan struct{}
+	an   *static.Analysis
+	err  error
+}
+
 // Timing summarizes the simulations a Runner actually executed
 // (memo and singleflight hits excluded).
 type Timing struct {
@@ -166,6 +192,17 @@ type Timing struct {
 	// count toward Runs/SimTime, which stay the local serial cost.
 	RemoteRuns int
 	RemoteTime time.Duration
+	// AnalysisRuns/AnalysisTime count static analyses executed by the
+	// tier (memoized per workload/cores, so at most one per trace
+	// identity).
+	AnalysisRuns int
+	AnalysisTime time.Duration
+	// OracleSkips counts oracle-checked requests the tier satisfied with
+	// an unchecked run because the analyzer proved the trace DRF.
+	OracleSkips int
+	// PhaseParRuns counts simulations executed phase-parallel
+	// (sim.RunPhased) rather than straight-line.
+	PhaseParRuns int
 }
 
 // Runner executes and memoizes simulation runs; experiments that share
@@ -180,6 +217,12 @@ type Runner struct {
 	mu   sync.Mutex
 	memo map[runKey]*memoEntry
 
+	// anMu/anMemo singleflight the static analyses the tier consults; a
+	// trace identity under this runner is (workload, cores) — scale and
+	// seed are fixed by the config.
+	anMu   sync.Mutex
+	anMemo map[anKey]*anEntry
+
 	// progressMu keeps concurrent runs from interleaving Progress lines.
 	progressMu sync.Mutex
 
@@ -189,7 +232,11 @@ type Runner struct {
 
 // NewRunner builds a runner.
 func NewRunner(cfg Config) *Runner {
-	return &Runner{cfg: cfg.normalized(), memo: make(map[runKey]*memoEntry)}
+	return &Runner{
+		cfg:    cfg.normalized(),
+		memo:   make(map[runKey]*memoEntry),
+		anMemo: make(map[anKey]*anEntry),
+	}
 }
 
 // Cfg returns the normalized configuration.
@@ -322,6 +369,28 @@ func (r *Runner) result(ctx context.Context, spec RunSpec) (*sim.Result, error) 
 // wired (falling back to local execution if the whole pool is
 // unavailable), locally otherwise.
 func (r *Runner) run(ctx context.Context, spec RunSpec, key runKey) (*sim.Result, error) {
+	if r.cfg.Tier && spec.Oracle {
+		if an, err := r.Analysis(spec.Workload, spec.Cores); err == nil && an.ProvenDRF() {
+			// Soundness makes the oracle redundant on a proven-DRF trace:
+			// both conflict sets are provably empty and golden mirroring
+			// is timing-neutral, so an unchecked run differs only in the
+			// OracleChecked flag. Route the unchecked spec back through
+			// result() so it shares the memo and cache with performance
+			// runs — and, when Exec is wired, skips the oracle fleet-wide.
+			unchecked := spec
+			unchecked.Oracle = false
+			res, err := r.result(ctx, unchecked)
+			if err != nil {
+				return nil, err
+			}
+			cp := *res
+			cp.OracleChecked = true
+			r.statMu.Lock()
+			r.timing.OracleSkips++
+			r.statMu.Unlock()
+			return &cp, nil
+		}
+	}
 	if r.cfg.Exec != nil {
 		start := time.Now()
 		res, err := r.cfg.Exec(ctx, spec)
@@ -352,37 +421,104 @@ func (r *Runner) run(ctx context.Context, spec RunSpec, key runKey) (*sim.Result
 	return r.execute(ctx, key)
 }
 
-// execute performs one simulation (no memo interaction).
-func (r *Runner) execute(ctx context.Context, key runKey) (*sim.Result, error) {
-	wl, proto, cores := key.workload, key.proto, key.cores
-	params := workload.Params{Threads: cores, Seed: r.cfg.Seed, Scale: r.cfg.Scale}
-	var tr *trace.Trace
+// buildTrace constructs the named workload's trace: the catalog plus the
+// engine-special kernels experiments request directly.
+func buildTrace(wl string, params workload.Params) (*trace.Trace, error) {
 	switch wl {
 	case "falseshare":
 		// The A3 false-sharing kernel lives outside the catalog (it is
 		// DRF at byte granularity but not a suite member).
-		tr = workload.FalseSharing(params)
+		return workload.FalseSharing(params), nil
 	case "aimstress":
 		// The F6 metadata-pressure kernel, also outside the catalog.
-		tr = workload.AIMStress(params)
+		return workload.AIMStress(params), nil
+	case "phasedisjoint":
+		// The TIER phase-parallel showcase kernel, also outside the
+		// catalog (its disjoint-footprint shape is engineered for
+		// sim.PlanPhases, not representative of the suite).
+		return workload.PhaseDisjoint(params), nil
 	default:
 		spec, ok := workload.ByName(wl)
 		if !ok {
 			return nil, fmt.Errorf("bench: unknown workload %q", wl)
 		}
-		tr = spec.Build(params)
+		return spec.Build(params), nil
+	}
+}
+
+// Analysis returns the memoized static analysis of the named workload's
+// trace at the given core count — under one runner a trace identity is
+// (workload, cores), since scale and seed are fixed by the config. The
+// analyzer executes at most once per identity regardless of how many
+// tiered runs consult it.
+func (r *Runner) Analysis(wl string, cores int) (*static.Analysis, error) {
+	key := anKey{wl, cores}
+	r.anMu.Lock()
+	if e, ok := r.anMemo[key]; ok {
+		r.anMu.Unlock()
+		<-e.done
+		return e.an, e.err
+	}
+	e := &anEntry{done: make(chan struct{})}
+	r.anMemo[key] = e
+	r.anMu.Unlock()
+
+	start := time.Now()
+	tr, err := buildTrace(wl, workload.Params{Threads: cores, Seed: r.cfg.Seed, Scale: r.cfg.Scale})
+	if err != nil {
+		e.err = err
+	} else {
+		e.an, e.err = static.Analyze(tr)
+	}
+	r.statMu.Lock()
+	r.timing.AnalysisRuns++
+	r.timing.AnalysisTime += time.Since(start)
+	r.statMu.Unlock()
+	close(e.done)
+	return e.an, e.err
+}
+
+// execute performs one simulation (no memo interaction).
+func (r *Runner) execute(ctx context.Context, key runKey) (*sim.Result, error) {
+	wl, proto, cores := key.workload, key.proto, key.cores
+	params := workload.Params{Threads: cores, Seed: r.cfg.Seed, Scale: r.cfg.Scale}
+	tr, err := buildTrace(wl, params)
+	if err != nil {
+		return nil, err
 	}
 
 	mcfg := machine.Default(cores)
 	if key.aim > 0 {
 		mcfg.AIM.Entries = key.aim
 	}
-	m, p, err := protocols.Build(proto, mcfg)
-	if err != nil {
-		return nil, err
+	// Tiered engine dispatch: a trace whose barrier phases the planner
+	// proves disjoint simulates phase-parallel; everything else (and
+	// every run with tiering off) takes the straight-line engine. Both
+	// paths produce byte-identical results — see sim.PlanPhases.
+	var plan *sim.PhasePlan
+	if r.cfg.Tier {
+		if an, aerr := r.Analysis(wl, cores); aerr == nil {
+			plan = sim.PlanPhases(an, tr, mcfg)
+		}
 	}
 	start := time.Now()
-	res, err := sim.RunContext(ctx, m, p, tr, sim.Options{CheckWithOracle: key.oracle})
+	var res *sim.Result
+	if plan != nil {
+		res, err = sim.RunPhased(ctx, func() (*machine.Machine, machine.Protocol, error) {
+			return protocols.Build(proto, mcfg)
+		}, tr, plan, sim.Options{CheckWithOracle: key.oracle})
+		if err == nil {
+			r.statMu.Lock()
+			r.timing.PhaseParRuns++
+			r.statMu.Unlock()
+		}
+	} else {
+		m, p, berr := protocols.Build(proto, mcfg)
+		if berr != nil {
+			return nil, berr
+		}
+		res, err = sim.RunContext(ctx, m, p, tr, sim.Options{CheckWithOracle: key.oracle})
+	}
 	elapsed := time.Since(start)
 	if err != nil {
 		return nil, fmt.Errorf("bench: %s/%s/%d: %w", wl, proto, cores, err)
@@ -510,6 +646,7 @@ func All() []Experiment {
 		{ID: "R1", Title: "Seed robustness", Run: runR1},
 		{ID: "CONF", Title: "Differential conformance of the conflict-detection designs", Run: runConformance},
 		{ID: "STAT", Title: "Static region-conflict analysis: precision and speed", Run: runStatic},
+		{ID: "TIER", Title: "Analyze-first tiered execution: short-circuit and phase-parallel speedups", Run: runTier},
 	}
 }
 
@@ -526,14 +663,18 @@ func PlanAll(cfg Config, experiments []Experiment) []RunSpec {
 	return specs
 }
 
-// ByID finds an experiment by ID (case-insensitive). "conformance" and
-// "static" are accepted as spelled-out aliases for CONF and STAT.
+// ByID finds an experiment by ID (case-insensitive). "conformance",
+// "static", and "tiered" are accepted as spelled-out aliases for CONF,
+// STAT, and TIER.
 func ByID(id string) (Experiment, bool) {
 	if strings.EqualFold(id, "conformance") {
 		id = "CONF"
 	}
 	if strings.EqualFold(id, "static") {
 		id = "STAT"
+	}
+	if strings.EqualFold(id, "tiered") {
+		id = "TIER"
 	}
 	for _, e := range All() {
 		if strings.EqualFold(e.ID, id) {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -16,8 +17,8 @@ func quickCfg() Config {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("experiments = %d, want 17", len(all))
+	if len(all) != 18 {
+		t.Fatalf("experiments = %d, want 18", len(all))
 	}
 	ids := map[string]bool{}
 	for _, e := range all {
@@ -40,6 +41,9 @@ func TestRegistry(t *testing.T) {
 	}
 	if e, ok := ByID("static"); !ok || e.ID != "STAT" {
 		t.Error("static alias does not resolve to STAT")
+	}
+	if e, ok := ByID("tiered"); !ok || e.ID != "TIER" {
+		t.Error("tiered alias does not resolve to TIER")
 	}
 }
 
@@ -153,11 +157,12 @@ func TestParallelHarnessDeterminism(t *testing.T) {
 	serial := NewRunner(serialCfg)
 	want := map[string]string{}
 	for _, e := range All() {
-		// STAT's artifact reports measured wall-clock timings (that is
-		// the experiment's point), so byte-identity cannot hold for it;
-		// its verdict/predicted columns are deterministic and covered by
-		// TestStaticExperiment.
-		if e.ID == "STAT" {
+		// STAT's and TIER's artifacts report measured wall-clock timings
+		// (that is those experiments' point), so byte-identity cannot
+		// hold for them; their verdict and byte-identity columns are
+		// deterministic and covered by TestStaticExperiment and
+		// TestTierExperiment.
+		if e.ID == "STAT" || e.ID == "TIER" {
 			continue
 		}
 		out, err := e.Run(serial)
@@ -177,7 +182,7 @@ func TestParallelHarnessDeterminism(t *testing.T) {
 		got = map[string]string{}
 	)
 	for _, e := range All() {
-		if e.ID == "STAT" {
+		if e.ID == "STAT" || e.ID == "TIER" {
 			continue
 		}
 		e := e
@@ -286,6 +291,81 @@ func TestStaticExperiment(t *testing.T) {
 		if !strings.Contains(out.Body, want) {
 			t.Errorf("missing %q in STAT body", want)
 		}
+	}
+}
+
+// TestTierExperiment pins TIER's deterministic content — verdicts and
+// the two byte-identity properties — at the quick scale. Like STAT, its
+// timing checks (the geomean speedups) are only meaningful at the
+// standard scale, where TestShapeChecksFullScale asserts them.
+func TestTierExperiment(t *testing.T) {
+	e, ok := ByID("TIER")
+	if !ok {
+		t.Fatal("TIER not registered")
+	}
+	out, err := e.Run(NewRunner(quickCfg()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range out.Checks {
+		if strings.Contains(c.Desc, "speedup") {
+			continue
+		}
+		if !c.Pass {
+			t.Errorf("FAIL %s (%s)", c.Desc, c.Detail)
+		}
+	}
+	for _, want := range []string{"proven-DRF", "identical", "phasedisjoint"} {
+		if !strings.Contains(out.Body, want) {
+			t.Errorf("missing %q in TIER body", want)
+		}
+	}
+	if strings.Contains(out.Body, "DIFFER") {
+		t.Error("TIER body reports a byte-identity violation")
+	}
+}
+
+// TestTieredRunnerByteIdentity proves the tiered Runner end-to-end: with
+// Tier on, oracle-checked requests on proven-DRF workloads short-circuit
+// (OracleSkips) and eligible traces run phase-parallel (PhaseParRuns),
+// yet every result equals the untiered runner's byte-for-byte.
+func TestTieredRunnerByteIdentity(t *testing.T) {
+	cfg := quickCfg()
+	plain := NewRunner(cfg)
+	cfg.Tier = true
+	tiered := NewRunner(cfg)
+
+	specs := []RunSpec{
+		{Workload: "phasedisjoint", Proto: protocols.ARC, Cores: cfg.Cores},
+		{Workload: "phasedisjoint", Proto: protocols.CEPlus, Cores: cfg.Cores},
+		{Workload: "dedup", Proto: protocols.ARC, Cores: cfg.Cores, Oracle: true},
+		{Workload: "racy-counter", Proto: protocols.CE, Cores: cfg.Cores, Oracle: true},
+	}
+	for _, s := range specs {
+		want, err := plain.SpecResult(context.Background(), s)
+		if err != nil {
+			t.Fatalf("plain %v: %v", s, err)
+		}
+		got, err := tiered.SpecResult(context.Background(), s)
+		if err != nil {
+			t.Fatalf("tiered %v: %v", s, err)
+		}
+		if !jsonEqual(want, got) {
+			t.Errorf("%v: tiered result differs from straight-line", s)
+		}
+	}
+	tm := tiered.Timing()
+	if tm.OracleSkips != 1 {
+		t.Errorf("OracleSkips = %d, want 1 (dedup only; racy-counter is not proven DRF)", tm.OracleSkips)
+	}
+	if tm.PhaseParRuns != 2 {
+		t.Errorf("PhaseParRuns = %d, want 2", tm.PhaseParRuns)
+	}
+	if tm.AnalysisRuns == 0 {
+		t.Error("tier consulted no analyses")
+	}
+	if pt := plain.Timing(); pt.OracleSkips != 0 || pt.PhaseParRuns != 0 || pt.AnalysisRuns != 0 {
+		t.Errorf("untiered runner used the tier: %+v", pt)
 	}
 }
 

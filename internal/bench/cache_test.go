@@ -51,7 +51,7 @@ func (c *memCache) Put(key string, res *sim.Result) error {
 func TestCacheKeyCanonicalForm(t *testing.T) {
 	cfg := Config{Scale: 0.25, Seed: 7}.normalized()
 	got := cfg.CacheKey(RunSpec{Workload: "x264", Proto: "arc", Cores: 32, AIMEntries: 1024, Oracle: true})
-	want := "v1/scale=0.25/seed=7/x264/arc/32/aim1024/oracle"
+	want := "v2/scale=0.25/seed=7/x264/arc/32/aim1024/oracle"
 	if got != want {
 		t.Fatalf("CacheKey = %q, want %q", got, want)
 	}

@@ -65,6 +65,19 @@ type Config struct {
 // Sets returns the number of sets the config implies.
 func (c Config) Sets() int { return c.SizeBytes / (c.Ways * core.LineSize) }
 
+// SetOf returns the set a line maps to under this configuration, without
+// instantiating the cache (the phase-parallel planner counts per-set
+// occupancy over configs whose line arrays would be megabytes). The
+// config must be valid.
+func (c Config) SetOf(line core.Line) int {
+	h := uint64(line)
+	if c.IndexHash {
+		h *= 0x9E3779B97F4A7C15
+		h ^= h >> 29
+	}
+	return int(h & uint64(c.Sets()-1))
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if c.SizeBytes <= 0 || c.Ways <= 0 {
@@ -111,14 +124,7 @@ func New(cfg Config) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 // SetIndex returns the set a line maps to (diagnostics and tests).
-func (c *Cache) SetIndex(line core.Line) int {
-	h := uint64(line)
-	if c.cfg.IndexHash {
-		h *= 0x9E3779B97F4A7C15
-		h ^= h >> 29
-	}
-	return int(h & c.setMask)
-}
+func (c *Cache) SetIndex(line core.Line) int { return c.cfg.SetOf(line) }
 
 func (c *Cache) setOf(line core.Line) []Line {
 	h := uint64(line)

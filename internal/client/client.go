@@ -70,11 +70,14 @@ func (r Retry) normalized() Retry {
 
 // delay returns the full-jitter backoff for attempt (0-based): a uniform
 // draw from (0, Base*2^attempt] capped at Max, so a fleet of clients
-// spreads its retries instead of thundering back in lockstep.
+// spreads its retries instead of thundering back in lockstep. The shift
+// exponent is capped explicitly — an SSE follow that reconnects for
+// hours reaches attempt counts where Base<<attempt overflows, and an
+// overflowed shift landing in a clamp is not behavior to rely on.
 func (r Retry) delay(attempt int, rnd func() float64) time.Duration {
-	d := r.Base << attempt
-	if d > r.Max || d <= 0 {
-		d = r.Max
+	d := r.Max
+	if attempt >= 0 && attempt < maxCooldownShift && r.Base <= r.Max>>attempt {
+		d = r.Base << attempt
 	}
 	return time.Duration((rnd()*0.999 + 0.001) * float64(d))
 }

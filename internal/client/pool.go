@@ -81,13 +81,24 @@ func (e *endpoint) markUp() {
 	e.mu.Unlock()
 }
 
+// maxCooldownShift bounds the exponential backoff exponent. Doubling
+// saturates CooldownMax long before this; the cap keeps the shift
+// well-defined (a shift ≥ 63 on a Duration is overflow, and relying on
+// the overflowed value landing in a clamp is undefined-by-convention).
+const maxCooldownShift = 16
+
 func (e *endpoint) markDown(now time.Time, base, max time.Duration) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.fails++
-	cool := base << (e.fails - 1)
-	if cool > max || cool <= 0 {
-		cool = max
+	// Cap the failure count too: it only feeds the (capped) exponent,
+	// and an endpoint that is down for weeks must not grow it without
+	// bound.
+	if e.fails < maxCooldownShift+1 {
+		e.fails++
+	}
+	cool := max
+	if shift := uint(e.fails - 1); shift < maxCooldownShift && base <= max>>shift {
+		cool = base << shift
 	}
 	e.downUntil = now.Add(cool)
 }

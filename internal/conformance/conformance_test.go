@@ -15,8 +15,8 @@ var (
 )
 
 // families spans the generator's program space: plain DRF, nested-lock
-// heavy, barrier/lock mixes, racy, degenerate, and the three planted
-// scenarios.
+// heavy, barrier/lock mixes, racy, degenerate, phase-disjoint (eligible
+// for phase-parallel simulation), and the three planted scenarios.
 func families() []Config {
 	return []Config{
 		{},
@@ -24,6 +24,7 @@ func families() []Config {
 		{Phases: 1, Degenerate: true},
 		{Racy: true},
 		{Racy: true, Degenerate: true, Phases: 3},
+		{PhaseDisjoint: true, Phases: 3},
 		{Plant: PlantOverlap},
 		{Plant: PlantSubword},
 		{Plant: PlantEvict},

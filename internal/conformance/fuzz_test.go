@@ -15,7 +15,7 @@ func fuzzConfig(threads, ops, phases, mode, knobs uint8) Config {
 		Locks:   1 + int(knobs%6),
 		MaxNest: 1 + int(knobs>>4%3),
 	}
-	switch mode % 6 {
+	switch mode % 7 {
 	case 1:
 		cfg.Racy = true
 	case 2:
@@ -27,6 +27,9 @@ func fuzzConfig(threads, ops, phases, mode, knobs uint8) Config {
 		cfg.Plant = PlantSubword
 	case 5:
 		cfg.Plant = PlantEvict
+	case 6:
+		cfg.PhaseDisjoint = true
+		cfg.Phases = 2 + int(phases%2) // >= 2: eligible for PlanPhases
 	}
 	return cfg
 }

@@ -114,6 +114,12 @@ type Config struct {
 	// sections, zero-cycle compute, empty phase bodies, and (when
 	// Phases == 1) empty or End-only threads.
 	Degenerate bool
+	// PhaseDisjoint confines every line to one barrier phase: private
+	// and read-only shared lines both come from per-phase slots and no
+	// shared line is ever written, so the program is eligible for
+	// phase-parallel simulation (sim.PlanPhases) whenever Phases >= 2.
+	// Working sets are kept small enough that no cache set can evict.
+	PhaseDisjoint bool
 }
 
 func (c Config) normalized() Config {
@@ -153,6 +159,8 @@ func (c Config) Kind() string {
 		return "racy"
 	case c.Degenerate:
 		return "degenerate"
+	case c.PhaseDisjoint:
+		return "phasedisjoint"
 	default:
 		return "drf"
 	}
@@ -215,7 +223,11 @@ func Generate(cfg Config, seed int64) *Program {
 				// Empty phase body: consecutive barriers.
 			} else {
 				for j := 0; j < cfg.Ops; j++ {
-					emitAction(cfg, rng, t, emit)
+					if cfg.PhaseDisjoint {
+						emitPhaseDisjointAction(rng, t, ph, emit)
+					} else {
+						emitAction(cfg, rng, t, emit)
+					}
 				}
 			}
 			if ph < cfg.Phases-1 {
@@ -287,6 +299,34 @@ func plantPrologue(p Plant, emit func(int, ...trace.Event)) []core.Line {
 		return nil
 	}
 	return []core.Line{core.LineOf(base)}
+}
+
+// Per-phase slot counts for PhaseDisjoint programs. Consecutive line
+// indices map to distinct L1 sets (64-set default L1), and with at most
+// a handful of phases the private and read-only footprints overlap any
+// L1 set at most twice — far under the ways — so the no-eviction gate of
+// sim.PlanPhases holds by construction.
+const (
+	pdPrivatePerPhase  = 8
+	pdReadOnlyPerPhase = 4
+)
+
+// emitPhaseDisjointAction emits one action whose footprint is confined
+// to phase ph: private lines and read-only shared lines both come from
+// per-phase slots, so no line is touched in two phases and no shared
+// line is written.
+func emitPhaseDisjointAction(rng *rand.Rand, t, ph int, emit func(int, ...trace.Event)) {
+	switch pick := rng.Intn(100); {
+	case pick < 60: // phase-confined private accesses
+		line := privateArena + core.Addr(t)*arenaStride +
+			core.Addr(ph*pdPrivatePerPhase+rng.Intn(pdPrivatePerPhase))*core.LineSize
+		emit(t, randAccess(rng, line))
+	case pick < 85: // phase-confined read-only shared reads
+		line := readOnlyArena + core.Addr(ph*pdReadOnlyPerPhase+rng.Intn(pdReadOnlyPerPhase))*core.LineSize
+		emit(t, trace.Read(line+core.Addr(rng.Intn(8))*8, 8))
+	default:
+		emit(t, trace.Compute(uint32(1+rng.Intn(50))))
+	}
 }
 
 // emitAction emits one random action for thread t.

@@ -178,6 +178,22 @@ func (m *Memory) observe(now uint64, bytes uint64) {
 	m.winBytes += bytes
 }
 
+// Fence resets the transient memory state to idle at cycle now: every
+// bank's row buffer is closed and the bandwidth-utilization tracking
+// restarts empty, while cumulative Stats and the observed peak are
+// kept. The simulator calls this at every barrier release so that
+// post-barrier memory timing depends only on post-barrier traffic (the
+// property phase-parallel simulation relies on); physically it is the
+// quiesce-and-precharge a global barrier implies.
+func (m *Memory) Fence(now uint64) {
+	for i := range m.openRow {
+		m.openRow[i] = 0
+	}
+	m.winBytes = 0
+	m.util = 0
+	m.winStart = now
+}
+
 func (m *Memory) queueDelay(base uint64) uint64 {
 	rho := m.util
 	if rho <= 0 {

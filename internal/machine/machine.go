@@ -317,6 +317,17 @@ func (m *Machine) Report(now uint64, by core.CoreID, c core.Conflict) bool {
 	return true
 }
 
+// PhaseFence resets the machine's transient contention state (NoC
+// utilization windows, DRAM row buffers and bandwidth windows) to idle
+// at cycle now. The simulator invokes it at every barrier release: a
+// global barrier quiesces the machine, so post-barrier timing depends
+// only on post-barrier traffic. Cache contents, statistics, energy, and
+// conflict state are untouched.
+func (m *Machine) PhaseFence(now uint64) {
+	m.Mesh.Fence(now)
+	m.Mem.Fence(now)
+}
+
 // FinishStatics charges leakage for the whole run.
 func (m *Machine) FinishStatics(cycles uint64) {
 	m.Meter.StaticCycles(cycles, m.Cfg.Cores, m.Cfg.AIM.Entries)

@@ -226,6 +226,23 @@ func (m *Mesh) halve(k uint64) {
 	}
 }
 
+// Fence resets the utilization tracking to an idle state starting at
+// cycle now: the partial window's flit-hops are discarded (not folded
+// into the smoothed estimate) and the smoothed utilization drops to
+// zero, while cumulative Stats and the observed peak are kept.
+//
+// The simulator calls this at every barrier release, making the
+// contention state after a barrier a pure function of post-barrier
+// traffic — which is what lets phases whose footprints are disjoint be
+// simulated independently and stitched bit-exactly (see internal/sim).
+// Physically this models the barrier's global quiesce: every in-flight
+// message has drained before any thread resumes.
+func (m *Mesh) Fence(now uint64) {
+	m.winFlitHops = 0
+	m.util = 0
+	m.winStart = now
+}
+
 // queueDelay converts current utilization into added delay for a message
 // with the given uncontended latency, using an M/D/1-style rho/(1-rho)
 // shape capped at MaxQueueFactor.

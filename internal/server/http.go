@@ -227,20 +227,35 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if live == nil {
 		return // terminal job: history was complete
 	}
+	// A slow subscriber can drop fan-out sends (the live channel is
+	// bounded), so the history — not the channel — is the source of
+	// truth: drain emits whatever the client has not seen yet. It runs
+	// once before the loop first blocks and again on every wakeup —
+	// including a periodic heartbeat, so an event whose send was dropped
+	// on a long-silent job is delayed by at most one heartbeat interval
+	// instead of waiting for the next live event.
+	drain := func() {
+		for _, h := range j.history()[seq:] {
+			write(h)
+		}
+		fl.Flush()
+	}
+	drain()
+	hb := time.NewTicker(s.heartbeat)
+	defer hb.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
 			return
 		case <-s.drainCh:
 			return
+		case <-hb.C:
+			// SSE comment: ignored by clients, keeps idle connections
+			// alive through proxies; the drain self-heals dropped sends.
+			fmt.Fprint(w, ": heartbeat\n\n")
+			drain()
 		case _, ok := <-live:
-			// A slow subscriber can drop fan-out sends (the channel is
-			// bounded), so the history — not the channel — is the source
-			// of truth: emit whatever the client has not seen yet.
-			for _, h := range j.history()[seq:] {
-				write(h)
-			}
-			fl.Flush()
+			drain()
 			if !ok {
 				return // job finished and history is final
 			}

@@ -54,6 +54,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "arcsimd_sim_cycles_total{protocol=%q} %d\n", proto, cycles[proto])
 	}
 
+	if s.cfg.Tier {
+		fmt.Fprintf(w, "# HELP arcsimd_tier_verdicts_total Analyzer verdicts recorded on jobs, by verdict.\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_tier_verdicts_total counter\n")
+		verdicts, skips := s.tierCounts()
+		for _, v := range []string{VerdictProvenDRF, VerdictMayConflict} {
+			fmt.Fprintf(w, "arcsimd_tier_verdicts_total{verdict=%q} %d\n", v, verdicts[v])
+		}
+
+		fmt.Fprintf(w, "# HELP arcsimd_tier_skips_total Jobs completed with a synthesized proven-DRF result instead of a simulation.\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_tier_skips_total counter\n")
+		fmt.Fprintf(w, "arcsimd_tier_skips_total %d\n", skips)
+	}
+
 	if s.cfg.Store != nil {
 		fmt.Fprintf(w, "# HELP arcsimd_store_results Results in the persistent store.\n")
 		fmt.Fprintf(w, "# TYPE arcsimd_store_results gauge\n")

@@ -51,6 +51,14 @@ type JobSpec struct {
 	Scale      float64 `json:"scale,omitempty"`
 	Seed       int64   `json:"seed,omitempty"`
 	Oracle     bool    `json:"oracle,omitempty"`
+	// ConflictsOnly declares the client only needs conflict-dependent
+	// outputs (conflict counts, exceptions, oracle verdicts), not
+	// cycle-accurate ones. On a tiering daemon a proven-DRF trace then
+	// skips simulation entirely: soundness fully determines those
+	// outputs, and the job completes with a synthesized result
+	// (Synthesized=true, zero cycles). Keep this struct comparable —
+	// the failover pool equates specs with ==.
+	ConflictsOnly bool `json:"conflictsOnly,omitempty"`
 }
 
 // Job states.
@@ -87,6 +95,13 @@ type JobView struct {
 	CacheHit bool `json:"cacheHit"`
 	// Cycles summarizes the result inline (full result at /result).
 	Cycles uint64 `json:"cycles,omitempty"`
+	// Verdict is the static analyzer's verdict for the job's trace
+	// (VerdictProvenDRF or VerdictMayConflict), recorded when the daemon
+	// runs with tiering enabled; empty otherwise.
+	Verdict string `json:"verdict,omitempty"`
+	// Tiered reports the result was synthesized from a proven-DRF
+	// verdict without simulating (conflicts-only request).
+	Tiered bool `json:"tiered,omitempty"`
 }
 
 // job is the server-side record. The server's mu guards JobView's
@@ -124,6 +139,14 @@ type Config struct {
 	Logf func(format string, args ...any)
 	// Progress receives the runner's per-simulation lines (optional).
 	Progress io.Writer
+	// Tier enables analyze-first tiered execution: every job's trace is
+	// statically analyzed (cached per trace identity), the verdict is
+	// recorded in JobView and /metrics, conflicts-only jobs on
+	// proven-DRF traces complete with a synthesized result instead of
+	// simulating, and the underlying runners gain the bench tier
+	// (oracle skips, phase-parallel simulation). All simulated results
+	// stay byte-identical to straight-line execution.
+	Tier bool
 }
 
 func (c Config) normalized() Config {
@@ -153,6 +176,10 @@ type Server struct {
 	epoch   string                   // per-lifetime id suffix; see epochToken
 	runners map[string]*bench.Runner // one per (scale, seed)
 	cycles  map[string]uint64        // simulated cycles per protocol
+	// Tier accounting (under mu): analyzer verdicts recorded and jobs
+	// completed with a synthesized result instead of a simulation.
+	verdicts    map[string]int
+	tieredSkips int
 
 	running  atomic.Int64
 	draining atomic.Bool
@@ -170,19 +197,27 @@ type Server struct {
 	// runJob executes one spec; tests substitute a stub to script
 	// slow/failing runs without simulating.
 	runJob func(ctx context.Context, spec JobSpec) (*sim.Result, error)
+
+	// heartbeat is the SSE keep-alive/self-heal interval: every tick an
+	// event stream re-drains the job's history (delivering anything a
+	// dropped fan-out send left behind) and writes an SSE comment so
+	// idle connections survive proxies. Tests shorten it.
+	heartbeat time.Duration
 }
 
 // New builds a Server (workers not yet started).
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:     cfg.normalized(),
-		jobs:    make(map[string]*job),
-		runners: make(map[string]*bench.Runner),
-		cycles:  make(map[string]uint64),
-		epoch:   epochToken(),
-		drainCh: make(chan struct{}),
-		started: time.Now(),
-		now:     time.Now,
+		cfg:       cfg.normalized(),
+		jobs:      make(map[string]*job),
+		runners:   make(map[string]*bench.Runner),
+		cycles:    make(map[string]uint64),
+		verdicts:  make(map[string]int),
+		epoch:     epochToken(),
+		drainCh:   make(chan struct{}),
+		started:   time.Now(),
+		now:       time.Now,
+		heartbeat: 5 * time.Second,
 	}
 	s.queue = make(chan *job, s.cfg.QueueDepth)
 	s.runJob = s.simulate
@@ -266,6 +301,25 @@ func (s *Server) process(j *job) {
 	s.emit(j, "state", fmt.Sprintf(`{"id":%q,"state":%q}`, j.ID, StateRunning))
 	s.cfg.Logf("job %s running: %s/%s/%d", j.ID, j.Spec.Workload, j.Spec.Protocol, j.Spec.Cores)
 
+	if s.cfg.Tier {
+		if synth, verdict := s.tier(j.Spec); verdict != "" {
+			s.mu.Lock()
+			j.Verdict = verdict
+			s.verdicts[verdict]++
+			if synth != nil {
+				j.Tiered = true
+				s.tieredSkips++
+			}
+			s.mu.Unlock()
+			if synth != nil {
+				s.cfg.Logf("job %s short-circuited: %s is %s, conflicts-only result synthesized",
+					j.ID, j.Spec.Workload, verdict)
+				s.finish(j, synth, nil, StateDone)
+				return
+			}
+		}
+	}
+
 	res, err := s.runJob(j.ctx, j.Spec)
 	switch {
 	case err == nil:
@@ -306,6 +360,45 @@ func (s *Server) finish(j *job, res *sim.Result, err error, state string) {
 	s.cfg.Logf("job %s %s (cacheHit=%v, err=%v)", j.ID, state, j.CacheHit, err)
 }
 
+// Verdicts a tiering daemon records on jobs (JobView.Verdict and the
+// arcsimd_tier_verdicts_total metric).
+const (
+	VerdictProvenDRF   = "proven-drf"
+	VerdictMayConflict = "may-conflict"
+)
+
+// tier runs the analyze-first step for one job: the analyzer's verdict
+// (memoized per trace identity inside the shared runner) plus, for
+// conflicts-only requests on proven-DRF traces, the synthesized result
+// that makes simulation unnecessary. An analysis failure returns ""
+// and the job proceeds exactly as it would with tiering off.
+func (s *Server) tier(spec JobSpec) (*sim.Result, string) {
+	an, err := s.runner(spec).Analysis(spec.Workload, spec.Cores)
+	if err != nil {
+		return nil, ""
+	}
+	if !an.ProvenDRF() {
+		return nil, VerdictMayConflict
+	}
+	if !spec.ConflictsOnly {
+		return nil, VerdictProvenDRF
+	}
+	// Every conflict-dependent output of a proven-DRF trace is fully
+	// determined by soundness (detected ⊆ predicted = ∅): no schedule on
+	// any design can produce a conflict, so the zero-exception result is
+	// exact. It is synthesized, not simulated — it bypasses the runner
+	// and is never persisted under a simulation cache key — and carries
+	// no cycle-accurate fields (clients wanting those must not set
+	// conflictsOnly).
+	return &sim.Result{
+		Protocol:      spec.Protocol,
+		Workload:      spec.Workload,
+		Cores:         spec.Cores,
+		OracleChecked: true,
+		Synthesized:   true,
+	}, VerdictProvenDRF
+}
+
 // simulate is the production runJob: route the spec through the shared
 // per-(scale,seed) runner so concurrent identical jobs singleflight and
 // the persistent store sits under the memo.
@@ -328,7 +421,7 @@ func (s *Server) runner(spec JobSpec) *bench.Runner {
 	if r, ok := s.runners[key]; ok {
 		return r
 	}
-	cfg := bench.Config{Scale: spec.Scale, Seed: spec.Seed, Progress: s.cfg.Progress}
+	cfg := bench.Config{Scale: spec.Scale, Seed: spec.Seed, Progress: s.cfg.Progress, Tier: s.cfg.Tier}
 	if s.cfg.Store != nil {
 		cfg.Cache = s.cfg.Store
 	}
@@ -407,7 +500,13 @@ func (s *Server) retryAfter() int {
 		mean = total / time.Duration(count)
 	}
 	pending := len(s.queue) + int(s.running.Load()) + 1
-	wait := mean * time.Duration(pending) / time.Duration(s.cfg.Workers)
+	workers := s.cfg.Workers
+	if workers < 1 {
+		// Config.normalized pins Workers ≥ 1; keep the division safe on
+		// this path even if a zero-value Config ever reaches it.
+		workers = 1
+	}
+	wait := mean * time.Duration(pending) / time.Duration(workers)
 	sec := int((wait + time.Second - 1) / time.Second)
 	if sec < 1 {
 		sec = 1
@@ -550,7 +649,7 @@ func normalizeSpec(spec *JobSpec) error {
 		return errors.New("workload is required")
 	}
 	switch spec.Workload {
-	case "falseshare", "aimstress": // engine specials outside the catalog
+	case "falseshare", "aimstress", "phasedisjoint": // engine specials outside the catalog
 	default:
 		if _, ok := workload.ByName(spec.Workload); !ok {
 			return fmt.Errorf("unknown workload %q", spec.Workload)
@@ -599,6 +698,18 @@ func (s *Server) stateCounts() map[string]int {
 		counts[j.State]++
 	}
 	return counts
+}
+
+// tierCounts snapshots the tier accounting: verdicts recorded per kind
+// and jobs completed with a synthesized result.
+func (s *Server) tierCounts() (verdicts map[string]int, skips int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	verdicts = make(map[string]int, len(s.verdicts))
+	for k, v := range s.verdicts {
+		verdicts[k] = v
+	}
+	return verdicts, s.tieredSkips
 }
 
 // cycleCounts snapshots the per-protocol simulated-cycle counters.

@@ -1,0 +1,248 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"arcsim/internal/sim"
+)
+
+// sseMsg is one parsed SSE message.
+type sseMsg struct {
+	id   int
+	name string
+	data string
+}
+
+// streamSSE opens the job's event stream (resuming from lastID when
+// non-empty) and pushes each parsed message to the returned channel,
+// closing it when the stream ends. Comment lines (heartbeats) are
+// skipped.
+func streamSSE(t *testing.T, ts *httptest.Server, id, lastID string) <-chan sseMsg {
+	t.Helper()
+	req, err := http.NewRequest("GET", ts.URL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastID != "" {
+		req.Header.Set("Last-Event-ID", lastID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("events: %d", resp.StatusCode)
+	}
+	msgs := make(chan sseMsg, 256)
+	go func() {
+		defer resp.Body.Close()
+		defer close(msgs)
+		cur := sseMsg{id: -1}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				if cur.name != "" {
+					msgs <- cur
+				}
+				cur = sseMsg{id: -1}
+			case strings.HasPrefix(line, "id: "):
+				cur.id, _ = strconv.Atoi(strings.TrimPrefix(line, "id: "))
+			case strings.HasPrefix(line, "event: "):
+				cur.name = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				cur.data = strings.TrimPrefix(line, "data: ")
+			}
+		}
+	}()
+	return msgs
+}
+
+// nextMsg receives one message or fails the test.
+func nextMsg(t *testing.T, msgs <-chan sseMsg) sseMsg {
+	t.Helper()
+	select {
+	case m, ok := <-msgs:
+		if !ok {
+			t.Fatal("stream ended early")
+		}
+		return m
+	case <-time.After(10 * time.Second):
+		t.Fatal("no SSE message within 10s")
+	}
+	return sseMsg{}
+}
+
+// blockedJob submits a job whose run blocks until release is closed and
+// waits for it to be running, so the event history sits at exactly
+// [state(queued), state(running)].
+func blockedJob(t *testing.T, srv *Server, ts *httptest.Server) (*job, func()) {
+	t.Helper()
+	release := make(chan struct{})
+	srv.runJob = func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			return &sim.Result{Cycles: 7}, nil
+		}
+	}
+	_, view := postJob(t, ts, tinySpec())
+	waitState(t, ts, view.ID, StateRunning)
+	srv.mu.Lock()
+	j := srv.jobs[view.ID]
+	srv.mu.Unlock()
+	return j, func() { close(release) }
+}
+
+// TestSSEHeartbeatDeliversDroppedEvent is the slow-subscriber liveness
+// regression: an event that lands in the history without a fan-out
+// wakeup (the bounded channel dropped the send) must reach the client on
+// the next heartbeat drain, not wait for a future live event that a
+// long-silent job may never emit.
+func TestSSEHeartbeatDeliversDroppedEvent(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	srv.heartbeat = 25 * time.Millisecond
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(context.Background()) //nolint:errcheck
+
+	j, release := blockedJob(t, srv, ts)
+	msgs := streamSSE(t, ts, j.ID, "")
+	for i := 0; i < 2; i++ {
+		if m := nextMsg(t, msgs); m.id != i || m.name != "state" {
+			t.Fatalf("history replay msg %d: %+v", i, m)
+		}
+	}
+
+	// Reproduce a dropped fan-out send: append to the history without
+	// waking any subscriber — exactly the state emit leaves behind when
+	// a slow subscriber's channel is full.
+	j.evMu.Lock()
+	j.events = append(j.events, event{Name: "progress", Data: `{"note":"dropped"}`})
+	j.evMu.Unlock()
+
+	// No live event follows; only the heartbeat drain can deliver it.
+	if m := nextMsg(t, msgs); m.id != 2 || m.name != "progress" {
+		t.Fatalf("dropped event came back as %+v", m)
+	}
+
+	release()
+	waitState(t, ts, j.ID, StateDone)
+	var last sseMsg
+	for m := range msgs {
+		last = m
+	}
+	if last.name != "done" || last.id != 4 {
+		t.Fatalf("stream ended on %+v, want done with id 4", last)
+	}
+}
+
+// TestSSEResumeEdges pins Last-Event-ID handling on a live job: resuming
+// at the live edge replays nothing, resuming exactly at len(history) or
+// far beyond it (a stale id from a previous daemon lifetime) clamps to
+// the live edge rather than skipping future events, and emitted ids stay
+// aligned with history indices throughout a concurrent append storm.
+func TestSSEResumeEdges(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(context.Background()) //nolint:errcheck
+
+	j, release := blockedJob(t, srv, ts)
+
+	// History is [queued, running] (len 2; last id 1).
+	edge := streamSSE(t, ts, j.ID, "1")     // saw everything: replay nothing
+	atLen := streamSSE(t, ts, j.ID, "2")    // exactly len(history): stale by one
+	beyond := streamSSE(t, ts, j.ID, "999") // stale from a past lifetime
+	waitSubs(t, j, 3)
+
+	// The next emitted event is the first thing any of them sees, with
+	// its id equal to its history index.
+	srv.emit(j, "progress", `{"i":0}`)
+	for name, ch := range map[string]<-chan sseMsg{"edge": edge, "atLen": atLen, "beyond": beyond} {
+		if m := nextMsg(t, ch); m.id != 2 || m.name != "progress" {
+			t.Fatalf("%s resume: first msg %+v, want progress id 2", name, m)
+		}
+	}
+
+	// Reconnect racing a concurrent append storm: a client resuming from
+	// id 0 attaches while events are being emitted.
+	storm := make(chan struct{})
+	go func() {
+		defer close(storm)
+		for i := 1; i <= 30; i++ {
+			srv.emit(j, "progress", fmt.Sprintf(`{"i":%d}`, i))
+		}
+	}()
+	racer := streamSSE(t, ts, j.ID, "0")
+	<-storm
+	release()
+	waitState(t, ts, j.ID, StateDone)
+
+	collect := func(ch <-chan sseMsg) []sseMsg {
+		var out []sseMsg
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for m := range ch {
+				out = append(out, m)
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("stream never terminated")
+		}
+		return out
+	}
+	hist := j.history()
+	for name, ch := range map[string]<-chan sseMsg{"edge": edge, "atLen": atLen, "beyond": beyond, "racer": racer} {
+		got := collect(ch)
+		if len(got) == 0 {
+			t.Fatalf("%s: no messages", name)
+		}
+		for i, m := range got {
+			if i > 0 && m.id != got[i-1].id+1 {
+				t.Fatalf("%s: ids not consecutive: %+v after %+v", name, m, got[i-1])
+			}
+			if m.id < 0 || m.id >= len(hist) {
+				t.Fatalf("%s: id %d outside history (len %d)", name, m.id, len(hist))
+			}
+			if h := hist[m.id]; m.name != h.Name || m.data != h.Data {
+				t.Fatalf("%s: msg %+v misaligned with history[%d] = %+v", name, m, m.id, h)
+			}
+		}
+		if last := got[len(got)-1]; last.name != "done" || last.id != len(hist)-1 {
+			t.Fatalf("%s: ended on %+v, want done id %d", name, last, len(hist)-1)
+		}
+	}
+}
+
+// waitSubs polls until the job has at least n live subscribers.
+func waitSubs(t *testing.T, j *job, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		j.evMu.Lock()
+		c := len(j.subs)
+		j.evMu.Unlock()
+		if c >= n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("never saw %d subscribers", n)
+}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"arcsim/internal/sim"
+)
+
+// TestTieredShortCircuit exercises the analyze-first tier end-to-end: a
+// proven-DRF workload asking only for conflict-dependent outputs is
+// answered with a synthesized result (no simulation), a may-conflict
+// workload records its verdict and simulates, and a proven-DRF workload
+// asking for cycle-accurate outputs records the verdict but still runs.
+func TestTieredShortCircuit(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4, Tier: true})
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(context.Background()) //nolint:errcheck
+
+	// Conflict-dependent outputs of a proven-DRF workload: the verdict
+	// already is the answer, so the daemon synthesizes the result.
+	spec := tinySpec()
+	spec.ConflictsOnly = true
+	_, j := postJob(t, ts, spec)
+	done := waitState(t, ts, j.ID, StateDone, StateFailed)
+	if done.State != StateDone {
+		t.Fatalf("tiered job: %+v", done)
+	}
+	if !done.Tiered || done.Verdict != VerdictProvenDRF {
+		t.Fatalf("tiered job not short-circuited: tiered=%v verdict=%q", done.Tiered, done.Verdict)
+	}
+	if done.Cycles != 0 {
+		t.Fatalf("synthesized result claims %d cycles", done.Cycles)
+	}
+	var res sim.Result
+	if err := json.Unmarshal(fetchResult(t, ts, j.ID), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Synthesized || !res.OracleChecked || res.Conflicts != 0 {
+		t.Fatalf("synthesized result: %+v", res)
+	}
+	if res.Workload != spec.Workload || res.Protocol != spec.Protocol || res.Cores != spec.Cores {
+		t.Fatalf("synthesized result identity: %+v vs spec %+v", res, spec)
+	}
+
+	// A racy workload is not proven DRF: the verdict is recorded and the
+	// job simulates in full even when only conflicts were asked for.
+	racy := JobSpec{Workload: "racy-counter", Protocol: "arc", Cores: 4, Scale: 0.05, Seed: 1, ConflictsOnly: true}
+	_, jr := postJob(t, ts, racy)
+	doneR := waitState(t, ts, jr.ID, StateDone, StateFailed)
+	if doneR.State != StateDone {
+		t.Fatalf("may-conflict job: %+v", doneR)
+	}
+	if doneR.Tiered || doneR.Verdict != VerdictMayConflict {
+		t.Fatalf("may-conflict job view: tiered=%v verdict=%q", doneR.Tiered, doneR.Verdict)
+	}
+	if doneR.Cycles == 0 {
+		t.Fatal("may-conflict job did not simulate")
+	}
+
+	// Cycle-accurate outputs of a proven-DRF workload fall through to a
+	// full simulation; the verdict still lands on the view.
+	full := tinySpec()
+	_, jf := postJob(t, ts, full)
+	doneF := waitState(t, ts, jf.ID, StateDone, StateFailed)
+	if doneF.State != StateDone {
+		t.Fatalf("full tiered job: %+v", doneF)
+	}
+	if doneF.Tiered || doneF.Verdict != VerdictProvenDRF {
+		t.Fatalf("full tiered job view: tiered=%v verdict=%q", doneF.Tiered, doneF.Verdict)
+	}
+	if doneF.Cycles == 0 {
+		t.Fatal("full tiered job did not simulate")
+	}
+
+	// /metrics exposes the verdict and skip counters.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`arcsimd_tier_verdicts_total{verdict="proven-drf"} 2`,
+		`arcsimd_tier_verdicts_total{verdict="may-conflict"} 1`,
+		"arcsimd_tier_skips_total 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestTierOffIsInert pins that an untiered daemon records no verdicts and
+// never synthesizes, even for a ConflictsOnly spec.
+func TestTierOffIsInert(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(context.Background()) //nolint:errcheck
+
+	spec := tinySpec()
+	spec.ConflictsOnly = true
+	_, j := postJob(t, ts, spec)
+	done := waitState(t, ts, j.ID, StateDone, StateFailed)
+	if done.State != StateDone {
+		t.Fatalf("untiered job: %+v", done)
+	}
+	if done.Tiered || done.Verdict != "" {
+		t.Fatalf("untiered daemon tiered a job: %+v", done)
+	}
+	if done.Cycles == 0 {
+		t.Fatal("untiered job did not simulate")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(metrics), "arcsimd_tier_") {
+		t.Errorf("untiered daemon exports tier metrics:\n%s", metrics)
+	}
+}
+
+// TestRetryAfterColdStart pins the 429 Retry-After derivation before any
+// job has completed: the 2s prior mean over (queue + running + 1) pending
+// jobs at one worker gives exactly 6 seconds — no division by an empty
+// observation window.
+func TestRetryAfterColdStart(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	srv.runJob = func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			return &sim.Result{Cycles: 1}, nil
+		}
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(context.Background()) //nolint:errcheck
+
+	_, j1 := postJob(t, ts, tinySpec())
+	waitState(t, ts, j1.ID, StateRunning)
+	postJob(t, ts, tinySpec()) // fills the queue
+	resp, _ := postJob(t, ts, tinySpec())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue returned %d, want 429", resp.StatusCode)
+	}
+	// 2s prior mean × (1 queued + 1 running + 1 slot) / 1 worker = 6s.
+	if ra := resp.Header.Get("Retry-After"); ra != "6" {
+		t.Fatalf("cold-start Retry-After = %q, want \"6\"", ra)
+	}
+	close(release) // let the worker finish before the deferred Drain
+
+	// Defense in depth: the estimate survives a zero Workers value that
+	// bypassed Config.normalized instead of dividing by zero.
+	cold := New(Config{Workers: 1, QueueDepth: 1})
+	cold.cfg.Workers = 0
+	if sec := cold.retryAfter(); sec < 1 || sec > 60 {
+		t.Fatalf("retryAfter with zero workers = %d", sec)
+	}
+}

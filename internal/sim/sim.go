@@ -69,6 +69,12 @@ type Result struct {
 	Conflicts  int
 	Exceptions []core.Exception
 	Halted     bool
+	// Synthesized marks a result fabricated from a ProvenDRF static
+	// analysis verdict instead of simulated (the service tier's
+	// conflicts-only short circuit): conflict-dependent fields are exact,
+	// timing fields are zero. Synthesized results are never persisted
+	// under a simulation's cache key.
+	Synthesized bool `json:"synthesized,omitempty"`
 	// CacheHit marks a result that was served from a persistent result
 	// store rather than simulated in this process. It is excluded from
 	// the persisted encoding so that a stored result and its cache-hit
@@ -172,11 +178,34 @@ func Run(m *machine.Machine, proto machine.Protocol, tr *trace.Trace, opt Option
 	return RunContext(context.Background(), m, proto, tr, opt)
 }
 
+// runMode selects how the scheduler loop treats a trace: a complete
+// program, or one barrier-phase segment of a phase-parallel run.
+type runMode uint8
+
+const (
+	// modeFull is an ordinary straight-line run of a whole trace.
+	modeFull runMode = iota
+	// modeSegment runs one intermediate phase segment: every thread's
+	// last event is the phase's closing barrier, and the run stops at
+	// its release instant without closing final regions (the regions
+	// continue into the next segment).
+	modeSegment
+	// modeSegmentFinal runs the last phase segment. It completes
+	// normally, except that a thread whose segment is empty (the
+	// original thread ended exactly at the last barrier) still pays the
+	// implicit final-region boundary a straight-line run would.
+	modeSegmentFinal
+)
+
 // RunContext is Run with cooperative cancellation: the scheduler loop
 // polls ctx every few thousand steps and abandons the run with an error
 // wrapping ErrCanceled once the context is done. A canceled run returns
 // no Result — the machine's statistics are mid-flight and unusable.
 func RunContext(ctx context.Context, m *machine.Machine, proto machine.Protocol, tr *trace.Trace, opt Options) (*Result, error) {
+	return runContext(ctx, m, proto, tr, opt, modeFull)
+}
+
+func runContext(ctx context.Context, m *machine.Machine, proto machine.Protocol, tr *trace.Trace, opt Options, mode runMode) (*Result, error) {
 	if tr.NumThreads() != m.Cfg.Cores {
 		return nil, fmt.Errorf("%w: %d threads on %d cores", ErrThreads, tr.NumThreads(), m.Cfg.Cores)
 	}
@@ -204,9 +233,13 @@ func RunContext(ctx context.Context, m *machine.Machine, proto machine.Protocol,
 		CoreEvents: make([]uint64, n),
 	}
 
-	// Mark threads with no events as done immediately.
+	// Mark threads with no events as done immediately. In the final
+	// segment of a phased run an empty thread means the original thread
+	// ended exactly at the last barrier; it must still take the implicit
+	// final-boundary path below (as the straight-line run does after the
+	// barrier release), so it stays runnable.
 	for c := 0; c < n; c++ {
-		if len(tr.Threads[c]) == 0 {
+		if len(tr.Threads[c]) == 0 && mode != modeSegmentFinal {
 			status[c] = statusDone
 		}
 	}
@@ -373,6 +406,27 @@ func RunContext(ctx context.Context, m *machine.Machine, proto machine.Protocol,
 				}
 				ready[pick] = releaseAt
 				delete(barriers, ev.Arg)
+				if mode == modeSegment {
+					// Intermediate phase segment: the closing barrier is
+					// every thread's last event. Stop here — regions stay
+					// open into the next segment — and report the release
+					// instant as the segment's completion time.
+					for c2 := 0; c2 < n; c2++ {
+						status[c2] = statusDone
+						if releaseAt > res.CoreFinish[c2] {
+							res.CoreFinish[c2] = releaseAt
+						}
+					}
+					if releaseAt > res.Cycles {
+						res.Cycles = releaseAt
+					}
+				} else {
+					// A barrier quiesces the machine: transient NoC/DRAM
+					// contention state resets at the release instant, so
+					// post-barrier timing depends only on post-barrier
+					// traffic (the invariant phase-parallel runs rely on).
+					m.PhaseFence(releaseAt)
+				}
 			} else {
 				status[pick] = statusBlockedBarrier
 				bs.waiting = append(bs.waiting, pick)
@@ -394,7 +448,14 @@ func RunContext(ctx context.Context, m *machine.Machine, proto machine.Protocol,
 		}
 	}
 
-	m.FinishStatics(res.Cycles)
+	if mode == modeFull {
+		// Phase segments skip static energy: the stitcher charges it once
+		// for the whole stitched run, because per-segment static sums are
+		// not bit-identical to one whole-run charge (the per-cycle rate is
+		// not exactly representable, so distributing over segments rounds
+		// differently).
+		m.FinishStatics(res.Cycles)
+	}
 	fill(res, m)
 
 	if golden != nil {

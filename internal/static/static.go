@@ -529,6 +529,35 @@ func (a *Analysis) Phase(r core.RegionID) int {
 	return int(a.regionPhase[r.Core][r.Seq])
 }
 
+// Phases returns the number of barrier phases (barriers + 1).
+func (a *Analysis) Phases() int { return a.stats.Phases }
+
+// PhaseStarts returns, per thread, the region seq of that thread's first
+// region in each phase (phaseStart[t][p]); every inner slice has Phases()
+// entries. The phase-parallel simulator uses these to rebase per-segment
+// region seqs back onto whole-trace numbering. The result is a deep copy.
+func (a *Analysis) PhaseStarts() [][]uint64 {
+	out := make([][]uint64, len(a.phaseStart))
+	for t, ps := range a.phaseStart {
+		out[t] = append([]uint64(nil), ps...)
+	}
+	return out
+}
+
+// ForEachLineTouch calls fn once per (line, thread, phase) region
+// footprint recorded during the walk — one call per region-line entry, so
+// a (line, thread, phase) triple may repeat across regions — with wrote
+// reporting whether that footprint includes a write. The phase-parallel
+// planner uses this to build per-phase footprints without re-walking the
+// trace. Iteration order is unspecified.
+func (a *Analysis) ForEachLineTouch(fn func(line core.Line, thread, phase int, wrote bool)) {
+	for line, b := range a.lines {
+		for _, e := range b.entries {
+			fn(line, int(e.thread), int(a.regionPhase[e.thread][e.seq]), e.bits.WriteMask != 0)
+		}
+	}
+}
+
 // insertLock adds l to the sorted set ls (no-op duplicates are never
 // passed: callers track reentrancy).
 func insertLock(ls []uint32, l uint32) []uint32 {
