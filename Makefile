@@ -34,11 +34,13 @@ lint:
 # harness (worker pool + singleflight memo), the engine it drives (now
 # phase-parallel), the trace/workload layers it fans goroutines over,
 # the differential conformance checker, the daemon's service + store
-# layers, and the failover client that fans sweeps across daemons.
+# layers, the failover client that fans sweeps across daemons, and the
+# cost-model scheduler (core state machine, fleet driver, sim harness).
 race:
 	$(GO) test -race -short ./internal/bench/ ./internal/sim/ ./internal/conformance/ \
 		./internal/server/ ./internal/store/ ./internal/client/ ./internal/static/ \
-		./internal/trace/ ./internal/workload/
+		./internal/trace/ ./internal/workload/ \
+		./internal/sched/ ./internal/sched/fleet/ ./internal/sched/simtest/
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -53,5 +55,6 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzConformance -fuzztime=$(FUZZTIME) ./internal/conformance/
 	$(GO) test -run='^$$' -fuzz=FuzzStatic -fuzztime=$(FUZZTIME) ./internal/conformance/
 	$(GO) test -run='^$$' -fuzz=FuzzPhasePar -fuzztime=$(FUZZTIME) ./internal/conformance/
+	$(GO) test -run='^$$' -fuzz=FuzzSchedPlan -fuzztime=$(FUZZTIME) ./internal/sched/
 
 ci: build vet lint fmt-check test race

@@ -63,6 +63,7 @@ func BenchmarkA2MOESI(b *testing.B)          { runExperiment(b, "A2") }
 func BenchmarkA3Granularity(b *testing.B)    { runExperiment(b, "A3") }
 func BenchmarkR1SeedRobustness(b *testing.B) { runExperiment(b, "R1") }
 func BenchmarkTIERTiered(b *testing.B)       { runExperiment(b, "TIER") }
+func BenchmarkSCHEDScheduler(b *testing.B)   { runExperiment(b, "SCHED") }
 
 // runHarness regenerates the entire evaluation with the given worker
 // count; comparing Serial vs Parallel shows the prefetch pool's speedup

@@ -17,6 +17,7 @@
 //	arcsimctl [-server URL] cancel j000001-4f2a91c8
 //	arcsimctl [-server URL] list
 //	arcsimctl [-server URL] health
+//	arcsimctl load http://a:8080 http://b:8080
 package main
 
 import (
@@ -29,13 +30,15 @@ import (
 	"os"
 
 	"arcsim/internal/client"
+	"arcsim/internal/sched"
+	"arcsim/internal/sched/fleet"
 	"arcsim/internal/server"
 )
 
 func main() {
 	serverURL := flag.String("server", "http://localhost:8080", "arcsimd base URL")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: arcsimctl [-server URL] <submit|batch|get|result|watch|cancel|list|health> ...\n")
+		fmt.Fprintf(os.Stderr, "usage: arcsimctl [-server URL] <submit|batch|get|result|watch|cancel|list|health|load> ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -65,6 +68,8 @@ func main() {
 		err = list(ctx, c)
 	case "health":
 		err = health(ctx, c)
+	case "load":
+		err = load(ctx, c, *serverURL, args)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -252,6 +257,47 @@ func list(ctx context.Context, c *client.Client) error {
 		}
 		fmt.Printf("%-16s %-10s %-14s %-8s %5d %9d %8s %-12s %s\n",
 			j.ID, j.State, j.Spec.Workload, j.Spec.Protocol, j.Spec.Cores, j.Cycles, cache, verdict, j.Error)
+	}
+	return nil
+}
+
+// load scrapes each named endpoint's /metrics (arguments default to
+// -server) and prints the scheduler's view of the fleet: the same
+// gauges the cost-model scheduler plans on, through the same parser, so
+// what this table shows is exactly what dispatch decisions see. An
+// endpoint whose probe fails or whose sample is partial is shown
+// degraded — the scheduler would be planning round-robin for it.
+func load(ctx context.Context, c *client.Client, def string, args []string) error {
+	endpoints := args
+	if len(endpoints) == 0 {
+		endpoints = []string{def}
+	}
+	fmt.Printf("%-28s %-8s %7s %5s %6s %9s %s\n",
+		"endpoint", "up", "workers", "busy", "queue", "queuecap", "note")
+	degraded := 0
+	for _, ep := range endpoints {
+		ec := c
+		if ep != def {
+			ec = client.New(ep, client.Options{})
+		}
+		raw, err := ec.Metrics(ctx)
+		var l sched.Load
+		if err == nil {
+			l, err = fleet.ParseLoad(raw)
+		}
+		if err != nil {
+			degraded++
+			fmt.Printf("%-28s %-8s %7s %5s %6s %9s probe failed: %v\n", ep, "?", "-", "-", "-", "-", err)
+			continue
+		}
+		up := "yes"
+		if !l.Up {
+			up = "draining"
+		}
+		fmt.Printf("%-28s %-8s %7d %5d %6d %9d\n", ep, up, l.Workers, l.Busy, l.Queue, l.QueueCap)
+	}
+	if degraded > 0 {
+		return fmt.Errorf("%d of %d endpoint(s) unprobeable (scheduler would degrade to round-robin)", degraded, len(endpoints))
 	}
 	return nil
 }

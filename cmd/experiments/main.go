@@ -29,6 +29,8 @@ import (
 
 	"arcsim/internal/bench"
 	"arcsim/internal/client"
+	"arcsim/internal/sched"
+	"arcsim/internal/sched/fleet"
 	"arcsim/internal/sim"
 	"arcsim/internal/stats"
 	"arcsim/internal/store"
@@ -46,6 +48,7 @@ func main() {
 		outDir   = flag.String("out", "", "also write each experiment's artifact to <dir>/<ID>.txt")
 		storeDir = flag.String("store", "", "persistent result store directory (shared with arcsimd): reuse proven results, persist new ones")
 		remote   = flag.String("remote", "", "comma-separated arcsimd base URLs: dispatch simulations across the pool with failover, -j bounding in-flight runs; falls back to local execution when every endpoint is down")
+		schedule = flag.Bool("sched", false, "with -remote: dispatch through the cost-model scheduler (longest-job-first onto the least-loaded daemon, work stealing, /metrics load probes) instead of blind round-robin")
 		tier     = flag.Bool("tier", true, "analyze-first tiered execution: skip oracle mirroring on proven-DRF traces (locally and fleet-wide under -remote) and phase-parallelize eligible traces; artifacts stay byte-identical")
 		verbose  = flag.Bool("v", false, "print one line per simulation run")
 	)
@@ -70,16 +73,32 @@ func main() {
 	if *verbose {
 		cfg.Progress = os.Stderr
 	}
+	// The scheduler's cost model consults the runner's memoized static
+	// analyses, but the runner is built after cfg.Exec is wired; the
+	// pointer is bound late (set before any experiment runs).
+	var runner *bench.Runner
 	if *remote != "" {
-		pool := client.NewPool(strings.Split(*remote, ","), client.PoolOptions{})
-		if len(pool.Endpoints()) == 0 {
+		endpoints := splitEndpoints(*remote)
+		if len(endpoints) == 0 {
 			fatal(fmt.Errorf("-remote %q names no endpoints", *remote))
 		}
-		fmt.Fprintf(os.Stderr, "dispatching runs to %s (falling back to local when all are down)\n",
-			strings.Join(pool.Endpoints(), ", "))
-		cfg.Exec = remoteExec(pool, cfg)
+		if *schedule {
+			sch := fleet.New(endpoints, fleet.Options{})
+			sch.Start(context.Background())
+			defer sch.Stop()
+			fmt.Fprintf(os.Stderr, "scheduling runs across %s (cost-model LJF; failing fast to local when all are down)\n",
+				strings.Join(endpoints, ", "))
+			cfg.Exec = schedExec(sch, cfg, &runner)
+		} else {
+			pool := client.NewPool(endpoints, client.PoolOptions{})
+			fmt.Fprintf(os.Stderr, "dispatching runs to %s (falling back to local when all are down)\n",
+				strings.Join(pool.Endpoints(), ", "))
+			cfg.Exec = remoteExec(pool, cfg)
+		}
+	} else if *schedule {
+		fatal(fmt.Errorf("-sched requires -remote endpoints"))
 	}
-	runner := bench.NewRunner(cfg)
+	runner = bench.NewRunner(cfg)
 
 	var selected []bench.Experiment
 	if strings.EqualFold(*run, "all") {
@@ -157,6 +176,51 @@ func remoteExec(pool *client.Pool, cfg bench.Config) func(context.Context, bench
 			Seed:       cfg.Seed,
 			Oracle:     spec.Oracle,
 		})
+		if errors.Is(err, client.ErrNoEndpoints) {
+			return nil, fmt.Errorf("%w: %v", bench.ErrRemoteUnavailable, err)
+		}
+		return res, err
+	}
+}
+
+// splitEndpoints parses a comma-separated -remote list, dropping blanks.
+func splitEndpoints(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// schedExec adapts the fleet scheduler to the Runner's Exec hook. Each
+// run's cost is predicted from the same memoized static analysis the
+// tiered Runner consults (event count, proven-DRF verdict), so the
+// scheduler sees heavy may-conflict simulations and ~free short-circuit
+// candidates for what they are. The runner pointer is bound late: it is
+// nil until NewRunner returns, and the closure only executes afterwards
+// (Exec is called by that runner).
+func schedExec(sch *fleet.Scheduler, cfg bench.Config, runner **bench.Runner) func(context.Context, bench.RunSpec) (*sim.Result, error) {
+	return func(ctx context.Context, spec bench.RunSpec) (*sim.Result, error) {
+		in := sched.CostInputs{Cores: spec.Cores, Oracle: spec.Oracle}
+		if r := *runner; r != nil {
+			if an, err := r.Analysis(spec.Workload, spec.Cores); err == nil {
+				in.Events = an.Stats().Events
+				in.ProvenDRF = an.ProvenDRF()
+			}
+			// Analysis errors (engine specials outside the catalog) leave
+			// Events at zero: EstimateCost prices unknowns mid-sized.
+		}
+		res, err := sch.Run(ctx, client.JobSpec{
+			Workload:   spec.Workload,
+			Protocol:   spec.Proto,
+			Cores:      spec.Cores,
+			AIMEntries: spec.AIMEntries,
+			Scale:      cfg.Scale,
+			Seed:       cfg.Seed,
+			Oracle:     spec.Oracle,
+		}, sched.EstimateCost(in), 0)
 		if errors.Is(err, client.ErrNoEndpoints) {
 			return nil, fmt.Errorf("%w: %v", bench.ErrRemoteUnavailable, err)
 		}

@@ -647,6 +647,7 @@ func All() []Experiment {
 		{ID: "CONF", Title: "Differential conformance of the conflict-detection designs", Run: runConformance},
 		{ID: "STAT", Title: "Static region-conflict analysis: precision and speed", Run: runStatic},
 		{ID: "TIER", Title: "Analyze-first tiered execution: short-circuit and phase-parallel speedups", Run: runTier},
+		{ID: "SCHED", Title: "Cost-model scheduling vs round-robin on the daemon fleet", Run: runSched},
 	}
 }
 
@@ -675,6 +676,9 @@ func ByID(id string) (Experiment, bool) {
 	}
 	if strings.EqualFold(id, "tiered") {
 		id = "TIER"
+	}
+	if strings.EqualFold(id, "sched") || strings.EqualFold(id, "scheduler") {
+		id = "SCHED"
 	}
 	for _, e := range All() {
 		if strings.EqualFold(e.ID, id) {

@@ -17,8 +17,8 @@ func quickCfg() Config {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("experiments = %d, want 18", len(all))
+	if len(all) != 19 {
+		t.Fatalf("experiments = %d, want 19", len(all))
 	}
 	ids := map[string]bool{}
 	for _, e := range all {

@@ -1,0 +1,26 @@
+package bench
+
+import "testing"
+
+// TestSchedExperiment regenerates the SCHED artifact at reduced scale
+// and requires every shape check to pass: the cost-model schedule near
+// the LPT bound, the round-robin gap, exactly-once under failover, and
+// work conservation.
+func TestSchedExperiment(t *testing.T) {
+	// quickCfg's 3% scale flattens the cost spread below the experiment's
+	// round-robin gap; the benchmark scale keeps the mix realistic and
+	// still runs in milliseconds (the schedules are virtual).
+	r := NewRunner(Config{Scale: 0.1, Seed: 1, Cores: 16, CoreSweep: []int{8, 16}})
+	out, err := runSched(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Body == "" {
+		t.Fatal("empty artifact")
+	}
+	for _, c := range out.Checks {
+		if !c.Pass {
+			t.Errorf("shape check failed: %s (%s)", c.Desc, c.Detail)
+		}
+	}
+}

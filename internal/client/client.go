@@ -21,6 +21,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -287,6 +288,14 @@ func (c *Client) Cancel(ctx context.Context, id string) error {
 	return c.call(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, nil)
 }
 
+// CancelReason cancels a job with an explicit reason. The daemon folds a
+// recognized reason (e.g. "preempt") into the job's final Error, so the
+// follower that owns the job can tell a scheduler preemption — requeue
+// elsewhere — from an operator cancel, which is final.
+func (c *Client) CancelReason(ctx context.Context, id, reason string) error {
+	return c.call(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel?reason="+url.QueryEscape(reason), nil, nil)
+}
+
 // ResultBytes fetches a done job's result in the store's canonical
 // encoding — byte-identical across cache hits, daemons, and restarts.
 func (c *Client) ResultBytes(ctx context.Context, id string) ([]byte, error) {
@@ -313,6 +322,16 @@ func (c *Client) Health(ctx context.Context) ([]byte, error) {
 	var raw []byte
 	// Health is the probe other machinery keys off: one shot, no retry.
 	err := c.once(ctx, http.MethodGet, "/healthz", nil, &raw)
+	return raw, err
+}
+
+// Metrics fetches the raw /metrics text. Like Health it is a probe —
+// one shot, no retry — because its consumers (the scheduler's load
+// probe) would rather see the failure and degrade than act on a sample
+// delayed by a retry loop.
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	var raw []byte
+	err := c.once(ctx, http.MethodGet, "/metrics", nil, &raw)
 	return raw, err
 }
 

@@ -690,3 +690,92 @@ func TestBatchThroughClient(t *testing.T) {
 		}
 	}
 }
+
+// TestPoolPreemptCancelFailsOver: a job canceled with the scheduler's
+// preempt reason is requeue-safe — the pool reruns it on a survivor
+// instead of surfacing ErrJobCanceled.
+func TestPoolPreemptCancelFailsOver(t *testing.T) {
+	var mu sync.Mutex
+	var submitted JobSpec
+	preempter := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/jobs":
+			var spec JobSpec
+			json.NewDecoder(r.Body).Decode(&spec) //nolint:errcheck
+			mu.Lock()
+			submitted = spec
+			mu.Unlock()
+			writeJSONStatus(w, http.StatusAccepted, JobView{ID: "j000001", Spec: spec, State: server.StateQueued})
+		case r.URL.Path == "/v1/jobs/j000001/events":
+			mu.Lock()
+			spec := submitted
+			mu.Unlock()
+			sseDone(w, JobView{ID: "j000001", Spec: spec, State: server.StateCanceled, Error: server.CancelReasonPreempt})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer preempter.Close()
+	var served atomic.Int64
+	_, survivor := newDaemon(t, func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		served.Add(1)
+		return syntheticResult(spec), nil
+	})
+
+	p := NewPool([]string{preempter.URL, survivor.URL}, PoolOptions{
+		Client:       fastRetry(),
+		CooldownBase: 50 * time.Millisecond,
+	})
+	res, err := p.Run(context.Background(), JobSpec{Workload: "lu", Protocol: "arc", Cores: 2})
+	if err != nil {
+		t.Fatalf("run across a preempting daemon: %v", err)
+	}
+	if res.Workload != "lu" || served.Load() != 1 {
+		t.Fatalf("survivor served %d runs, result %+v", served.Load(), res)
+	}
+}
+
+// TestCancelReasonRoundTrip drives Client.CancelReason against a real
+// daemon and reads the preempt cause back from the final view.
+func TestCancelReasonRoundTrip(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	_, ts := newDaemon(t, func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: %v", sim.ErrCanceled, context.Cause(ctx))
+		case <-release:
+			return syntheticResult(spec), nil
+		}
+	})
+	c := New(ts.URL, fastRetry())
+	view, err := c.Submit(context.Background(), JobSpec{Workload: "lu", Protocol: "arc", Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CancelReason(context.Background(), view.ID, "preempt"); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Follow(context.Background(), view.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != server.StateCanceled || final.Error != server.CancelReasonPreempt {
+		t.Fatalf("final = %s/%q, want canceled/%q", final.State, final.Error, server.CancelReasonPreempt)
+	}
+}
+
+// TestClientMetrics reads the raw gauge text through the probe method.
+func TestClientMetrics(t *testing.T) {
+	_, ts := newDaemon(t, instantRun)
+	c := New(ts.URL, fastRetry())
+	raw, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"arcsimd_up", "arcsimd_workers", "arcsimd_busy_workers", "arcsimd_queue_depth"} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("metrics missing %s:\n%s", want, raw)
+		}
+	}
+}

@@ -245,6 +245,11 @@ func (p *Pool) runOn(ctx context.Context, ep *endpoint, spec JobSpec) (*sim.Resu
 			// endpoint can run it.
 			return nil, fmt.Errorf("job %s canceled by drain on %s", final.ID, ep.Base())
 		}
+		if final.Error == server.CancelReasonPreempt {
+			// The scheduler displaced the job for higher-priority work;
+			// like a drain, it is safe to run elsewhere.
+			return nil, fmt.Errorf("job %s preempted on %s", final.ID, ep.Base())
+		}
 		return nil, fmt.Errorf("%w: job %s on %s: %s", ErrJobCanceled, final.ID, ep.Base(), final.Error)
 	default:
 		return nil, fmt.Errorf("job %s ended %s on %s: %s", final.ID, final.State, ep.Base(), final.Error)

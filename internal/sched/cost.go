@@ -1,0 +1,78 @@
+package sched
+
+import "math"
+
+// CostInputs are the cheap, known-pre-submit signals the cost model
+// predicts from: everything here is available before a job is dispatched
+// (the trace's event count and the static verdict come from
+// internal/static's analysis, which is memoized per trace identity and
+// 2-5x cheaper than one simulation).
+type CostInputs struct {
+	// Events is the trace's total event count (static.Stats.Events or
+	// trace.Trace.Events()). Zero means unknown.
+	Events int
+	// Cores is the simulated core count.
+	Cores int
+	// ProvenDRF is the analyzer's verdict: true when no region conflict
+	// is predicted on any schedule.
+	ProvenDRF bool
+	// Oracle requests the golden-oracle mirror alongside the simulation.
+	Oracle bool
+	// ConflictsOnly declares the client needs only conflict-dependent
+	// outputs, so a tiering daemon answers ProvenDRF jobs with a
+	// synthesized result instead of simulating.
+	ConflictsOnly bool
+}
+
+// Cost-model constants. The absolute scale is arbitrary (the scheduler
+// only compares costs); the ratios encode what PR 6 measured: a
+// proven-DRF conflicts-only job tier-short-circuits to a synthesized
+// result at ~zero cost, an oracle mirror roughly doubles a run unless
+// the tier skips it, and per-event simulation cost grows mildly with
+// core count (deeper NoC, more contention bookkeeping).
+const (
+	// minCost floors every prediction so planning math (score divisions,
+	// mean costs) never sees a zero and even synthesized jobs pay their
+	// dispatch round-trip.
+	minCost = 1.0
+	// shortCircuitCost is the flat prediction for a job a tiering daemon
+	// answers by analysis alone (proven-DRF, conflicts-only): the
+	// analysis is memoized server-side, so only protocol overhead
+	// remains.
+	shortCircuitCost = minCost
+	// coreFactor scales cost per doubling of the core count.
+	coreFactor = 0.15
+	// oracleFactor is the golden mirror's multiplier: the oracle
+	// simulates the same trace again on the reference model.
+	oracleFactor = 2.0
+)
+
+// EstimateCost predicts one job's service cost in abstract units
+// (roughly: trace events, scaled). MayConflict cycle-accurate jobs
+// dominate; proven-DRF conflicts-only jobs cost ~nothing because a
+// tiering daemon short-circuits them; proven-DRF jobs that still want
+// cycle-accurate output simulate but skip the oracle mirror fleet-wide.
+func EstimateCost(in CostInputs) float64 {
+	if in.ProvenDRF && in.ConflictsOnly {
+		return shortCircuitCost
+	}
+	events := float64(in.Events)
+	if events <= 0 {
+		// Unknown trace size: assume a mid-sized workload rather than a
+		// free one, so unanalyzed jobs don't all pile onto one endpoint.
+		events = 100_000
+	}
+	cost := events
+	if in.Cores > 1 {
+		cost *= 1 + coreFactor*math.Log2(float64(in.Cores))
+	}
+	if in.Oracle && !in.ProvenDRF {
+		// The tier skips the mirror on proven-DRF traces (soundness makes
+		// it redundant), so only may-conflict oracle runs pay it.
+		cost *= oracleFactor
+	}
+	if cost < minCost {
+		cost = minCost
+	}
+	return cost
+}

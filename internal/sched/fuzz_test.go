@@ -1,0 +1,80 @@
+package sched_test
+
+import (
+	"math"
+	"testing"
+
+	"arcsim/internal/sched"
+	"arcsim/internal/sched/simtest"
+)
+
+// FuzzSchedPlan decodes arbitrary bytes into a fleet and a cost vector,
+// runs the full scheduler on the deterministic simulation harness, and
+// asserts the core invariants: no panic, every job completes exactly
+// once (no losses, no duplicates), the schedule is work-conserving, and
+// the makespan is finite. The fuzzer owns costs, slot counts, pipeline
+// depth, priorities, and mis-estimations — everything the planner's
+// arithmetic touches.
+func FuzzSchedPlan(f *testing.F) {
+	f.Add([]byte{2, 4, 1, 10, 20, 30, 5})
+	f.Add([]byte{1, 1, 255, 255, 0, 0, 7})
+	f.Add([]byte{3, 2, 3, 1, 9, 9, 9, 9, 100, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 || len(data) > 256 {
+			return
+		}
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+		neps := 1 + int(next())%4
+		cfg := simtest.Config{}
+		for i := 0; i < neps; i++ {
+			cfg.Endpoints = append(cfg.Endpoints, simtest.Endpoint{
+				Name:  string(rune('a' + i)),
+				Slots: 1 + int(next())%4,
+			})
+		}
+		cfg.Opts = sched.Options{PipelineDepth: int(next()) % 5}
+		id := int64(1)
+		for len(data) > 0 {
+			j := simtest.Job{
+				ID:       id,
+				Cost:     float64(next()),
+				Priority: int(next()) % 3,
+			}
+			if b := next(); b%4 == 0 {
+				// Scripted mis-estimation: true demand disagrees with the
+				// prediction, exercising steals.
+				j.Units = float64(b)
+			}
+			if j.Cost == 0 {
+				j.Cost = 0.5 // zero-cost jobs are legal but make LB degenerate
+			}
+			cfg.Jobs = append(cfg.Jobs, j)
+			id++
+		}
+		if len(cfg.Jobs) == 0 {
+			return
+		}
+		r := simtest.Run(cfg)
+		for jid, n := range r.Completions {
+			if n != 1 {
+				t.Fatalf("job %d completed %d times, want exactly once", jid, n)
+			}
+		}
+		if len(r.Failed) != 0 {
+			t.Fatalf("jobs failed with no endpoint deaths scripted: %v", r.Failed)
+		}
+		if len(r.IdleViolations) != 0 {
+			t.Fatalf("work-conservation violated: %s", r.IdleViolations[0])
+		}
+		if math.IsNaN(r.Makespan) || math.IsInf(r.Makespan, 0) {
+			t.Fatalf("makespan = %v", r.Makespan)
+		}
+	})
+}

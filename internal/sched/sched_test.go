@@ -1,0 +1,333 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+// fixedNow returns a controllable clock for Core tests.
+func fixedNow(t *time.Time) func() time.Time {
+	return func() time.Time { return *t }
+}
+
+func testOpts(now *time.Time) Options {
+	return Options{
+		Now:        fixedNow(now),
+		StaleAfter: 1 << 50,
+	}
+}
+
+// seedLoads feeds one fresh sample per endpoint so the Core leaves
+// degraded mode.
+func seedLoads(c *Core, workers map[string]int) []Directive {
+	var dirs []Directive
+	for _, name := range c.Endpoints() {
+		w := workers[name]
+		if w == 0 {
+			w = 1
+		}
+		dirs = append(dirs, c.UpdateLoad(name, Load{Workers: w, Up: true})...)
+	}
+	return dirs
+}
+
+func TestSubmitExactlyOnceAdmission(t *testing.T) {
+	now := time.Unix(0, 0)
+	c := NewCore([]string{"a"}, testOpts(&now))
+	seedLoads(c, nil)
+	j := &Job{ID: 1, Cost: 5}
+	dirs := c.Submit(j)
+	if len(dirs) != 1 || dirs[0].Kind != DirStart {
+		t.Fatalf("first submit: got %v, want one start", dirs)
+	}
+	if dirs := c.Submit(j); len(dirs) != 0 {
+		t.Fatalf("duplicate submit of a live job produced %v", dirs)
+	}
+	c.Started("a", 1)
+	c.Done("a", 1)
+	if dirs := c.Submit(j); len(dirs) != 0 {
+		t.Fatalf("resubmit of a done job produced %v", dirs)
+	}
+}
+
+func TestDegradedModeWithoutSamples(t *testing.T) {
+	now := time.Unix(0, 0)
+	c := NewCore([]string{"a", "b"}, testOpts(&now))
+	if c.Mode() != ModeRoundRobin {
+		t.Fatalf("mode with no samples = %v, want round-robin", c.Mode())
+	}
+	c.UpdateLoad("a", Load{Workers: 2, Up: true})
+	if c.Mode() != ModeRoundRobin {
+		t.Fatalf("mode with a partial fleet sampled = %v, want round-robin", c.Mode())
+	}
+	c.UpdateLoad("b", Load{Workers: 1, Up: true})
+	if c.Mode() != ModeCostModel {
+		t.Fatalf("mode with full samples = %v, want cost-model", c.Mode())
+	}
+	c.ProbeFailed("b")
+	if c.Mode() != ModeRoundRobin {
+		t.Fatalf("mode after probe failure = %v, want round-robin", c.Mode())
+	}
+}
+
+func TestStaleSampleDegrades(t *testing.T) {
+	now := time.Unix(0, 0)
+	opts := Options{Now: fixedNow(&now), StaleAfter: 10 * time.Second}
+	c := NewCore([]string{"a"}, opts)
+	c.UpdateLoad("a", Load{Workers: 2, Up: true})
+	if c.Mode() != ModeCostModel {
+		t.Fatalf("fresh sample: mode = %v", c.Mode())
+	}
+	now = now.Add(11 * time.Second)
+	if c.Mode() != ModeRoundRobin {
+		t.Fatalf("stale sample: mode = %v, want round-robin", c.Mode())
+	}
+}
+
+func TestFaultBudgetExhaustion(t *testing.T) {
+	now := time.Unix(0, 0)
+	opts := testOpts(&now)
+	opts.MaxAttempts = 3
+	c := NewCore([]string{"a", "b"}, opts)
+	seedLoads(c, nil)
+	dirs := c.Submit(&Job{ID: 7, Cost: 5})
+	faults := 0
+	for iter := 0; ; iter++ {
+		if iter > 20 {
+			t.Fatalf("no DirFail after %d faults", faults)
+		}
+		var start *Directive
+		for i := range dirs {
+			switch dirs[i].Kind {
+			case DirFail:
+				if faults != 3 {
+					t.Fatalf("DirFail after %d faults, want 3", faults)
+				}
+				if dirs[i].Job.ID != 7 {
+					t.Fatalf("DirFail for job %d, want 7", dirs[i].Job.ID)
+				}
+				return
+			case DirStart:
+				start = &dirs[i]
+			}
+		}
+		if start == nil {
+			// All endpoints benched; advance past the cooldown and retry.
+			now = now.Add(time.Minute)
+			dirs = c.Tick()
+			continue
+		}
+		faults++
+		dirs = c.Fault(start.Endpoint, start.Job.ID)
+	}
+}
+
+func TestFaultBenchesEndpoint(t *testing.T) {
+	now := time.Unix(0, 0)
+	c := NewCore([]string{"a", "b"}, testOpts(&now))
+	seedLoads(c, nil)
+	dirs := c.Submit(&Job{ID: 1, Cost: 5})
+	if len(dirs) != 1 {
+		t.Fatalf("submit: %v", dirs)
+	}
+	first := dirs[0].Endpoint
+	dirs = c.Fault(first, 1)
+	if len(dirs) != 1 || dirs[0].Kind != DirStart || dirs[0].Endpoint == first {
+		t.Fatalf("after fault on %s: %v, want start on the other endpoint", first, dirs)
+	}
+}
+
+// TestStealAndCancelFailed scripts the full steal protocol against two
+// 1-slot endpoints: b drains early and steals a's queued job; when the
+// cancel proves undeliverable the job must return to running on a, with
+// no immediate re-steal.
+func TestStealAndCancelFailed(t *testing.T) {
+	now := time.Unix(0, 0)
+	opts := testOpts(&now)
+	opts.PipelineDepth = 1
+	c := NewCore([]string{"a", "b"}, opts)
+	seedLoads(c, map[string]int{"a": 1, "b": 1})
+	dirs := c.Submit(
+		&Job{ID: 1, Cost: 10},
+		&Job{ID: 2, Cost: 9},
+		&Job{ID: 3, Cost: 8},
+		&Job{ID: 4, Cost: 7},
+	)
+	if len(dirs) != 4 {
+		t.Fatalf("submit produced %v, want 4 starts", dirs)
+	}
+	// Deterministic LPT placement: a <- {1,4}, b <- {2,3}. The first job
+	// per endpoint is observed running, the second stays queued.
+	c.Started("a", 1)
+	c.Started("b", 2)
+	c.Done("b", 2)
+	c.Started("b", 3)
+	dirs = c.Done("b", 3) // b drains while a still holds 4 queued behind 1
+	var cancel *Directive
+	for i := range dirs {
+		if dirs[i].Kind == DirCancel {
+			cancel = &dirs[i]
+		}
+	}
+	if cancel == nil || cancel.Job.ID != 4 || cancel.Endpoint != "a" || cancel.Reason != ReasonSteal {
+		t.Fatalf("after b drained: %v, want a steal cancel of job 4 on a", dirs)
+	}
+	if dirs := c.CancelFailed("a", 4); hasCancelFor(dirs, 4) {
+		t.Fatalf("CancelFailed immediately re-stole job 4")
+	}
+	snap := c.Snapshot()
+	if stealingTotal(snap) != 0 {
+		t.Fatalf("stealing slot not cleared: %+v", snap)
+	}
+	for _, e := range snap.Endpoints {
+		if e.Name == "a" && e.Running != 2 {
+			t.Fatalf("job 4 not restored to running on a: %+v", snap)
+		}
+	}
+}
+
+// TestStealDeliversToThief confirms the cancel-confirmed path: the
+// stolen job starts on the endpoint that reserved it.
+func TestStealDeliversToThief(t *testing.T) {
+	now := time.Unix(0, 0)
+	opts := testOpts(&now)
+	opts.PipelineDepth = 1
+	c := NewCore([]string{"a", "b"}, opts)
+	seedLoads(c, map[string]int{"a": 1, "b": 1})
+	c.Submit(
+		&Job{ID: 1, Cost: 10},
+		&Job{ID: 2, Cost: 9},
+		&Job{ID: 3, Cost: 8},
+		&Job{ID: 4, Cost: 7},
+	)
+	c.Started("a", 1)
+	c.Started("b", 2)
+	c.Done("b", 2)
+	c.Started("b", 3)
+	c.Done("b", 3)
+	dirs := c.Canceled("a", 4)
+	if len(dirs) == 0 || dirs[0].Kind != DirStart || dirs[0].Job.ID != 4 || dirs[0].Endpoint != "b" {
+		t.Fatalf("cancel confirmation produced %v, want job 4 started on thief b", dirs)
+	}
+}
+
+func hasCancelFor(dirs []Directive, id int64) bool {
+	for _, d := range dirs {
+		if d.Kind == DirCancel && d.Job.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func stealingTotal(s Snapshot) int {
+	n := 0
+	for _, e := range s.Endpoints {
+		n += e.Stealing
+	}
+	return n
+}
+
+func TestFailPendingDrainsOnlyPending(t *testing.T) {
+	now := time.Unix(0, 0)
+	opts := testOpts(&now)
+	opts.PipelineDepth = 1
+	c := NewCore([]string{"a"}, opts)
+	seedLoads(c, map[string]int{"a": 1})
+	c.Submit(&Job{ID: 1, Cost: 5})
+	c.Submit(&Job{ID: 2, Cost: 4})
+	c.Submit(&Job{ID: 3, Cost: 3}) // beyond capacity 2: stays pending
+	failed := c.FailPending()
+	if len(failed) != 1 || failed[0].ID != 3 {
+		t.Fatalf("FailPending = %v, want just job 3", failed)
+	}
+	if dirs := c.Submit(&Job{ID: 3, Cost: 3}); len(dirs) != 0 {
+		t.Fatalf("job 3 re-admitted after FailPending: %v", dirs)
+	}
+}
+
+func TestEstimateCost(t *testing.T) {
+	base := CostInputs{Events: 10_000, Cores: 1}
+	cases := []struct {
+		name string
+		in   CostInputs
+		// rel compares against EstimateCost(base): +1 greater, -1 less,
+		// 0 equal.
+		check func(t *testing.T, got float64)
+	}{
+		{"short-circuit is flat", CostInputs{Events: 1 << 30, Cores: 64, ProvenDRF: true, ConflictsOnly: true},
+			func(t *testing.T, got float64) {
+				if got != EstimateCost(CostInputs{Events: 1, ProvenDRF: true, ConflictsOnly: true}) {
+					t.Errorf("short-circuit cost varies with events: %v", got)
+				}
+				if got >= EstimateCost(base) {
+					t.Errorf("short-circuit %v not << base %v", got, EstimateCost(base))
+				}
+			}},
+		{"oracle doubles may-conflict", CostInputs{Events: 10_000, Cores: 1, Oracle: true},
+			func(t *testing.T, got float64) {
+				if want := 2 * EstimateCost(base); got != want {
+					t.Errorf("oracle cost %v, want %v", got, want)
+				}
+			}},
+		{"proven-drf skips oracle", CostInputs{Events: 10_000, Cores: 1, Oracle: true, ProvenDRF: true},
+			func(t *testing.T, got float64) {
+				if got != EstimateCost(base) {
+					t.Errorf("proven-DRF oracle cost %v, want base %v (tier skips the mirror)", got, EstimateCost(base))
+				}
+			}},
+		{"cores scale mildly", CostInputs{Events: 10_000, Cores: 8},
+			func(t *testing.T, got float64) {
+				b := EstimateCost(base)
+				if got <= b || got > 2*b {
+					t.Errorf("8-core cost %v vs 1-core %v: want mild growth", got, b)
+				}
+			}},
+		{"unknown events get a default", CostInputs{Cores: 1},
+			func(t *testing.T, got float64) {
+				if got <= EstimateCost(base) {
+					t.Errorf("unknown-size cost %v should exceed a small trace's %v", got, EstimateCost(base))
+				}
+			}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.check(t, EstimateCost(tc.in))
+		})
+	}
+}
+
+func TestRoundRobinDispatchOrder(t *testing.T) {
+	now := time.Unix(0, 0)
+	opts := testOpts(&now)
+	opts.ForceRoundRobin = true
+	c := NewCore([]string{"a", "b"}, opts)
+	seedLoads(c, map[string]int{"a": 4, "b": 4})
+	dirs := c.Submit(
+		&Job{ID: 1, Cost: 1},
+		&Job{ID: 2, Cost: 100},
+		&Job{ID: 3, Cost: 50},
+	)
+	if len(dirs) != 3 {
+		t.Fatalf("got %d directives, want 3", len(dirs))
+	}
+	// Submission (ID) order, alternating endpoints — cost ignored.
+	for i, d := range dirs {
+		if d.Job.ID != int64(i+1) {
+			t.Errorf("dispatch %d is job %d, want %d (submission order)", i, d.Job.ID, i+1)
+		}
+	}
+	if dirs[0].Endpoint == dirs[1].Endpoint {
+		t.Errorf("round-robin sent consecutive jobs to %s", dirs[0].Endpoint)
+	}
+}
+
+func TestCostModelPrefersLeastLoaded(t *testing.T) {
+	now := time.Unix(0, 0)
+	c := NewCore([]string{"big", "small"}, testOpts(&now))
+	seedLoads(c, map[string]int{"big": 4, "small": 1})
+	dirs := c.Submit(&Job{ID: 1, Cost: 100})
+	if len(dirs) != 1 || dirs[0].Endpoint != "big" {
+		t.Fatalf("first long job went %v, want big (4 slots dilute the cost)", dirs)
+	}
+}

@@ -1,0 +1,171 @@
+package simtest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomConfig generates a seeded scenario: 2-5 endpoints of mixed slot
+// counts, 5-60 jobs of mixed costs/priorities/arrival times, sometimes
+// mis-estimated, and (when allowDeath) some endpoints dying mid-run with
+// at least one survivor. Everything derives from rng, so a seed fully
+// determines the scenario.
+func randomConfig(rng *rand.Rand, allowDeath bool) Config {
+	neps := 2 + rng.Intn(4)
+	cfg := Config{}
+	survivors := 0
+	for i := 0; i < neps; i++ {
+		e := Endpoint{
+			Name:  fmt.Sprintf("ep%d", i),
+			Slots: 1 + rng.Intn(4),
+		}
+		// Kill some endpoints, but always keep the first alive so the
+		// fleet can finish the work.
+		if allowDeath && i > 0 && rng.Intn(3) == 0 {
+			e.DieAt = 1 + rng.Float64()*40
+		} else {
+			survivors++
+		}
+		cfg.Endpoints = append(cfg.Endpoints, e)
+	}
+	njobs := 5 + rng.Intn(56)
+	for j := 0; j < njobs; j++ {
+		job := Job{
+			ID:   int64(j + 1),
+			Cost: 1 + rng.Float64()*30,
+		}
+		if rng.Intn(4) == 0 {
+			job.Priority = rng.Intn(3)
+		}
+		if rng.Intn(5) == 0 {
+			// Mis-estimated: true service up to 4x the prediction (or
+			// down to a quarter), driving steals.
+			job.Units = job.Cost * (0.25 + rng.Float64()*3.75)
+		}
+		if rng.Intn(3) == 0 {
+			job.SubmitAt = rng.Float64() * 20
+		}
+		cfg.Jobs = append(cfg.Jobs, job)
+	}
+	// A third of the scenarios use a deeper pipeline, exercising steals
+	// harder.
+	if rng.Intn(3) == 0 {
+		cfg.Opts.PipelineDepth = 1 + rng.Intn(4)
+	}
+	_ = survivors
+	return cfg
+}
+
+// TestPropertyExactlyOnce drives many seeded random mixes through
+// steal/preempt/failover and asserts the exactly-once guarantee: every
+// job completes exactly once, or — only when endpoint deaths exhausted
+// its fault budget — fails permanently, never both, never twice.
+func TestPropertyExactlyOnce(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			cfg := randomConfig(rng, true)
+			r := Run(cfg)
+			failed := make(map[int64]bool, len(r.Failed))
+			for _, id := range r.Failed {
+				if failed[id] {
+					t.Errorf("job %d failed twice", id)
+				}
+				failed[id] = true
+			}
+			for _, j := range cfg.Jobs {
+				n := r.Completions[j.ID]
+				switch {
+				case failed[j.ID] && n != 0:
+					t.Errorf("job %d both failed and completed %d times", j.ID, n)
+				case !failed[j.ID] && n != 1:
+					t.Errorf("job %d completed %d times, want exactly 1", j.ID, n)
+				}
+			}
+			assertNoIdle(t, r)
+		})
+	}
+}
+
+// TestPropertyRelabelInvariance is the metamorphic check: renaming every
+// endpoint (same order, same specs) must not change any scheduling
+// decision — identical makespan, identical per-job finish times, and the
+// per-endpoint completion lists mapped exactly through the renaming.
+func TestPropertyRelabelInvariance(t *testing.T) {
+	for seed := int64(100); seed < 120; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			cfg := randomConfig(rng, true)
+			relabeled := cfg
+			relabeled.Endpoints = append([]Endpoint(nil), cfg.Endpoints...)
+			rename := make(map[string]string, len(cfg.Endpoints))
+			for i := range relabeled.Endpoints {
+				old := relabeled.Endpoints[i].Name
+				relabeled.Endpoints[i].Name = fmt.Sprintf("zz-%d-renamed", i)
+				rename[old] = relabeled.Endpoints[i].Name
+			}
+			a, b := Run(cfg), Run(relabeled)
+			if a.Makespan != b.Makespan {
+				t.Fatalf("relabeling changed makespan: %v -> %v", a.Makespan, b.Makespan)
+			}
+			for id, at := range a.FinishAt {
+				if bt, ok := b.FinishAt[id]; !ok || bt != at {
+					t.Errorf("relabeling moved job %d finish: %v -> %v", id, at, bt)
+				}
+			}
+			for name, ids := range a.ByEndpoint {
+				got := b.ByEndpoint[rename[name]]
+				if len(got) != len(ids) {
+					t.Errorf("endpoint %s completed %d jobs, renamed twin %d", name, len(ids), len(got))
+					continue
+				}
+				for i := range ids {
+					if got[i] != ids[i] {
+						t.Errorf("endpoint %s completion %d: job %d vs %d", name, i, ids[i], got[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPropertyWorkConserving asserts the LJF invariant directly over
+// random mixes without failures: a healthy endpoint is never left below
+// capacity while jobs sit pending. (The harness checks after every
+// event; any violation lands in IdleViolations.)
+func TestPropertyWorkConserving(t *testing.T) {
+	for seed := int64(200); seed < 230; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			cfg := randomConfig(rng, false)
+			r := Run(cfg)
+			assertExactlyOnce(t, r)
+			assertNoIdle(t, r)
+		})
+	}
+}
+
+// TestPropertyModesAgreeOnCompletion runs the same mixes under the cost
+// model and the forced round-robin baseline: policy choice may change
+// placement and makespan, never the completed set.
+func TestPropertyModesAgreeOnCompletion(t *testing.T) {
+	for seed := int64(300); seed < 315; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			cfg := randomConfig(rng, false)
+			rrCfg := cfg
+			rrCfg.Opts.ForceRoundRobin = true
+			a, b := Run(cfg), Run(rrCfg)
+			assertExactlyOnce(t, a)
+			assertExactlyOnce(t, b)
+			if b.Steals != 0 || b.Preempts != 0 {
+				t.Errorf("round-robin mode stole %d / preempted %d; degraded mode must not plan", b.Steals, b.Preempts)
+			}
+		})
+	}
+}

@@ -142,7 +142,14 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	found, canceled := s.cancelJob(id)
+	// Only the known requeue-safe reason is honored; anything else keeps
+	// the default operator-cancel semantics (which clients must not
+	// retry elsewhere).
+	var reason string
+	if r.URL.Query().Get("reason") == "preempt" {
+		reason = CancelReasonPreempt
+	}
+	found, canceled := s.cancelJob(id, reason)
 	if !found {
 		writeError(w, &httpError{http.StatusNotFound, fmt.Sprintf("no job %q", id), nil})
 		return

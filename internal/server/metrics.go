@@ -28,6 +28,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE arcsimd_workers gauge\n")
 	fmt.Fprintf(w, "arcsimd_workers %d\n", s.cfg.Workers)
 
+	fmt.Fprintf(w, "# HELP arcsimd_busy_workers Workers executing a simulation right now.\n")
+	fmt.Fprintf(w, "# TYPE arcsimd_busy_workers gauge\n")
+	fmt.Fprintf(w, "arcsimd_busy_workers %d\n", s.running.Load())
+
 	fmt.Fprintf(w, "# HELP arcsimd_queue_depth Jobs waiting in the bounded queue.\n")
 	fmt.Fprintf(w, "# TYPE arcsimd_queue_depth gauge\n")
 	fmt.Fprintf(w, "arcsimd_queue_depth %d\n", len(s.queue))

@@ -81,6 +81,12 @@ func States() []string {
 // honored rather than failed over.
 const CancelReasonDrain = "daemon draining"
 
+// CancelReasonPreempt is the Error carried by jobs canceled with
+// ?reason=preempt: the scheduler displaced the job to make room for
+// higher-priority work and will resubmit it, so clients treat it as
+// requeue-safe (like a drain) rather than as an operator cancel.
+const CancelReasonPreempt = "preempted for requeue"
+
 // JobView is the client-facing snapshot of one job.
 type JobView struct {
 	ID      string    `json:"id"`
@@ -550,8 +556,10 @@ type BatchItem struct {
 }
 
 // cancelJob cancels a queued or running job. Terminal jobs are left
-// untouched (reported via the bool).
-func (s *Server) cancelJob(id string) (found, canceled bool) {
+// untouched (reported via the bool). A non-empty reason (e.g.
+// CancelReasonPreempt) replaces the default cancel cause, so the final
+// state tells clients why the job was canceled.
+func (s *Server) cancelJob(id, reason string) (found, canceled bool) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	if !ok {
@@ -564,13 +572,21 @@ func (s *Server) cancelJob(id string) (found, canceled bool) {
 	case StateQueued:
 		// The worker's process() skips jobs that left StateQueued; mark
 		// it canceled right here so the client sees it immediately.
-		j.cancel(errors.New("canceled while queued"))
-		s.finish(j, nil, errors.New("canceled while queued"), StateCanceled)
+		cause := reason
+		if cause == "" {
+			cause = "canceled while queued"
+		}
+		j.cancel(errors.New(cause))
+		s.finish(j, nil, errors.New(cause), StateCanceled)
 		return true, true
 	case StateRunning:
 		// The run's context unwinds sim.RunContext; the worker
-		// finalizes the state.
-		j.cancel(errors.New("canceled by client"))
+		// finalizes the state with this cause.
+		cause := reason
+		if cause == "" {
+			cause = "canceled by client"
+		}
+		j.cancel(errors.New(cause))
 		return true, true
 	default:
 		return true, false

@@ -331,3 +331,66 @@ func TestSubmitValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestCancelReasonPreempt covers the scheduler's requeue-safe cancel:
+// ?reason=preempt lands CancelReasonPreempt in the job's final Error
+// for both queued and running jobs, unknown reasons keep the default
+// operator-cancel causes, and arcsimd_busy_workers tracks execution.
+func TestCancelReasonPreempt(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 4})
+	release := make(chan struct{})
+	srv.runJob = func(ctx context.Context, spec JobSpec) (*sim.Result, error) {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: %v", sim.ErrCanceled, context.Cause(ctx))
+		case <-release:
+			return &sim.Result{Protocol: spec.Protocol, Workload: spec.Workload, Cores: spec.Cores, Cycles: 7}, nil
+		}
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer close(release)
+	defer srv.Drain(context.Background()) //nolint:errcheck
+
+	_, j1 := postJob(t, ts, tinySpec()) // occupies the worker
+	waitState(t, ts, j1.ID, StateRunning)
+	_, j2 := postJob(t, ts, tinySpec()) // queued
+	_, j3 := postJob(t, ts, tinySpec()) // queued
+
+	// The busy gauge reflects the running simulation.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "arcsimd_busy_workers 1") {
+		t.Fatalf("metrics missing arcsimd_busy_workers 1:\n%s", metrics)
+	}
+
+	// Preempt the queued job: its final Error names the preemption.
+	if resp, err := http.Post(ts.URL+"/v1/jobs/"+j2.ID+"/cancel?reason=preempt", "", nil); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("preempt queued: %v %v", resp, err)
+	}
+	if v := waitState(t, ts, j2.ID, StateCanceled); v.Error != CancelReasonPreempt {
+		t.Fatalf("queued preempt error = %q, want %q", v.Error, CancelReasonPreempt)
+	}
+
+	// An unrecognized reason falls back to the operator-cancel cause
+	// (j3 is still queued: the worker is occupied by j1).
+	if resp, err := http.Post(ts.URL+"/v1/jobs/"+j3.ID+"/cancel?reason=because", "", nil); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel with bogus reason: %v %v", resp, err)
+	}
+	if v := waitState(t, ts, j3.ID, StateCanceled); v.Error != "canceled while queued" {
+		t.Fatalf("bogus-reason error = %q, want the default operator cause", v.Error)
+	}
+
+	// Preempt the running job: the cause unwinds through the run context.
+	if resp, err := http.Post(ts.URL+"/v1/jobs/"+j1.ID+"/cancel?reason=preempt", "", nil); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("preempt running: %v %v", resp, err)
+	}
+	if v := waitState(t, ts, j1.ID, StateCanceled); v.Error != CancelReasonPreempt {
+		t.Fatalf("running preempt error = %q, want %q", v.Error, CancelReasonPreempt)
+	}
+}
