@@ -18,6 +18,7 @@
 //	arcsimctl [-server URL] list
 //	arcsimctl [-server URL] health
 //	arcsimctl load http://a:8080 http://b:8080
+//	arcsimctl mesh http://a:8080 http://b:8081
 package main
 
 import (
@@ -30,6 +31,7 @@ import (
 	"os"
 
 	"arcsim/internal/client"
+	"arcsim/internal/mesh"
 	"arcsim/internal/sched"
 	"arcsim/internal/sched/fleet"
 	"arcsim/internal/server"
@@ -38,7 +40,7 @@ import (
 func main() {
 	serverURL := flag.String("server", "http://localhost:8080", "arcsimd base URL")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: arcsimctl [-server URL] <submit|batch|get|result|watch|cancel|list|health|load> ...\n")
+		fmt.Fprintf(os.Stderr, "usage: arcsimctl [-server URL] <submit|batch|get|result|watch|cancel|list|health|load|mesh> ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -70,6 +72,8 @@ func main() {
 		err = health(ctx, c)
 	case "load":
 		err = load(ctx, c, *serverURL, args)
+	case "mesh":
+		err = meshStatus(ctx, c, *serverURL, args)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -298,6 +302,59 @@ func load(ctx context.Context, c *client.Client, def string, args []string) erro
 	}
 	if degraded > 0 {
 		return fmt.Errorf("%d of %d endpoint(s) unprobeable (scheduler would degrade to round-robin)", degraded, len(endpoints))
+	}
+	return nil
+}
+
+// meshStatus renders each endpoint's /v1/mesh view: its rendezvous
+// node id, cumulative fetch counters, and one line per peer with its
+// benching state. Endpoints default to -server; a daemon running
+// without -peers, or an unreachable one, counts as degraded and the
+// command exits nonzero — same contract as load.
+func meshStatus(ctx context.Context, c *client.Client, def string, args []string) error {
+	endpoints := args
+	if len(endpoints) == 0 {
+		endpoints = []string{def}
+	}
+	type view struct {
+		Self     string            `json:"self"`
+		Healthy  int               `json:"healthy"`
+		Peers    []mesh.PeerStatus `json:"peers"`
+		Counters mesh.Counters     `json:"counters"`
+	}
+	degraded := 0
+	for _, ep := range endpoints {
+		ec := c
+		if ep != def {
+			ec = client.New(ep, client.Options{})
+		}
+		raw, err := ec.MeshStatus(ctx)
+		var v view
+		if err == nil {
+			err = json.Unmarshal(raw, &v)
+		}
+		if err != nil {
+			degraded++
+			fmt.Printf("%s: probe failed: %v\n", ep, err)
+			continue
+		}
+		self := v.Self
+		if self == "" {
+			self = "(unplaced)"
+		}
+		fmt.Printf("%s  self=%s  peers %d/%d up  fetched %d blobs / %d bytes  negatives %d  rejects %d  faults %d\n",
+			ep, self, v.Healthy, len(v.Peers), v.Counters.Fetches, v.Counters.Bytes,
+			v.Counters.Negatives, v.Counters.Rejects, v.Counters.Faults)
+		for _, p := range v.Peers {
+			state := "up"
+			if !p.Healthy {
+				state = fmt.Sprintf("benched (%s left, %d fail(s))", p.CooldownLeft, p.Fails)
+			}
+			fmt.Printf("  %-28s %s\n", p.Node, state)
+		}
+	}
+	if degraded > 0 {
+		return fmt.Errorf("%d of %d endpoint(s) without a mesh view", degraded, len(endpoints))
 	}
 	return nil
 }

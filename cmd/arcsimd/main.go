@@ -8,6 +8,7 @@
 //
 //	arcsimd -addr :8080 -store ./results
 //	arcsimd -addr :8080 -store ./results -workers 8 -queue 128 -v
+//	arcsimd -addr :8081 -store ./results-b -peers host-a:8080 -mesh-self host-b:8081
 //
 // See README "Running as a service" for the API and a curl session;
 // cmd/arcsimctl is the matching client. SIGINT/SIGTERM drain gracefully:
@@ -22,9 +23,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"arcsim/internal/mesh"
 	"arcsim/internal/server"
 	"arcsim/internal/store"
 )
@@ -37,6 +40,10 @@ func main() {
 		queue    = flag.Int("queue", 64, "bounded job queue depth (full queue returns 429)")
 		drainFor = flag.Duration("drain-timeout", 10*time.Minute, "max wait for running jobs on shutdown")
 		tier     = flag.Bool("tier", true, "analyze-first tiered execution: record verdicts, short-circuit conflicts-only proven-DRF jobs, phase-parallel simulation")
+		peers    = flag.String("peers", "", "comma-separated peer daemon addresses (host:port or URL): federate the result store — local misses read through to healthy peers before simulating (requires -store)")
+		meshSelf = flag.String("mesh-self", "", "this daemon's advertised address for rendezvous key ownership; every peer must use the same string (empty = unplaced: fetched blobs are all kept durably)")
+		meshL2   = flag.Int64("mesh-l2-bytes", 256<<20, "byte budget for peer-fetched blobs of keys this daemon does not own (LRU-compacted; 0 = unbounded)")
+		meshPoll = flag.Duration("mesh-probe", 15*time.Second, "peer liveness probe interval")
 		verbose  = flag.Bool("v", false, "log each simulation run")
 	)
 	flag.Parse()
@@ -60,6 +67,28 @@ func main() {
 		cfg.Store = st
 	} else {
 		logger.Printf("no -store: results live only as long as this process")
+	}
+	if *peers != "" {
+		if cfg.Store == nil {
+			logger.Fatal("-peers requires -store: the mesh federates on-disk stores")
+		}
+		m := mesh.New(mesh.Config{
+			Self:    *meshSelf,
+			Peers:   strings.Split(*peers, ","),
+			Store:   cfg.Store,
+			Logf:    logger.Printf,
+			Timeout: 2 * time.Second,
+		})
+		if *meshSelf != "" {
+			if err := cfg.Store.SetEvictLimit(*meshL2); err != nil {
+				logger.Fatal(err)
+			}
+		}
+		cfg.Mesh = m
+		probeCtx, stopProbes := context.WithCancel(context.Background())
+		defer stopProbes()
+		go m.ProbeLoop(probeCtx, *meshPoll)
+		logger.Printf("mesh: %d peer(s), self=%q, L2 budget %d bytes", m.Peers(), m.Self(), *meshL2)
 	}
 
 	srv := server.New(cfg)

@@ -212,6 +212,10 @@ func schedExec(sch *fleet.Scheduler, cfg bench.Config, runner **bench.Runner) fu
 			// Analysis errors (engine specials outside the catalog) leave
 			// Events at zero: EstimateCost prices unknowns mid-sized.
 		}
+		// A result any endpoint already holds costs one mesh fetch, not a
+		// simulation: price it near zero so the planner packs real work
+		// onto the fleet and lets warmed keys land anywhere.
+		in.PeerCached = sch.PeerHolds(ctx, cfg.CacheKey(spec))
 		res, err := sch.Run(ctx, client.JobSpec{
 			Workload:   spec.Workload,
 			Protocol:   spec.Proto,

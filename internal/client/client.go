@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"arcsim/internal/mesh"
 	"arcsim/internal/server"
 	"arcsim/internal/sim"
 )
@@ -333,6 +334,36 @@ func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
 	var raw []byte
 	err := c.once(ctx, http.MethodGet, "/metrics", nil, &raw)
 	return raw, err
+}
+
+// MeshStatus fetches the daemon's /v1/mesh view (node id, per-peer
+// health, fetch counters) raw. One shot, no retry, like the other
+// probes: its consumer is a status table, not a control loop.
+func (c *Client) MeshStatus(ctx context.Context) ([]byte, error) {
+	var raw []byte
+	err := c.once(ctx, http.MethodGet, "/v1/mesh", nil, &raw)
+	return raw, err
+}
+
+// StoreHead reports whether the daemon's store holds the canonical
+// cache key (bench.Config.CacheKey), via the mesh blob API's HEAD.
+// Like Health it is a probe — one shot, no retry — because its
+// consumer (the scheduler pricing a job near zero when any fleet
+// member already holds its result) would rather miss the discount
+// than stall a planning pass on a retry loop. Every failure mode
+// reads as "not cached".
+func (c *Client) StoreHead(ctx context.Context, key string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, c.base+mesh.PathPrefix+mesh.EscapeKey(key), nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.unary.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
 }
 
 // Follow streams a job's SSE lifecycle until it reaches a terminal

@@ -15,6 +15,7 @@ import (
 
 	"arcsim/internal/server"
 	"arcsim/internal/sim"
+	"arcsim/internal/store"
 )
 
 // fastRetry keeps test backoffs in the microsecond range.
@@ -777,5 +778,48 @@ func TestClientMetrics(t *testing.T) {
 		if !strings.Contains(string(raw), want) {
 			t.Errorf("metrics missing %s:\n%s", want, raw)
 		}
+	}
+}
+
+// TestStoreHead: the one-shot HEAD probe against a daemon's store —
+// 200 for a held key, false for absent keys, storeless daemons, and
+// dead endpoints.
+func TestStoreHead(t *testing.T) {
+	st, _, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	const key = "v2/scale=0.25/seed=1/demo/arc/8"
+	if err := st.Put(key, &sim.Result{Workload: "demo", Protocol: "arc", Cores: 8}); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Workers: 1, QueueDepth: 4, Store: st})
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Drain(ctx) //nolint:errcheck
+	})
+	c := New(ts.URL, fastRetry())
+	ctx := context.Background()
+	if !c.StoreHead(ctx, key) {
+		t.Fatal("StoreHead false for a held key")
+	}
+	if c.StoreHead(ctx, "v2/scale=0.25/seed=1/absent/arc/8") {
+		t.Fatal("StoreHead true for an absent key")
+	}
+
+	_, noStore := newDaemon(t, instantRun)
+	if New(noStore.URL, fastRetry()).StoreHead(ctx, key) {
+		t.Fatal("StoreHead true on a storeless daemon")
+	}
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	if New(dead.URL, fastRetry()).StoreHead(ctx, key) {
+		t.Fatal("StoreHead true on a dead endpoint")
 	}
 }

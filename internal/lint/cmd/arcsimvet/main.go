@@ -22,7 +22,7 @@ import (
 // policy is the default check-to-directory assignment, mirroring the
 // repo's concurrency and determinism contracts.
 var policy = map[string][]string{
-	"mutexguard":  {"internal/server", "internal/client", "internal/store", "internal/bench", "internal/sched", "internal/sched/fleet"},
+	"mutexguard":  {"internal/server", "internal/client", "internal/store", "internal/mesh", "internal/bench", "internal/sched", "internal/sched/fleet"},
 	"determinism": {"internal/sim", "internal/core"},
 }
 

@@ -1,0 +1,420 @@
+package mesh
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"arcsim/internal/machine"
+	"arcsim/internal/protocols"
+	"arcsim/internal/sim"
+	"arcsim/internal/store"
+	"arcsim/internal/workload"
+)
+
+func smallResult(t *testing.T) *sim.Result {
+	t.Helper()
+	spec, ok := workload.ByName("blackscholes")
+	if !ok {
+		t.Fatal("blackscholes not in catalog")
+	}
+	tr := spec.Build(workload.Params{Threads: 4, Seed: 1, Scale: 0.05})
+	m, p, err := protocols.Build(protocols.ARC, machine.Default(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(m, p, tr, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func openStore(t *testing.T) *store.Store {
+	t.Helper()
+	s, _, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// blobHandler serves a store over the mesh wire protocol the same way
+// internal/server does, so these tests pin the protocol from the
+// fetching side.
+func blobHandler(st *store.Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+PathPrefix+"{key...}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		blob, info, ok := st.GetBlob(key)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set(HeaderSHA256, info.SHA256)
+		w.Header().Set(HeaderEncoding, info.Enc)
+		w.Header().Set(HeaderStoreVersion, strconv.Itoa(store.FormatVersion))
+		w.Write(blob) //nolint:errcheck
+	})
+	return mux
+}
+
+const testKey = "v2/scale=0.05/seed=1/blackscholes/arc/4"
+
+func TestLookupFetchesVerifiesPersists(t *testing.T) {
+	res := smallResult(t)
+	remote := openStore(t)
+	if err := remote.Put(testKey, res); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(blobHandler(remote))
+	defer ts.Close()
+
+	local := openStore(t)
+	m := New(Config{Peers: []string{ts.URL}, Store: local})
+	got, ok := m.Lookup(testKey)
+	if !ok {
+		t.Fatal("Lookup missed a key the peer holds")
+	}
+	want, _ := json.Marshal(res)
+	have, _ := json.Marshal(got)
+	if string(want) != string(have) {
+		t.Fatal("fetched result not byte-identical")
+	}
+	// The mesh self-warmed: the key is now local, durable (no Self
+	// configured, so this daemon keeps everything it fetches).
+	if !local.Has(testKey) {
+		t.Fatal("fetched blob not persisted locally")
+	}
+	if keys, _ := local.EvictableStats(); keys != 0 {
+		t.Fatal("unplaced daemon filed fetch as evictable")
+	}
+	c := m.Counters()
+	if c.Fetches != 1 || c.Bytes == 0 || c.Rejects != 0 || c.Faults != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+	// The Cache wrapper now answers from the local store without
+	// another peer round trip.
+	if _, ok := NewCache(m).Get(testKey); !ok {
+		t.Fatal("cache missed after self-warm")
+	}
+	if c := m.Counters(); c.Fetches != 1 {
+		t.Fatalf("local hit went back to the peer: %+v", c)
+	}
+}
+
+func TestLookupKeySurvivesEscaping(t *testing.T) {
+	// Keys carry '=', '.', '+' and a variable segment count; the escaped
+	// path must decode to the identical key on the server side.
+	key := "v2/scale=0.05/seed=42/splash2.barnes+hut/arc-opt/16/aim32/oracle"
+	res := smallResult(t)
+	remote := openStore(t)
+	if err := remote.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(blobHandler(remote))
+	defer ts.Close()
+	local := openStore(t)
+	m := New(Config{Peers: []string{ts.URL}, Store: local})
+	if _, ok := m.Lookup(key); !ok {
+		t.Fatalf("key %q did not survive URL escaping", key)
+	}
+}
+
+// TestLookupGarbageBlob: the peer streams bytes that are not a valid
+// blob. Whether the checksum header matches the garbage or not, the
+// lookup must reject without persisting anything.
+func TestLookupGarbageBlob(t *testing.T) {
+	cases := []struct {
+		name     string
+		checksum func(body []byte) string
+	}{
+		{"checksum mismatch", func([]byte) string { return store.HexSHA256([]byte("something else")) }},
+		{"checksum matches garbage", store.HexSHA256},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body := []byte("these are not the bytes you are looking for")
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set(HeaderSHA256, tc.checksum(body))
+				w.Header().Set(HeaderEncoding, store.EncGzip)
+				w.Header().Set(HeaderStoreVersion, strconv.Itoa(store.FormatVersion))
+				w.Write(body) //nolint:errcheck
+			}))
+			defer ts.Close()
+			local := openStore(t)
+			m := New(Config{Peers: []string{ts.URL}, Store: local})
+			if _, ok := m.Lookup(testKey); ok {
+				t.Fatal("garbage blob accepted")
+			}
+			if local.Len() != 0 {
+				t.Fatal("garbage blob persisted")
+			}
+			if c := m.Counters(); c.Rejects != 1 || c.Fetches != 0 {
+				t.Fatalf("counters %+v, want 1 reject", c)
+			}
+			// Serving garbage is a data problem, not a liveness problem:
+			// the peer stays in rotation.
+			if m.Healthy() != 1 {
+				t.Fatal("peer benched for a data reject")
+			}
+		})
+	}
+}
+
+// TestLookupHungPeer: a peer that accepts the connection and never
+// answers costs one deadline, gets benched, and the daemon falls back
+// to local simulation (a miss here).
+func TestLookupHungPeer(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Hang until the fetcher gives up (its deadline cancels the
+		// request context, which also lets ts.Close() finish).
+		<-r.Context().Done()
+	}))
+	defer ts.Close()
+
+	local := openStore(t)
+	m := New(Config{Peers: []string{ts.URL}, Store: local, Timeout: 50 * time.Millisecond})
+	start := time.Now()
+	if _, ok := m.Lookup(testKey); ok {
+		t.Fatal("hung peer produced a result")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("lookup took %v; the deadline did not bound the hang", d)
+	}
+	if c := m.Counters(); c.Faults != 1 {
+		t.Fatalf("counters %+v, want 1 fault", c)
+	}
+	if m.Healthy() != 0 {
+		t.Fatal("hung peer not benched")
+	}
+}
+
+// TestLookupVersionMismatch: a peer advertising a newer store format
+// is rejected before its body is trusted, and nothing persists.
+func TestLookupVersionMismatch(t *testing.T) {
+	res := smallResult(t)
+	remote := openStore(t)
+	if err := remote.Put(testKey, res); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		blob, info, ok := remote.GetBlob(testKey)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set(HeaderSHA256, info.SHA256)
+		w.Header().Set(HeaderEncoding, info.Enc)
+		w.Header().Set(HeaderStoreVersion, strconv.Itoa(store.FormatVersion+7))
+		w.Write(blob) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	local := openStore(t)
+	m := New(Config{Peers: []string{ts.URL}, Store: local})
+	if _, ok := m.Lookup(testKey); ok {
+		t.Fatal("newer-version blob accepted")
+	}
+	if local.Len() != 0 {
+		t.Fatal("newer-version blob persisted")
+	}
+	if c := m.Counters(); c.Rejects != 1 {
+		t.Fatalf("counters %+v, want 1 reject", c)
+	}
+	if m.Healthy() != 1 {
+		t.Fatal("version skew benched a healthy peer")
+	}
+}
+
+// TestLookupAllPeersDown: once every peer is benched, the hot path is
+// purely local — zero network calls, effectively zero added latency.
+func TestLookupAllPeersDown(t *testing.T) {
+	var requests atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	local := openStore(t)
+	m := New(Config{Peers: []string{ts.URL}, Store: local})
+	if _, ok := m.Lookup(testKey); ok {
+		t.Fatal("erroring peer produced a result")
+	}
+	if got := requests.Load(); got != 1 {
+		t.Fatalf("first lookup sent %d requests, want 1", got)
+	}
+	if m.Healthy() != 0 {
+		t.Fatal("500-ing peer not benched")
+	}
+	// Benched fleet: repeated misses never touch the network.
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		if _, ok := m.Lookup(testKey); ok {
+			t.Fatal("benched mesh produced a result")
+		}
+	}
+	if got := requests.Load(); got != 1 {
+		t.Fatalf("benched mesh still sent requests: %d total", got)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("100 benched lookups took %v; the miss path is not local", d)
+	}
+}
+
+// TestLookupNegative: a healthy peer without the key is a negative
+// lookup, not a fault — it stays in rotation.
+func TestLookupNegative(t *testing.T) {
+	remote := openStore(t)
+	ts := httptest.NewServer(blobHandler(remote))
+	defer ts.Close()
+	local := openStore(t)
+	m := New(Config{Peers: []string{ts.URL}, Store: local})
+	if _, ok := m.Lookup(testKey); ok {
+		t.Fatal("empty peer produced a result")
+	}
+	if c := m.Counters(); c.Negatives != 1 || c.Faults != 0 {
+		t.Fatalf("counters %+v, want 1 negative", c)
+	}
+	if m.Healthy() != 1 {
+		t.Fatal("negative lookup benched the peer")
+	}
+}
+
+// TestProbeRecoversPeer: a benched peer that comes back is restored by
+// the next probe instead of waiting out its cooldown.
+func TestProbeRecoversPeer(t *testing.T) {
+	var down atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	local := openStore(t)
+	m := New(Config{Peers: []string{ts.URL}, Store: local, CooldownMax: time.Hour, CooldownBase: time.Hour})
+	down.Store(true)
+	m.Probe(t.Context())
+	if m.Healthy() != 0 {
+		t.Fatal("failing probe left the peer in rotation")
+	}
+	down.Store(false)
+	m.Probe(t.Context())
+	if m.Healthy() != 1 {
+		t.Fatal("successful probe did not restore the peer")
+	}
+	if c := m.Counters(); c.Probes != 2 {
+		t.Fatalf("probes=%d, want 2", c.Probes)
+	}
+	st := m.Status()
+	if len(st) != 1 || !st[0].Healthy || st[0].Fails != 0 {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+// TestRendezvousAgreement: every daemon computes the same owner for a
+// key regardless of which seat it occupies, and ownership spreads
+// across the fleet rather than collapsing onto one node.
+func TestRendezvousAgreement(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1"}
+	st := openStore(t)
+	views := make([]*Mesh, len(nodes))
+	for i, self := range nodes {
+		var peers []string
+		for j, n := range nodes {
+			if j != i {
+				peers = append(peers, n)
+			}
+		}
+		views[i] = New(Config{Self: self, Peers: peers, Store: st})
+	}
+	ownerCounts := map[string]int{}
+	for k := 0; k < 64; k++ {
+		key := fmt.Sprintf("v2/scale=0.1/seed=%d/blackscholes/arc/8", k)
+		owner := views[0].Owner(key)
+		for _, v := range views[1:] {
+			if got := v.Owner(key); got != owner {
+				t.Fatalf("views disagree on owner of %s: %s vs %s", key, owner, got)
+			}
+		}
+		ownerCounts[owner]++
+		// Exactly one view claims ownership.
+		owns := 0
+		for i, v := range views {
+			if v.Owns(key) {
+				if nodes[i] != owner {
+					t.Fatalf("%s claims %s owned by %s", nodes[i], key, owner)
+				}
+				owns++
+			}
+		}
+		if owns != 1 {
+			t.Fatalf("%d views own %s", owns, key)
+		}
+	}
+	for _, n := range nodes {
+		if ownerCounts[n] == 0 {
+			t.Fatalf("node %s owns nothing across 64 keys: %v", n, ownerCounts)
+		}
+	}
+}
+
+// TestFetchTiering: a fetch for a key someone else owns lands in the
+// evictable L2; a fetch for an owned key lands durable.
+func TestFetchTiering(t *testing.T) {
+	res := smallResult(t)
+	remote := openStore(t)
+	ts := httptest.NewServer(blobHandler(remote))
+	defer ts.Close()
+	peerNode := nodeID(ts.URL)
+	const selfNode = "self.example:9090"
+
+	// Find one key owned by the peer and one owned by self.
+	var peerKey, selfKey string
+	for i := 0; peerKey == "" || selfKey == ""; i++ {
+		if i > 10000 {
+			t.Fatal("could not find keys for both owners")
+		}
+		key := fmt.Sprintf("v2/scale=0.05/seed=%d/blackscholes/arc/4", i)
+		if score(key, peerNode) > score(key, selfNode) {
+			if peerKey == "" {
+				peerKey = key
+			}
+		} else if selfKey == "" {
+			selfKey = key
+		}
+	}
+	for _, k := range []string{peerKey, selfKey} {
+		if err := remote.Put(k, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	local := openStore(t)
+	m := New(Config{Self: selfNode, Peers: []string{ts.URL}, Store: local})
+	if _, ok := m.Lookup(peerKey); !ok {
+		t.Fatal("peer-owned fetch missed")
+	}
+	if keys, _ := local.EvictableStats(); keys != 1 {
+		t.Fatalf("peer-owned key not in L2: evictable=%d", keys)
+	}
+	if _, ok := m.Lookup(selfKey); !ok {
+		t.Fatal("self-owned fetch missed")
+	}
+	if keys, _ := local.EvictableStats(); keys != 1 {
+		t.Fatalf("self-owned key filed as evictable: evictable=%d", keys)
+	}
+	if local.Len() != 2 {
+		t.Fatalf("store has %d entries, want 2", local.Len())
+	}
+}

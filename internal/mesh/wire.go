@@ -1,0 +1,63 @@
+package mesh
+
+import (
+	"hash/fnv"
+	"net/url"
+	"strings"
+)
+
+// Wire protocol for the federated blob API. The server side (the
+// handlers in internal/server) and the fetch side (Mesh.Lookup, plus
+// client.StoreHead for out-of-process schedulers) share these so the
+// two cannot drift.
+const (
+	// PathPrefix is the blob API mount point. GET streams a stored blob
+	// exactly as it sits on disk; HEAD answers existence without a body.
+	// The key follows the prefix as escaped path segments (EscapeKey).
+	PathPrefix = "/v1/store/"
+
+	// HeaderSHA256 carries the hex SHA-256 of the response body (the
+	// stored, possibly compressed bytes). The fetcher re-hashes and
+	// rejects mismatches before anything touches its disk.
+	HeaderSHA256 = "Arcsim-Blob-Sha256"
+
+	// HeaderEncoding carries the blob's on-disk encoding ("" for raw
+	// envelope JSON, store.EncGzip for compressed).
+	HeaderEncoding = "Arcsim-Blob-Encoding"
+
+	// HeaderStoreVersion carries the serving store's format version. A
+	// fetcher that sees a newer version than its own binary understands
+	// rejects the blob without parsing it.
+	HeaderStoreVersion = "Arcsim-Store-Version"
+)
+
+// EscapeKey encodes a canonical cache key for use after PathPrefix.
+// Keys are slash-separated (`v2/scale=0.05/seed=1/...`); each segment
+// is path-escaped individually so the slashes keep their structural
+// meaning and everything else survives URL parsing byte-for-byte.
+// net/http's wildcard router decodes the segments back on the server.
+func EscapeKey(key string) string {
+	segs := strings.Split(key, "/")
+	for i, s := range segs {
+		segs[i] = url.PathEscape(s)
+	}
+	return strings.Join(segs, "/")
+}
+
+// BlobURL returns the full fetch URL for key on a peer's base URL.
+func BlobURL(base, key string) string {
+	return strings.TrimSuffix(base, "/") + PathPrefix + EscapeKey(key)
+}
+
+// score is the rendezvous (highest-random-weight) hash of a key/node
+// pair. Every daemon ranks the same nodes in the same order for a
+// given key, so ownership is agreed fleet-wide with zero coordination
+// and minimal churn when the peer set changes: adding or removing one
+// node only moves the keys that node wins.
+func score(key, node string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))  //nolint:errcheck // fnv never fails
+	h.Write([]byte{0})    //nolint:errcheck
+	h.Write([]byte(node)) //nolint:errcheck
+	return h.Sum64()
+}

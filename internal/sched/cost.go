@@ -22,6 +22,11 @@ type CostInputs struct {
 	// outputs, so a tiering daemon answers ProvenDRF jobs with a
 	// synthesized result instead of simulating.
 	ConflictsOnly bool
+	// PeerCached reports that some healthy fleet member already holds
+	// the job's canonical result (a StoreHead probe answered 200). The
+	// mesh then serves the job with one verified blob fetch instead of
+	// a simulation, whoever it lands on.
+	PeerCached bool
 }
 
 // Cost-model constants. The absolute scale is arbitrary (the scheduler
@@ -45,6 +50,11 @@ const (
 	// oracleFactor is the golden mirror's multiplier: the oracle
 	// simulates the same trace again on the reference model.
 	oracleFactor = 2.0
+	// peerCachedCost is the flat prediction for a job whose result some
+	// healthy peer already holds: one blob fetch (stream + checksum +
+	// decode), independent of trace size. Slightly above minCost — a
+	// fetch still beats a tier short-circuit's protocol-only cost.
+	peerCachedCost = 2.0
 )
 
 // EstimateCost predicts one job's service cost in abstract units
@@ -55,6 +65,11 @@ const (
 func EstimateCost(in CostInputs) float64 {
 	if in.ProvenDRF && in.ConflictsOnly {
 		return shortCircuitCost
+	}
+	if in.PeerCached {
+		// The result already exists somewhere in the mesh: the job costs
+		// one verified blob fetch wherever it runs, not a simulation.
+		return peerCachedCost
 	}
 	events := float64(in.Events)
 	if events <= 0 {

@@ -195,6 +195,26 @@ func (s *Scheduler) Stop() {
 // round-robin while load observations are missing/stale/forced).
 func (s *Scheduler) Mode() sched.Mode { return s.core.Mode() }
 
+// PeerHolds reports whether any fleet endpoint's store already holds
+// the canonical cache key (one HEAD per endpoint, in parallel, first
+// hit wins). The cost model prices such a job near zero — on a peered
+// fleet it costs one mesh blob fetch wherever it lands, not a
+// simulation. Unreachable endpoints simply read as "no".
+func (s *Scheduler) PeerHolds(ctx context.Context, key string) bool {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	hits := make(chan bool, len(s.clients))
+	for _, c := range s.clients {
+		go func(c *client.Client) { hits <- c.StoreHead(ctx, key) }(c)
+	}
+	for range s.clients {
+		if <-hits {
+			return true // cancel() reels in the stragglers
+		}
+	}
+	return false
+}
+
 // Snapshot exposes the planning core's state for tooling.
 func (s *Scheduler) Snapshot() sched.Snapshot { return s.core.Snapshot() }
 

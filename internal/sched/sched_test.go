@@ -289,6 +289,20 @@ func TestEstimateCost(t *testing.T) {
 					t.Errorf("unknown-size cost %v should exceed a small trace's %v", got, EstimateCost(base))
 				}
 			}},
+		{"peer-cached is flat and near zero", CostInputs{Events: 1 << 30, Cores: 64, Oracle: true, PeerCached: true},
+			func(t *testing.T, got float64) {
+				if got != EstimateCost(CostInputs{Events: 1, Cores: 1, PeerCached: true}) {
+					t.Errorf("peer-cached cost varies with job size: %v", got)
+				}
+				if got >= EstimateCost(base) {
+					t.Errorf("peer-cached %v not << base %v: a fetch must beat a simulation", got, EstimateCost(base))
+				}
+				// The mesh fetch still costs more than a tier short-circuit,
+				// which never moves bytes at all.
+				if sc := EstimateCost(CostInputs{ProvenDRF: true, ConflictsOnly: true}); got <= sc {
+					t.Errorf("peer-cached %v should exceed short-circuit %v", got, sc)
+				}
+			}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -6,6 +6,9 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"arcsim/internal/mesh"
+	"arcsim/internal/store"
 )
 
 // httpError carries a status (and optional headers) from the service
@@ -29,6 +32,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Mesh blob API ("GET" patterns also match HEAD). {key...} is a
+	// multi-segment wildcard: canonical cache keys contain slashes.
+	s.mux.HandleFunc("GET "+mesh.PathPrefix+"{key...}", s.handleStoreBlob)
+	s.mux.HandleFunc("GET /v1/mesh", s.handleMesh)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -268,6 +275,56 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// handleStoreBlob serves the federated store's wire API: HEAD answers
+// existence (the scheduler's near-zero pricing signal), GET streams
+// the stored bytes exactly as they sit on disk, with checksum,
+// encoding, and store-format-version headers so the fetching peer can
+// verify before persisting. Deliberately not gated on draining: a
+// drain stops this daemon's own work, but its proven results remain
+// valid and peers may be mid-warm from it.
+func (s *Server) handleStoreBlob(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		writeError(w, &httpError{http.StatusNotFound, "daemon runs without a store", nil})
+		return
+	}
+	key := r.PathValue("key")
+	w.Header().Set(mesh.HeaderStoreVersion, strconv.Itoa(store.FormatVersion))
+	if r.Method == http.MethodHead {
+		if !s.cfg.Store.Has(key) {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	blob, info, ok := s.cfg.Store.GetBlob(key)
+	if !ok {
+		writeError(w, &httpError{http.StatusNotFound, fmt.Sprintf("no result for key %q", key), nil})
+		return
+	}
+	w.Header().Set(mesh.HeaderSHA256, info.SHA256)
+	w.Header().Set(mesh.HeaderEncoding, info.Enc)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(info.Size, 10))
+	w.Write(blob) //nolint:errcheck
+}
+
+// handleMesh reports the daemon's mesh view: its node id, per-peer
+// health, and cumulative fetch counters (arcsimctl mesh renders this).
+func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Mesh == nil {
+		writeError(w, &httpError{http.StatusNotFound, "daemon runs without mesh peering (-peers)", nil})
+		return
+	}
+	m := s.cfg.Mesh
+	writeJSON(w, http.StatusOK, map[string]any{
+		"self":     m.Self(),
+		"peers":    m.Status(),
+		"healthy":  m.Healthy(),
+		"counters": m.Counters(),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -58,6 +58,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "arcsimd_sim_cycles_total{protocol=%q} %d\n", proto, cycles[proto])
 	}
 
+	fmt.Fprintf(w, "# HELP arcsimd_sims_total Simulations this daemon executed (cache hits, mesh fetches, and tier synthesis excluded).\n")
+	fmt.Fprintf(w, "# TYPE arcsimd_sims_total counter\n")
+	fmt.Fprintf(w, "arcsimd_sims_total %d\n", s.simsTotal())
+
 	if s.cfg.Tier {
 		fmt.Fprintf(w, "# HELP arcsimd_tier_verdicts_total Analyzer verdicts recorded on jobs, by verdict.\n")
 		fmt.Fprintf(w, "# TYPE arcsimd_tier_verdicts_total counter\n")
@@ -83,5 +87,73 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP arcsimd_store_misses_total Store lookups that required simulation.\n")
 		fmt.Fprintf(w, "# TYPE arcsimd_store_misses_total counter\n")
 		fmt.Fprintf(w, "arcsimd_store_misses_total %d\n", s.cfg.Store.Misses())
+
+		fmt.Fprintf(w, "# HELP arcsimd_store_keys Keys in the persistent store.\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_store_keys gauge\n")
+		fmt.Fprintf(w, "arcsimd_store_keys %d\n", s.cfg.Store.Len())
+
+		fmt.Fprintf(w, "# HELP arcsimd_store_bytes Stored blob bytes (compressed size on disk).\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_store_bytes gauge\n")
+		fmt.Fprintf(w, "arcsimd_store_bytes %d\n", s.cfg.Store.Bytes())
+
+		evKeys, evBytes := s.cfg.Store.EvictableStats()
+		fmt.Fprintf(w, "# HELP arcsimd_store_evictable_keys Keys in the evictable L2 tier (peer-fetched, not owned).\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_store_evictable_keys gauge\n")
+		fmt.Fprintf(w, "arcsimd_store_evictable_keys %d\n", evKeys)
+
+		fmt.Fprintf(w, "# HELP arcsimd_store_evictable_bytes Blob bytes in the evictable L2 tier.\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_store_evictable_bytes gauge\n")
+		fmt.Fprintf(w, "arcsimd_store_evictable_bytes %d\n", evBytes)
+
+		fmt.Fprintf(w, "# HELP arcsimd_store_evictions_total L2 blobs removed by compaction.\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_store_evictions_total counter\n")
+		fmt.Fprintf(w, "arcsimd_store_evictions_total %d\n", s.cfg.Store.Evictions())
+	}
+
+	if s.cfg.Mesh != nil {
+		m := s.cfg.Mesh
+		c := m.Counters()
+
+		fmt.Fprintf(w, "# HELP arcsimd_mesh_peers Configured mesh peers.\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_mesh_peers gauge\n")
+		fmt.Fprintf(w, "arcsimd_mesh_peers %d\n", m.Peers())
+
+		fmt.Fprintf(w, "# HELP arcsimd_mesh_peers_healthy Mesh peers currently in rotation.\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_mesh_peers_healthy gauge\n")
+		fmt.Fprintf(w, "arcsimd_mesh_peers_healthy %d\n", m.Healthy())
+
+		fmt.Fprintf(w, "# HELP arcsimd_mesh_peer_up Per-peer liveness (1 in rotation, 0 benched).\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_mesh_peer_up gauge\n")
+		for _, p := range m.Status() {
+			up := 0
+			if p.Healthy {
+				up = 1
+			}
+			fmt.Fprintf(w, "arcsimd_mesh_peer_up{peer=%q} %d\n", p.Node, up)
+		}
+
+		fmt.Fprintf(w, "# HELP arcsimd_mesh_fetches_total Blobs fetched from peers, verified, and persisted.\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_mesh_fetches_total counter\n")
+		fmt.Fprintf(w, "arcsimd_mesh_fetches_total %d\n", c.Fetches)
+
+		fmt.Fprintf(w, "# HELP arcsimd_mesh_fetch_bytes_total Stored bytes streamed in from peers.\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_mesh_fetch_bytes_total counter\n")
+		fmt.Fprintf(w, "arcsimd_mesh_fetch_bytes_total %d\n", c.Bytes)
+
+		fmt.Fprintf(w, "# HELP arcsimd_mesh_negatives_total Peer lookups answered 404 (key nowhere in the mesh yet).\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_mesh_negatives_total counter\n")
+		fmt.Fprintf(w, "arcsimd_mesh_negatives_total %d\n", c.Negatives)
+
+		fmt.Fprintf(w, "# HELP arcsimd_mesh_rejects_total Peer blobs refused verification (checksum, version, envelope).\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_mesh_rejects_total counter\n")
+		fmt.Fprintf(w, "arcsimd_mesh_rejects_total %d\n", c.Rejects)
+
+		fmt.Fprintf(w, "# HELP arcsimd_mesh_faults_total Peer transport errors and deadlines.\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_mesh_faults_total counter\n")
+		fmt.Fprintf(w, "arcsimd_mesh_faults_total %d\n", c.Faults)
+
+		fmt.Fprintf(w, "# HELP arcsimd_mesh_probes_total Liveness probes sent to peers.\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_mesh_probes_total counter\n")
+		fmt.Fprintf(w, "arcsimd_mesh_probes_total %d\n", c.Probes)
 	}
 }

@@ -34,6 +34,7 @@ import (
 
 	"arcsim/internal/bench"
 	"arcsim/internal/machine"
+	"arcsim/internal/mesh"
 	"arcsim/internal/protocols"
 	"arcsim/internal/sim"
 	"arcsim/internal/store"
@@ -141,6 +142,13 @@ type Config struct {
 	// Store, when non-nil, persists every completed result and serves
 	// repeats without simulating.
 	Store *store.Store
+	// Mesh, when non-nil (requires Store), federates the store across
+	// the daemon fleet: local misses read through to healthy peers
+	// before simulating, and the daemon serves its own blobs on
+	// GET/HEAD /v1/store/{key}. The blob API keeps serving during a
+	// drain — a drain stops this daemon's workers and submissions, but
+	// its store stays valid and peers may still be warming from it.
+	Mesh *mesh.Mesh
 	// Logf receives one line per lifecycle transition (default: none).
 	Logf func(format string, args ...any)
 	// Progress receives the runner's per-simulation lines (optional).
@@ -428,7 +436,12 @@ func (s *Server) runner(spec JobSpec) *bench.Runner {
 		return r
 	}
 	cfg := bench.Config{Scale: spec.Scale, Seed: spec.Seed, Progress: s.cfg.Progress, Tier: s.cfg.Tier}
-	if s.cfg.Store != nil {
+	switch {
+	case s.cfg.Mesh != nil:
+		// Local store first, then a read-through across healthy peers;
+		// only a fleet-wide miss reaches the simulator.
+		cfg.Cache = mesh.NewCache(s.cfg.Mesh)
+	case s.cfg.Store != nil:
 		cfg.Cache = s.cfg.Store
 	}
 	r := bench.NewRunner(cfg)
@@ -726,6 +739,20 @@ func (s *Server) tierCounts() (verdicts map[string]int, skips int) {
 		verdicts[k] = v
 	}
 	return verdicts, s.tieredSkips
+}
+
+// simsTotal counts the simulations this daemon actually executed
+// (cache hits, mesh fetches, and tier synthesis do not count). The CI
+// federation smoke reads the arcsimd_sims_total metric this feeds to
+// prove a peered daemon served a warmed sweep with zero simulations.
+func (s *Server) simsTotal() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n uint64
+	for _, r := range s.runners {
+		n += uint64(r.Timing().Runs)
+	}
+	return n
 }
 
 // cycleCounts snapshots the per-protocol simulated-cycle counters.

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"arcsim/internal/mesh"
 	"arcsim/internal/sim"
 	"arcsim/internal/store"
 )
@@ -151,11 +152,15 @@ func TestLifecycleAcrossRestart(t *testing.T) {
 		t.Fatalf("draining daemon accepted a job: %d", resp.StatusCode)
 	}
 	ts.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	st2, open, err := store.Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer st2.Close()
 	if open.Entries != 1 {
 		t.Fatalf("store after restart: %+v", open)
 	}
@@ -392,5 +397,126 @@ func TestCancelReasonPreempt(t *testing.T) {
 	}
 	if v := waitState(t, ts, j1.ID, StateCanceled); v.Error != CancelReasonPreempt {
 		t.Fatalf("running preempt error = %q, want %q", v.Error, CancelReasonPreempt)
+	}
+}
+
+// TestFederationWarmsFreshDaemon is the mesh's end-to-end test: daemon A
+// simulates a job once; a fresh daemon B peered with A serves the same
+// job byte-identically with zero simulations — one blob fetch instead.
+func TestFederationWarmsFreshDaemon(t *testing.T) {
+	stA, _, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stA.Close()
+	srvA := New(Config{Workers: 2, QueueDepth: 4, Store: stA})
+	srvA.Start()
+	tsA := httptest.NewServer(srvA.Handler())
+	defer tsA.Close()
+
+	_, viewA := postJob(t, tsA, tinySpec())
+	if v := waitState(t, tsA, viewA.ID, StateDone, StateFailed); v.State != StateDone {
+		t.Fatalf("daemon A run: %+v", v)
+	}
+	resA := fetchResult(t, tsA, viewA.ID)
+
+	// The blob API serves A's store: HEAD answers existence, GET streams
+	// verified bytes.
+	key := stA.Keys()[0]
+	headReq, _ := http.NewRequest(http.MethodHead, tsA.URL+mesh.PathPrefix+mesh.EscapeKey(key), nil)
+	if resp, err := http.DefaultClient.Do(headReq); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD stored key: %v %v", resp, err)
+	}
+	headReq, _ = http.NewRequest(http.MethodHead, tsA.URL+mesh.PathPrefix+"v2/absent", nil)
+	if resp, err := http.DefaultClient.Do(headReq); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("HEAD absent key: %v %v", resp, err)
+	}
+
+	// Daemon B: fresh store, peered with A.
+	stB, _, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stB.Close()
+	m := mesh.New(mesh.Config{Peers: []string{tsA.URL}, Store: stB})
+	srvB := New(Config{Workers: 2, QueueDepth: 4, Store: stB, Mesh: m})
+	srvB.Start()
+	tsB := httptest.NewServer(srvB.Handler())
+	defer tsB.Close()
+	defer srvB.Drain(context.Background()) //nolint:errcheck
+
+	_, viewB := postJob(t, tsB, tinySpec())
+	done := waitState(t, tsB, viewB.ID, StateDone, StateFailed)
+	if done.State != StateDone {
+		t.Fatalf("daemon B run: %+v", done)
+	}
+	if !done.CacheHit {
+		t.Fatal("mesh-served job not reported as a cache hit")
+	}
+	resB := fetchResult(t, tsB, viewB.ID)
+	if !bytes.Equal(resA, resB) {
+		t.Fatalf("federated result not byte-identical:\n A %s\n B %s", resA, resB)
+	}
+	if n := srvB.simsTotal(); n != 0 {
+		t.Fatalf("daemon B simulated %d time(s); the mesh should have served it", n)
+	}
+	if c := m.Counters(); c.Fetches != 1 {
+		t.Fatalf("mesh counters %+v, want 1 fetch", c)
+	}
+	if !stB.Has(key) {
+		t.Fatal("daemon B's store did not self-warm")
+	}
+
+	// B's metrics prove it: zero simulations, one mesh fetch, store
+	// size gauges live.
+	resp, err := http.Get(tsB.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"arcsimd_sims_total 0",
+		"arcsimd_mesh_fetches_total 1",
+		"arcsimd_mesh_peers_healthy 1",
+		"arcsimd_store_keys 1",
+		"arcsimd_store_bytes ",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("daemon B metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// /v1/mesh reports the peer in rotation.
+	resp, err = http.Get(tsB.URL + "/v1/mesh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meshView struct {
+		Healthy  int               `json:"healthy"`
+		Peers    []mesh.PeerStatus `json:"peers"`
+		Counters mesh.Counters     `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&meshView); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if meshView.Healthy != 1 || len(meshView.Peers) != 1 || meshView.Counters.Fetches != 1 {
+		t.Fatalf("/v1/mesh view %+v", meshView)
+	}
+
+	// Drain semantics: a draining daemon A keeps serving blobs — its
+	// store stays valid and peers may still be warming from it.
+	if err := srvA.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(tsA.URL + mesh.PathPrefix + mesh.EscapeKey(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining daemon stopped serving blobs: %d", resp.StatusCode)
 	}
 }

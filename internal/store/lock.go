@@ -1,0 +1,38 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive, non-blocking flock on <dir>/LOCK. Two
+// daemons pointed at the same -store directory would otherwise
+// interleave index.json atomic-rename writes — each rewrites the whole
+// index from its private in-memory map, so the later writer silently
+// drops every entry the earlier one added. The kernel releases the lock
+// when the holding process exits (however it exits), so a crash never
+// leaves a stale lock behind.
+func lockDir(dir string) (*os.File, error) {
+	path := filepath.Join(dir, "LOCK")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is locked by another process (two daemons must not share one store directory): %w", dir, err)
+	}
+	return f, nil
+}
+
+// unlockDir releases the flock and closes the lock file. The file is
+// left in place: its presence is meaningless without the kernel lock.
+func unlockDir(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_UN); err != nil {
+		f.Close()
+		return fmt.Errorf("store: unlock: %w", err)
+	}
+	return f.Close()
+}

@@ -6,25 +6,37 @@
 // On-disk format (DESIGN.md "Persistent result store" has the full
 // rationale):
 //
-//	<dir>/index.json            key → {blob, sha256} map, version-stamped
-//	<dir>/blobs/<addr>.json     one envelope per result
+//	<dir>/LOCK                  flock'd root guard (one process per store)
+//	<dir>/index.json            key → {blob, sha256, size, enc, tier} map, version-stamped
+//	<dir>/blobs/<addr>.json     one envelope per result (gzip since format v2)
 //	<dir>/quarantine/           corrupt blobs moved aside by Open
 //
 // The blob address is the hex SHA-256 of "arcsim-store-v1\x00" + key, so
 // a key maps to the same file name forever and concurrent writers of the
-// same key converge on the same blob. Every write is temp-file +
-// fsync-free atomic rename: a crash mid-Put leaves either the old state
-// or the new state, never a torn file. The index carries each blob's
-// SHA-256; Open re-hashes every blob and quarantines — rather than
-// trusts or deletes — anything that does not match.
+// same key converge on the same blob. Every write is temp-file + fsync +
+// atomic rename (the parent directory is fsynced too): a crash mid-Put
+// leaves either the old state or the new state, never a torn file and
+// never an indexed key whose blob is empty. The index carries each
+// blob's SHA-256 over its stored (possibly compressed) bytes; Open
+// re-hashes every blob and quarantines — rather than trusts or deletes —
+// anything that does not match.
+//
+// Since the cache mesh (internal/mesh) federates stores across a daemon
+// fleet, entries live in one of two tiers: durable (locally simulated
+// results and blobs this daemon owns under rendezvous hashing) and
+// evictable (blobs fetched from peers for keys someone else owns — an
+// L2 that SetEvictLimit bounds with LRU compaction).
 package store
 
 import (
+	"bytes"
+	"compress/gzip"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -36,7 +48,13 @@ import (
 
 // FormatVersion stamps the index and every blob envelope. A reader that
 // sees a newer version refuses the store rather than misreading it.
-const FormatVersion = 1
+// v2: blobs are gzip-compressed (index entries carry enc/size/tier);
+// v1 stores remain readable — their raw-JSON blobs simply have no enc.
+const FormatVersion = 2
+
+// EncGzip marks a blob stored as the gzip stream of its envelope JSON.
+// The checksum always covers the stored bytes, compressed or not.
+const EncGzip = "gzip"
 
 // addrSalt versions the key→address mapping itself: changing the
 // canonical key scheme means changing the salt, so stale-format blobs
@@ -54,6 +72,22 @@ type envelope struct {
 type indexEntry struct {
 	Blob   string `json:"blob"`
 	SHA256 string `json:"sha256"`
+	// Size is the blob file's length in bytes (its stored, possibly
+	// compressed form), maintained for the size gauges and the evictable
+	// tier's budget. Zero-size v1 entries are measured on Open.
+	Size int64 `json:"size,omitempty"`
+	// Enc is the blob's on-disk encoding: "" for raw envelope JSON (v1),
+	// EncGzip for compressed.
+	Enc string `json:"enc,omitempty"`
+	// Evict marks the evictable L2 tier: a blob fetched from a mesh peer
+	// for a key this daemon does not own. Durable entries (locally
+	// proven results, owned keys) never carry it, and v1 entries default
+	// to durable.
+	Evict bool `json:"evict,omitempty"`
+	// Seq is the entry's last-access ordinal (a monotonic logical clock,
+	// not wall time) — the LRU order compaction evicts in. Persisted on
+	// index rewrites so recency approximately survives restarts.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 type indexFile struct {
@@ -71,23 +105,40 @@ func (s OpenStats) String() string {
 	return fmt.Sprintf("store: %d result(s) loaded, %d quarantined", s.Entries, s.Quarantined)
 }
 
-// Store is a persistent result store rooted at one directory. It is safe
-// for concurrent use by a single process; the daemon owns its store
-// directory exclusively.
-type Store struct {
-	dir string
-
-	mu    sync.Mutex
-	index map[string]indexEntry
-
-	hits   atomic.Uint64
-	misses atomic.Uint64
+// BlobInfo describes one stored blob as served over the mesh blob API.
+type BlobInfo struct {
+	SHA256 string // hex SHA-256 of the stored bytes
+	Enc    string // "" (raw envelope JSON) or EncGzip
+	Size   int64  // stored length in bytes
 }
 
-// Open opens (creating if needed) the store at dir, validates every
-// indexed blob's checksum, and quarantines corrupt entries instead of
-// failing. The returned OpenStats is the caller's one-line startup
-// summary.
+// Store is a persistent result store rooted at one directory. It is safe
+// for concurrent use by a single process; Open takes an exclusive
+// flock on the root so a second daemon pointed at the same -store
+// directory fails loudly instead of the two interleaving index writes
+// and silently dropping each other's entries.
+type Store struct {
+	dir  string
+	lock *os.File // flock'd <dir>/LOCK, released by Close
+
+	mu       sync.Mutex
+	index    map[string]indexEntry
+	total    int64  // blob bytes across the whole index
+	evTotal  int64  // blob bytes in the evictable tier
+	seq      uint64 // access-ordinal clock feeding indexEntry.Seq
+	evictMax int64  // evictable-tier byte budget (0 = unbounded)
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// Open opens (creating if needed) the store at dir, takes the exclusive
+// process lock, validates every indexed blob's checksum, and quarantines
+// corrupt entries instead of failing. The returned OpenStats is the
+// caller's one-line startup summary. Callers that relinquish the store
+// before process exit (tests, short-lived tools) should Close it so
+// another Open can succeed.
 func Open(dir string) (*Store, OpenStats, error) {
 	var stats OpenStats
 	for _, d := range []string{dir, filepath.Join(dir, "blobs")} {
@@ -95,13 +146,18 @@ func Open(dir string) (*Store, OpenStats, error) {
 			return nil, stats, fmt.Errorf("store: %w", err)
 		}
 	}
-	s := &Store{dir: dir, index: make(map[string]indexEntry)}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	s := &Store{dir: dir, lock: lock, index: make(map[string]indexEntry)}
 
 	data, err := os.ReadFile(s.indexPath())
 	switch {
 	case errors.Is(err, os.ErrNotExist):
 		return s, stats, nil // fresh store
 	case err != nil:
+		s.Close()
 		return nil, stats, fmt.Errorf("store: read index: %w", err)
 	}
 	var idx indexFile
@@ -110,16 +166,20 @@ func Open(dir string) (*Store, OpenStats, error) {
 		// corrupt one must not brick the daemon: quarantine it and
 		// start empty. The blobs remain; re-running repopulates.
 		if qerr := s.quarantine(s.indexPath()); qerr != nil {
+			s.Close()
 			return nil, stats, fmt.Errorf("store: corrupt index (%v) and quarantine failed: %w", err, qerr)
 		}
 		stats.Quarantined++
 		return s, stats, nil
 	}
 	if idx.Version > FormatVersion {
+		s.Close()
 		return nil, stats, fmt.Errorf("store: index version %d is newer than this binary's %d", idx.Version, FormatVersion)
 	}
 
-	// Validate every blob's checksum; quarantine mismatches.
+	// Validate every blob's checksum; quarantine mismatches. The same
+	// pass measures blob sizes (v1 entries predate the size field) and
+	// rebuilds the tier totals.
 	keys := make([]string, 0, len(idx.Entries))
 	for k := range idx.Entries {
 		keys = append(keys, k)
@@ -135,22 +195,43 @@ func Open(dir string) (*Store, OpenStats, error) {
 		}
 		if sum := sha256.Sum256(blob); hex.EncodeToString(sum[:]) != e.SHA256 {
 			if qerr := s.quarantine(path); qerr != nil {
+				s.Close()
 				return nil, stats, fmt.Errorf("store: quarantine %s: %w", e.Blob, qerr)
 			}
 			stats.Quarantined++
 			continue
 		}
+		e.Size = int64(len(blob))
 		s.index[key] = e
+		s.total += e.Size
+		if e.Evict {
+			s.evTotal += e.Size
+		}
+		if e.Seq > s.seq {
+			s.seq = e.Seq
+		}
 		stats.Entries++
 	}
 	if stats.Quarantined > 0 {
 		// Rewrite the index so quarantined entries stay gone even if
 		// the process dies before the next Put.
 		if err := s.writeIndexLocked(); err != nil {
+			s.Close()
 			return nil, stats, err
 		}
 	}
 	return s, stats, nil
+}
+
+// Close releases the store's process lock. The store must not be used
+// afterwards. Safe to call more than once.
+func (s *Store) Close() error {
+	if s.lock == nil {
+		return nil
+	}
+	err := unlockDir(s.lock)
+	s.lock = nil
+	return err
 }
 
 // Dir returns the store's root directory.
@@ -163,9 +244,47 @@ func (s *Store) Len() int {
 	return len(s.index)
 }
 
+// Bytes returns the total stored blob bytes (as on disk: compressed
+// blobs count their compressed size).
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// EvictableStats returns the evictable (L2) tier's entry count and byte
+// total.
+func (s *Store) EvictableStats() (keys int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.index {
+		if e.Evict {
+			keys++
+		}
+	}
+	return keys, s.evTotal
+}
+
+// SetEvictLimit bounds the evictable tier at max bytes (0 removes the
+// bound), compacting immediately if the tier is already over it.
+func (s *Store) SetEvictLimit(max int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictMax = max
+	if evicted, err := s.compactLocked(); err != nil {
+		return err
+	} else if evicted > 0 {
+		return s.writeIndexLocked()
+	}
+	return nil
+}
+
 // Hits and Misses are cumulative Get counters (exported to /metrics).
 func (s *Store) Hits() uint64   { return s.hits.Load() }
 func (s *Store) Misses() uint64 { return s.misses.Load() }
+
+// Evictions is the cumulative count of L2 blobs removed by compaction.
+func (s *Store) Evictions() uint64 { return s.evictions.Load() }
 
 // Keys returns the stored canonical keys, sorted.
 func (s *Store) Keys() []string {
@@ -179,12 +298,34 @@ func (s *Store) Keys() []string {
 	return keys
 }
 
+// Has reports whether key is indexed, without reading the blob. The
+// blob API's HEAD handler uses it; peers treat the answer as advisory
+// (the GET still verifies).
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// touchLocked bumps the entry's LRU ordinal in memory (persisted on the
+// next index rewrite — recency is approximate across crashes, exact
+// within a process lifetime). Caller holds s.mu.
+func (s *Store) touchLocked(key string, e indexEntry) {
+	s.seq++
+	e.Seq = s.seq
+	s.index[key] = e
+}
+
 // Get returns the stored result for key. It satisfies bench.Cache: any
 // failure to produce a valid result (absent, unreadable, corrupt since
 // Open) is a miss, never an error — the caller simply re-simulates.
 func (s *Store) Get(key string) (*sim.Result, bool) {
 	s.mu.Lock()
 	e, ok := s.index[key]
+	if ok {
+		s.touchLocked(key, e)
+	}
 	s.mu.Unlock()
 	if !ok {
 		s.misses.Add(1)
@@ -199,8 +340,8 @@ func (s *Store) Get(key string) (*sim.Result, bool) {
 		s.misses.Add(1)
 		return nil, false
 	}
-	var env envelope
-	if err := json.Unmarshal(blob, &env); err != nil || env.Key != key || env.Result == nil {
+	env, err := decodeEnvelope(blob, e.Enc)
+	if err != nil || env.Key != key || env.Result == nil {
 		s.misses.Add(1)
 		return nil, false
 	}
@@ -208,14 +349,77 @@ func (s *Store) Get(key string) (*sim.Result, bool) {
 	return env.Result, true
 }
 
-// Put persists res under key: blob first, then index, each via atomic
-// rename, so a reader never observes an index entry whose blob is
-// missing or torn.
+// GetBlob returns the stored bytes for key exactly as they sit on disk
+// (compressed blobs stay compressed — the mesh streams them as-is and
+// the fetching peer verifies and decodes). A checksum mismatch is a
+// miss, same as Get.
+func (s *Store) GetBlob(key string) ([]byte, BlobInfo, bool) {
+	s.mu.Lock()
+	e, ok := s.index[key]
+	if ok {
+		s.touchLocked(key, e)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, BlobInfo{}, false
+	}
+	blob, err := os.ReadFile(filepath.Join(s.dir, "blobs", e.Blob))
+	if err != nil {
+		return nil, BlobInfo{}, false
+	}
+	if sum := sha256.Sum256(blob); hex.EncodeToString(sum[:]) != e.SHA256 {
+		return nil, BlobInfo{}, false
+	}
+	return blob, BlobInfo{SHA256: e.SHA256, Enc: e.Enc, Size: int64(len(blob))}, true
+}
+
+// Put persists res under key in the durable tier: blob first, then
+// index, each via fsynced atomic rename, so a reader never observes an
+// index entry whose blob is missing, torn, or empty.
 func (s *Store) Put(key string, res *sim.Result) error {
-	blob, err := json.Marshal(envelope{Version: FormatVersion, Key: key, Result: res})
+	raw, err := json.Marshal(envelope{Version: FormatVersion, Key: key, Result: res})
 	if err != nil {
 		return fmt.Errorf("store: encode %s: %w", key, err)
 	}
+	blob, err := gzipBytes(raw)
+	if err != nil {
+		return fmt.Errorf("store: compress %s: %w", key, err)
+	}
+	return s.putBlob(key, blob, EncGzip, false)
+}
+
+// PutFetched verifies and persists a blob streamed from a mesh peer: the
+// bytes must decode (per enc) to an envelope whose key matches, whose
+// format version this binary understands, and which carries a result —
+// otherwise nothing touches disk and the error says why. owned selects
+// the tier: owners keep the blob durably, non-owners file it in the
+// evictable L2. The decoded result is returned so the fetch path does
+// not decode twice.
+func (s *Store) PutFetched(key string, blob []byte, enc string, owned bool) (*sim.Result, error) {
+	env, err := decodeEnvelope(blob, enc)
+	if err != nil {
+		return nil, fmt.Errorf("store: fetched blob for %s: %w", key, err)
+	}
+	if env.Version > FormatVersion {
+		return nil, fmt.Errorf("store: fetched blob for %s has format version %d, newer than this binary's %d",
+			key, env.Version, FormatVersion)
+	}
+	if env.Key != key {
+		return nil, fmt.Errorf("store: fetched blob says key %q, want %q", env.Key, key)
+	}
+	if env.Result == nil {
+		return nil, fmt.Errorf("store: fetched blob for %s carries no result", key)
+	}
+	if err := s.putBlob(key, blob, enc, !owned); err != nil {
+		return nil, err
+	}
+	return env.Result, nil
+}
+
+// putBlob writes the stored bytes and indexes them, updating the size
+// accounting and compacting the evictable tier if the write pushed it
+// over budget.
+func (s *Store) putBlob(key string, blob []byte, enc string, evict bool) error {
 	sum := sha256.Sum256(blob)
 	name := Addr(key) + ".json"
 	if err := atomicWrite(filepath.Join(s.dir, "blobs", name), blob); err != nil {
@@ -223,8 +427,54 @@ func (s *Store) Put(key string, res *sim.Result) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.index[key] = indexEntry{Blob: name, SHA256: hex.EncodeToString(sum[:])}
+	if old, ok := s.index[key]; ok {
+		s.total -= old.Size
+		if old.Evict {
+			s.evTotal -= old.Size
+		}
+	}
+	e := indexEntry{Blob: name, SHA256: hex.EncodeToString(sum[:]), Size: int64(len(blob)), Enc: enc, Evict: evict}
+	s.total += e.Size
+	if evict {
+		s.evTotal += e.Size
+	}
+	s.touchLocked(key, e)
+	if _, err := s.compactLocked(); err != nil {
+		return err
+	}
 	return s.writeIndexLocked()
+}
+
+// compactLocked evicts least-recently-used evictable entries until the
+// L2 tier fits its budget, deleting their blobs (this is a cache tier —
+// the owner keeps the durable copy; nothing is quarantined). Caller
+// holds s.mu and is responsible for persisting the index afterwards.
+func (s *Store) compactLocked() (evicted int, err error) {
+	if s.evictMax <= 0 {
+		return 0, nil
+	}
+	for s.evTotal > s.evictMax {
+		victim, found := "", false
+		var oldest uint64
+		for k, e := range s.index {
+			if e.Evict && (!found || e.Seq < oldest) {
+				victim, oldest, found = k, e.Seq, true
+			}
+		}
+		if !found {
+			return evicted, nil // accounting drift; nothing evictable left
+		}
+		e := s.index[victim]
+		if err := os.Remove(filepath.Join(s.dir, "blobs", e.Blob)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return evicted, fmt.Errorf("store: evict %s: %w", victim, err)
+		}
+		delete(s.index, victim)
+		s.total -= e.Size
+		s.evTotal -= e.Size
+		s.evictions.Add(1)
+		evicted++
+	}
+	return evicted, nil
 }
 
 // Addr returns the content address (blob base name, without extension)
@@ -232,6 +482,54 @@ func (s *Store) Put(key string, res *sim.Result) error {
 func Addr(key string) string {
 	sum := sha256.Sum256([]byte(addrSalt + key))
 	return hex.EncodeToString(sum[:])
+}
+
+// HexSHA256 returns the hex SHA-256 of b — the checksum form used in
+// the index and on the mesh blob API's wire.
+func HexSHA256(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// decodeEnvelope parses stored blob bytes per their encoding.
+func decodeEnvelope(blob []byte, enc string) (*envelope, error) {
+	data := blob
+	switch enc {
+	case "":
+	case EncGzip:
+		zr, err := gzip.NewReader(bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("bad gzip stream: %w", err)
+		}
+		data, err = io.ReadAll(zr)
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bad gzip stream: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("unknown blob encoding %q", enc)
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("bad envelope: %w", err)
+	}
+	return &env, nil
+}
+
+// gzipBytes compresses data with the default level; the checksum and
+// size accounting cover the compressed form.
+func gzipBytes(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 func (s *Store) indexPath() string { return filepath.Join(s.dir, "index.json") }
@@ -259,9 +557,17 @@ func (s *Store) quarantine(path string) error {
 }
 
 // atomicWrite writes data to path via a temp file in the same directory
-// and an atomic rename.
+// and an atomic rename, fsyncing the file before the rename and the
+// parent directory after it. Without the first fsync a crash shortly
+// after the rename can leave the new name pointing at never-flushed
+// data — an indexed key with a zero-length blob; without the second the
+// rename itself may not survive the crash. Either way the store must
+// come back as old-state-or-new, never torn.
 func atomicWrite(path string, data []byte) error {
 	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
 	tmp, err := os.CreateTemp(dir, base+".tmp*")
 	if err != nil {
 		return err
@@ -271,8 +577,29 @@ func atomicWrite(path string, data []byte) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Best-effort: some filesystems refuse to fsync a directory; the
+	// data file itself is already fsynced, so degrade to the weaker
+	// guarantee rather than failing the write.
+	d.Sync() //nolint:errcheck
+	return nil
 }

@@ -1,9 +1,13 @@
 package store
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"arcsim/internal/machine"
@@ -62,12 +66,19 @@ func TestRoundTripByteIdentical(t *testing.T) {
 	if s.Hits() != 1 || s.Misses() != 1 {
 		t.Fatalf("counters hits=%d misses=%d, want 1/1", s.Hits(), s.Misses())
 	}
+	if s.Len() != 1 || s.Bytes() <= 0 {
+		t.Fatalf("size gauges: Len=%d Bytes=%d", s.Len(), s.Bytes())
+	}
 
 	// A second Open (a daemon restart) serves the same bytes.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
 	s2, st2, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s2.Close()
 	if st2.Entries != 1 || st2.Quarantined != 0 {
 		t.Fatalf("reopen reported %+v", st2)
 	}
@@ -90,11 +101,11 @@ func TestCorruptBlobQuarantined(t *testing.T) {
 	res := smallResult(t)
 	const good = "v1/scale=0.05/seed=1/blackscholes/arc/4"
 	const bad = "v1/scale=0.05/seed=1/blackscholes/mesi/4"
-	if err := s.Put(good, res); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.Put(bad, res); err != nil {
-		t.Fatal(err)
+	const empty = "v1/scale=0.05/seed=1/blackscholes/ce/4"
+	for _, k := range []string{good, bad, empty} {
+		if err := s.Put(k, res); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	// Flip one byte in the middle of the bad key's blob.
@@ -107,30 +118,42 @@ func TestCorruptBlobQuarantined(t *testing.T) {
 	if err := os.WriteFile(path, blob, 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// Truncate the empty key's blob to zero bytes: the state a crash
+	// between rename and data flush used to be able to leave behind.
+	if err := os.Truncate(filepath.Join(dir, "blobs", Addr(empty)+".json"), 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
 
 	s2, st, err := Open(dir)
 	if err != nil {
-		t.Fatalf("Open over a corrupt blob must not fail: %v", err)
+		t.Fatalf("Open over corrupt blobs must not fail: %v", err)
 	}
-	if st.Entries != 1 || st.Quarantined != 1 {
-		t.Fatalf("reopen reported %+v, want 1 entry + 1 quarantined", st)
+	if st.Entries != 1 || st.Quarantined != 2 {
+		t.Fatalf("reopen reported %+v, want 1 entry + 2 quarantined", st)
 	}
-	if _, ok := s2.Get(bad); ok {
-		t.Fatal("corrupt entry still served")
+	for _, k := range []string{bad, empty} {
+		if _, ok := s2.Get(k); ok {
+			t.Fatalf("corrupt entry %s still served", k)
+		}
 	}
 	if _, ok := s2.Get(good); !ok {
 		t.Fatal("intact entry lost during quarantine")
 	}
-	if _, err := os.Stat(filepath.Join(dir, "quarantine", Addr(bad)+".json")); err != nil {
-		t.Fatalf("corrupt blob not moved to quarantine: %v", err)
+	for _, k := range []string{bad, empty} {
+		if _, err := os.Stat(filepath.Join(dir, "quarantine", Addr(k)+".json")); err != nil {
+			t.Fatalf("corrupt blob %s not moved to quarantine: %v", k, err)
+		}
 	}
+	s2.Close()
 
-	// A third Open sees a clean store: the quarantined entry was also
+	// A third Open sees a clean store: the quarantined entries were also
 	// dropped from the persisted index.
-	_, st3, err := Open(dir)
+	s3, st3, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s3.Close()
 	if st3.Entries != 1 || st3.Quarantined != 0 {
 		t.Fatalf("third open reported %+v, want a clean 1-entry store", st3)
 	}
@@ -144,5 +167,277 @@ func TestAddrIsStable(t *testing.T) {
 	}
 	if Addr("a") == Addr("b") {
 		t.Fatal("distinct keys collide")
+	}
+}
+
+// TestLockExcludesSecondOpen is the two-daemons-one-directory guard:
+// while one process (here: one Store) holds the directory, a second
+// Open must fail loudly instead of the two interleaving index rewrites.
+func TestLockExcludesSecondOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir); err == nil {
+		t.Fatal("second Open of a held store directory succeeded")
+	} else if !strings.Contains(err.Error(), "locked by another process") {
+		t.Fatalf("second Open failed with the wrong error: %v", err)
+	}
+	// Releasing the store releases the directory.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	s2.Close()
+}
+
+// TestReadsV1RawBlobs proves format-v2 binaries still serve stores
+// written before compression: a raw-JSON blob indexed without an enc
+// field must round-trip.
+func TestReadsV1RawBlobs(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "blobs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	res := smallResult(t)
+	const key = "v1/scale=0.05/seed=1/blackscholes/arc/4"
+	raw, err := json.Marshal(envelope{Version: 1, Key: key, Result: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(raw)
+	name := Addr(key) + ".json"
+	if err := os.WriteFile(filepath.Join(dir, "blobs", name), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idx := indexFile{Version: 1, Entries: map[string]indexEntry{
+		key: {Blob: name, SHA256: hex.EncodeToString(sum[:])},
+	}}
+	data, _ := json.MarshalIndent(idx, "", "  ")
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if st.Entries != 1 || st.Quarantined != 0 {
+		t.Fatalf("v1 store reported %+v", st)
+	}
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("v1 raw blob missed")
+	}
+	want, _ := json.Marshal(res)
+	have, _ := json.Marshal(got)
+	if string(want) != string(have) {
+		t.Fatal("v1 raw blob not byte-identical after decode")
+	}
+	// v1 entries load into the durable tier: nothing to evict.
+	if keys, bytes := s.EvictableStats(); keys != 0 || bytes != 0 {
+		t.Fatalf("v1 entries landed in the evictable tier: keys=%d bytes=%d", keys, bytes)
+	}
+}
+
+// TestPutFetchedVerifies covers the mesh persist path's verification:
+// garbage, a key mismatch, and a too-new format version must all leave
+// the store untouched.
+func TestPutFetchedVerifies(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res := smallResult(t)
+	const key = "v2/scale=0.05/seed=1/blackscholes/arc/4"
+
+	mk := func(env envelope) []byte {
+		raw, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := gzipBytes(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+
+	cases := []struct {
+		name string
+		blob []byte
+		enc  string
+	}{
+		{"garbage bytes", []byte("not a gzip stream"), EncGzip},
+		{"wrong key inside", mk(envelope{Version: FormatVersion, Key: "v2/other", Result: res}), EncGzip},
+		{"newer format version", mk(envelope{Version: FormatVersion + 1, Key: key, Result: res}), EncGzip},
+		{"no result", mk(envelope{Version: FormatVersion, Key: key}), EncGzip},
+		{"unknown encoding", mk(envelope{Version: FormatVersion, Key: key, Result: res}), "zstd"},
+	}
+	for _, tc := range cases {
+		if _, err := s.PutFetched(key, tc.blob, tc.enc, false); err == nil {
+			t.Errorf("%s: PutFetched accepted it", tc.name)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("rejected blobs left %d entries behind", s.Len())
+	}
+
+	// The genuine article persists and round-trips.
+	good := mk(envelope{Version: FormatVersion, Key: key, Result: res})
+	dec, err := s.PutFetched(key, good, EncGzip, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(res)
+	have, _ := json.Marshal(dec)
+	if string(want) != string(have) {
+		t.Fatal("PutFetched returned different result bytes")
+	}
+	if got, ok := s.Get(key); !ok {
+		t.Fatal("fetched blob not served afterwards")
+	} else if have2, _ := json.Marshal(got); string(have2) != string(want) {
+		t.Fatal("fetched blob served different bytes")
+	}
+	if keys, bytes := s.EvictableStats(); keys != 1 || bytes <= 0 {
+		t.Fatalf("non-owned fetch not in the evictable tier: keys=%d bytes=%d", keys, bytes)
+	}
+}
+
+// TestCompactionEvictsLRU bounds the evictable tier and checks the
+// least-recently-used non-owned blobs go first while durable entries
+// are untouchable.
+func TestCompactionEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res := smallResult(t)
+
+	key := func(i int) string { return fmt.Sprintf("v2/scale=0.05/seed=1/wl%d/arc/4", i) }
+	blobFor := func(k string) []byte {
+		raw, err := json.Marshal(envelope{Version: FormatVersion, Key: k, Result: res})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := gzipBytes(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+
+	// One durable entry plus four evictable ones.
+	if err := s.Put("v2/durable", res); err != nil {
+		t.Fatal(err)
+	}
+	var blobSize int64
+	for i := 0; i < 4; i++ {
+		b := blobFor(key(i))
+		blobSize = int64(len(b))
+		if _, err := s.PutFetched(key(i), b, EncGzip, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch key 0 so key 1 is the LRU victim.
+	if _, ok := s.Get(key(0)); !ok {
+		t.Fatal("touch missed")
+	}
+
+	// Budget for roughly two and a half blobs (the slack absorbs
+	// per-key gzip size jitter): exactly two evictions, oldest-first.
+	budget := 2*blobSize + blobSize/2
+	if err := s.SetEvictLimit(budget); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatal("LRU victim survived compaction")
+	}
+	if _, ok := s.Get(key(2)); ok {
+		t.Fatal("second-oldest survived a two-blob budget")
+	}
+	for _, k := range []string{key(0), key(3), "v2/durable"} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("%s evicted wrongly", k)
+		}
+	}
+	if s.Evictions() != 2 {
+		t.Fatalf("evictions=%d, want 2", s.Evictions())
+	}
+	if keys, bytes := s.EvictableStats(); keys != 2 || bytes > budget {
+		t.Fatalf("post-compaction L2: keys=%d bytes=%d budget=%d", keys, bytes, budget)
+	}
+
+	// The budget persists across Put pressure: a new fetch evicts again
+	// rather than growing the tier.
+	if _, err := s.PutFetched(key(4), blobFor(key(4)), EncGzip, false); err != nil {
+		t.Fatal(err)
+	}
+	if keys, bytes := s.EvictableStats(); bytes > budget {
+		t.Fatalf("L2 grew past its budget: keys=%d bytes=%d", keys, bytes)
+	}
+	// Durable entries never count against or fall to the budget.
+	if _, ok := s.Get("v2/durable"); !ok {
+		t.Fatal("durable entry evicted")
+	}
+}
+
+// TestGetBlobServesStoredBytes pins the mesh serving contract: GetBlob
+// returns the on-disk bytes (still compressed) with a checksum that
+// matches them.
+func TestGetBlobServesStoredBytes(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res := smallResult(t)
+	const key = "v2/scale=0.05/seed=1/blackscholes/arc/4"
+	if err := s.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	blob, info, ok := s.GetBlob(key)
+	if !ok {
+		t.Fatal("GetBlob missed")
+	}
+	if info.Enc != EncGzip {
+		t.Fatalf("enc %q, want gzip", info.Enc)
+	}
+	if sum := sha256.Sum256(blob); hex.EncodeToString(sum[:]) != info.SHA256 {
+		t.Fatal("BlobInfo checksum does not cover the returned bytes")
+	}
+	if info.Size != int64(len(blob)) {
+		t.Fatalf("size %d != len %d", info.Size, len(blob))
+	}
+	// And a peer-style round trip through PutFetched reproduces the
+	// result exactly.
+	dir2 := t.TempDir()
+	s2, _, err := Open(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	dec, err := s2.PutFetched(key, blob, info.Enc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(res)
+	have, _ := json.Marshal(dec)
+	if string(want) != string(have) {
+		t.Fatal("peer round trip changed the result bytes")
+	}
+	// Owned fetches land durable.
+	if keys, _ := s2.EvictableStats(); keys != 0 {
+		t.Fatal("owned fetch filed as evictable")
 	}
 }
