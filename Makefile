@@ -1,20 +1,31 @@
 # Tier-1 verification in one command: `make ci`.
 GO ?= go
 
-# Benchmark baseline: `make bench` runs every benchmark suite once and
+# Benchmark baseline: `make bench` runs every benchmark suite and
 # archives the results as JSON (override BENCHTIME/BENCHOUT to taste).
-# BENCHOUT defaults to the next free BENCH_NNNN.json so a re-run never
-# silently overwrites an archived baseline.
-BENCHTIME ?= 1x
+# BENCHTIME is pinned to a multi-iteration count — single-iteration
+# records are anecdotes, and benchjson warns on them — and -count=1 is
+# explicit so a user GOFLAGS can't multiply the archived run. BENCHOUT
+# defaults to the next free BENCH_NNNN.json so a re-run never silently
+# overwrites an archived baseline.
+BENCHTIME ?= 3x
 BENCHOUT  ?= $(shell n=$$(ls BENCH_[0-9][0-9][0-9][0-9].json 2>/dev/null \
 	| sed -E 's/BENCH_0*([0-9]+)\.json/\1/' | sort -n | tail -1); \
 	printf 'BENCH_%04d.json' $$(( $${n:--1} + 1 )))
+
+# Regression gate: `make benchcmp` reruns the core experiment benchmarks
+# (F1-F4) and compares them against the newest committed baseline,
+# failing on memory regressions beyond the tolerance. Only B/op and
+# allocs/op are gated — they are deterministic across machines, unlike
+# wall-clock ns/op.
+BENCHBASE ?= $(shell ls BENCH_[0-9][0-9][0-9][0-9].json 2>/dev/null | sort | tail -1)
+BENCHCMP_TOLERANCE ?= 10
 
 # Fuzz smoke: `make fuzz` runs each native fuzz target for FUZZTIME
 # (CI uses 30s; local default 10s per target).
 FUZZTIME ?= 10s
 
-.PHONY: build test vet lint race fmt-check bench fuzz ci
+.PHONY: build test vet lint race fmt-check bench benchcmp fuzz ci
 
 build:
 	$(GO) build ./...
@@ -48,8 +59,15 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -run='^$$' ./... \
+	$(GO) test -bench=. -benchmem -benchtime=$(BENCHTIME) -count=1 -run='^$$' ./... \
 		| $(GO) run ./cmd/benchjson -o $(BENCHOUT)
+
+benchcmp:
+	@test -n "$(BENCHBASE)" || { echo "benchcmp: no committed BENCH_NNNN.json baseline"; exit 1; }
+	$(GO) test -bench='^BenchmarkF[1-4]' -benchmem -benchtime=$(BENCHTIME) -count=1 -run='^$$' . \
+		| $(GO) run ./cmd/benchjson -o /tmp/benchcmp.json
+	$(GO) run ./cmd/benchjson -compare $(BENCHBASE) /tmp/benchcmp.json \
+		-tolerance-pct $(BENCHCMP_TOLERANCE) -metrics B/op,allocs/op
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzCodec -fuzztime=$(FUZZTIME) ./internal/trace/

@@ -6,7 +6,15 @@
 // Each "Benchmark..." result line becomes one record with the benchmark
 // name, iteration count, and every reported metric (ns/op, B/op,
 // allocs/op, and any custom units). Non-benchmark lines pass through to
-// stderr so progress stays visible in pipelines.
+// stderr so progress stays visible in pipelines. Records with a single
+// iteration draw a warning: one sample is an anecdote, not a baseline.
+//
+// It is also the regression gate for archived baselines:
+//
+//	benchjson -compare OLD.json NEW.json -tolerance-pct 10 -metrics B/op,allocs/op
+//
+// compares the selected metrics of every benchmark present in both files
+// and exits nonzero if any regressed by more than the tolerance.
 package main
 
 import (
@@ -29,7 +37,28 @@ type Record struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.Bool("compare", false,
+		"compare two baseline files (args: old.json new.json) instead of converting")
+	tolerance := flag.Float64("tolerance-pct", 5,
+		"allowed regression per metric, in percent (with -compare)")
+	metrics := flag.String("metrics", "ns/op,B/op,allocs/op",
+		"comma-separated metrics to gate (with -compare)")
 	flag.Parse()
+
+	if *compare {
+		args := flag.Args()
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs two files: old.json new.json")
+			os.Exit(2)
+		}
+		// Re-parse anything after the two file arguments, so
+		// `-compare old.json new.json -tolerance-pct 10` works (the
+		// flag package stops at the first positional argument).
+		if len(args) > 2 {
+			flag.CommandLine.Parse(args[2:]) //nolint:errcheck // ExitOnError
+		}
+		os.Exit(runCompare(args[0], args[1], *tolerance, strings.Split(*metrics, ",")))
+	}
 
 	var records []Record
 	pkg := ""
@@ -54,6 +83,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	warnSingleIteration(records, "")
 
 	enc, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {
@@ -70,6 +100,105 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(records), *out)
+}
+
+// warnSingleIteration flags records whose result is a single sample.
+func warnSingleIteration(records []Record, file string) {
+	src := ""
+	if file != "" {
+		src = file + ": "
+	}
+	for _, r := range records {
+		if r.Iterations == 1 {
+			fmt.Fprintf(os.Stderr,
+				"benchjson: warning: %s%s ran 1 iteration; its numbers are a single sample (pin -benchtime to a multi-iteration count)\n",
+				src, r.Name)
+		}
+	}
+}
+
+func loadRecords(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var records []Record
+	if err := json.Unmarshal(data, &records); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return records, nil
+}
+
+// runCompare gates NEW against OLD: for every benchmark present in both
+// files, each selected metric may exceed its old value by at most
+// tolerancePct percent. It returns the process exit code.
+func runCompare(oldPath, newPath string, tolerancePct float64, metrics []string) int {
+	oldRecs, err := loadRecords(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newRecs, err := loadRecords(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	warnSingleIteration(oldRecs, oldPath)
+	warnSingleIteration(newRecs, newPath)
+
+	key := func(r Record) string { return r.Package + "/" + r.Name }
+	oldByKey := make(map[string]Record, len(oldRecs))
+	for _, r := range oldRecs {
+		oldByKey[key(r)] = r
+	}
+
+	regressions, compared := 0, 0
+	for _, nr := range newRecs {
+		or, ok := oldByKey[key(nr)]
+		if !ok {
+			continue
+		}
+		for _, m := range metrics {
+			m = strings.TrimSpace(m)
+			ov, okOld := or.Metrics[m]
+			nv, okNew := nr.Metrics[m]
+			if !okOld || !okNew {
+				continue
+			}
+			compared++
+			limit := ov * (1 + tolerancePct/100)
+			switch {
+			case nv > limit:
+				regressions++
+				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s %s: %.4g -> %.4g (+%.1f%%, tolerance %.1f%%)\n",
+					nr.Name, m, ov, nv, pctChange(ov, nv), tolerancePct)
+			case nv < ov*(1-tolerancePct/100):
+				fmt.Fprintf(os.Stderr, "benchjson: improvement %s %s: %.4g -> %.4g (%.1f%%)\n",
+					nr.Name, m, ov, nv, pctChange(ov, nv))
+			}
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no comparable metrics between %s and %s\n", oldPath, newPath)
+		return 2
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) across %d compared metrics\n", regressions, compared)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: no regressions across %d compared metrics (tolerance %.1f%%)\n",
+		compared, tolerancePct)
+	return 0
+}
+
+// pctChange reports the relative change from ov to nv in percent; a zero
+// baseline counts as +100% per unit so new allocations on a
+// previously-zero metric read as a real change.
+func pctChange(ov, nv float64) float64 {
+	if ov == 0 {
+		return nv * 100
+	}
+	return (nv - ov) / ov * 100
 }
 
 // parseLine parses one result line:

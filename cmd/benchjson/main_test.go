@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	rec, ok := parseLine("BenchmarkSimulatorThroughput/arc-8   \t     12  92847221 ns/op\t  52.11 Mevents/s   120 B/op  3 allocs/op", "arcsim")
@@ -20,6 +25,70 @@ func TestParseLine(t *testing.T) {
 	if rec.Package != "arcsim" {
 		t.Errorf("package %q", rec.Package)
 	}
+}
+
+// writeBaseline marshals records into dir and returns the file path.
+func writeBaseline(t *testing.T, dir, name string, records []Record) string {
+	t.Helper()
+	data, err := json.Marshal(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBaseline(t, dir, "old.json", []Record{
+		{Name: "BenchmarkF1-8", Package: "arcsim", Iterations: 3,
+			Metrics: map[string]float64{"ns/op": 1000, "B/op": 10000, "allocs/op": 50}},
+		{Name: "BenchmarkOnlyOld-8", Package: "arcsim", Iterations: 3,
+			Metrics: map[string]float64{"ns/op": 5}},
+	})
+
+	t.Run("within tolerance passes", func(t *testing.T) {
+		cur := writeBaseline(t, dir, "ok.json", []Record{
+			{Name: "BenchmarkF1-8", Package: "arcsim", Iterations: 3,
+				Metrics: map[string]float64{"ns/op": 1040, "B/op": 10200, "allocs/op": 50}},
+		})
+		if code := runCompare(old, cur, 5, []string{"ns/op", "B/op", "allocs/op"}); code != 0 {
+			t.Errorf("exit code %d, want 0", code)
+		}
+	})
+
+	t.Run("regression fails", func(t *testing.T) {
+		cur := writeBaseline(t, dir, "bad.json", []Record{
+			{Name: "BenchmarkF1-8", Package: "arcsim", Iterations: 3,
+				Metrics: map[string]float64{"ns/op": 1000, "B/op": 20000, "allocs/op": 50}},
+		})
+		if code := runCompare(old, cur, 5, []string{"B/op"}); code != 1 {
+			t.Errorf("exit code %d, want 1", code)
+		}
+	})
+
+	t.Run("unselected metrics are not gated", func(t *testing.T) {
+		cur := writeBaseline(t, dir, "nsonly.json", []Record{
+			{Name: "BenchmarkF1-8", Package: "arcsim", Iterations: 3,
+				Metrics: map[string]float64{"ns/op": 9000, "B/op": 10000, "allocs/op": 50}},
+		})
+		if code := runCompare(old, cur, 5, []string{"B/op", "allocs/op"}); code != 0 {
+			t.Errorf("exit code %d, want 0", code)
+		}
+	})
+
+	t.Run("disjoint benchmark sets are an error", func(t *testing.T) {
+		cur := writeBaseline(t, dir, "disjoint.json", []Record{
+			{Name: "BenchmarkNew-8", Package: "arcsim", Iterations: 3,
+				Metrics: map[string]float64{"ns/op": 1}},
+		})
+		if code := runCompare(old, cur, 5, []string{"ns/op"}); code != 2 {
+			t.Errorf("exit code %d, want 2", code)
+		}
+	})
 }
 
 func TestParseLineRejectsMalformed(t *testing.T) {

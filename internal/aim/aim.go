@@ -114,6 +114,12 @@ func (b *Bank) Access(line core.Line, dirty bool) Result {
 	return res
 }
 
+// Reset empties the bank and zeroes its statistics (machine pooling).
+func (b *Bank) Reset() {
+	b.c.Reset()
+	b.Stats = Stats{}
+}
+
 // Contains reports whether line is resident, without side effects.
 func (b *Bank) Contains(line core.Line) bool { return b.c.Peek(line) != nil }
 

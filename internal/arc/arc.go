@@ -35,7 +35,26 @@ package arc
 import (
 	"arcsim/internal/cache"
 	"arcsim/internal/core"
+	"arcsim/internal/linetab"
 	"arcsim/internal/machine"
+)
+
+// Pre-interned counter IDs (see machine.RegisterCounter).
+var (
+	ctrRegistrations      = machine.RegisterCounter("arc.registrations")
+	ctrLLCWritebacks      = machine.RegisterCounter("arc.llc_writebacks")
+	ctrPends              = machine.RegisterCounter("arc.pends")
+	ctrEagerJoins         = machine.RegisterCounter("arc.eager_joins")
+	ctrPendUpgrades       = machine.RegisterCounter("arc.pend_upgrades")
+	ctrPendRecalls        = machine.RegisterCounter("arc.pend_recalls")
+	ctrRecalls            = machine.RegisterCounter("arc.recalls")
+	ctrRecallDowngrades   = machine.RegisterCounter("arc.recall_downgrades")
+	ctrBroadcasts         = machine.RegisterCounter("arc.broadcasts")
+	ctrConflicts          = machine.RegisterCounter("arc.conflicts")
+	ctrDowngrades         = machine.RegisterCounter("arc.downgrades")
+	ctrSelfInvalidations  = machine.RegisterCounter("arc.selfinvalidations")
+	ctrEvictWritethroughs = machine.RegisterCounter("arc.evict_writethroughs")
+	ctrBitSpills          = machine.RegisterCounter("arc.bit_spills")
 )
 
 // Line classes. classPrivate/classReadOnly/classShared double as registry
@@ -61,14 +80,19 @@ const (
 // at a region boundary.
 const flashInvalidateCycles = 2
 
-// regEntry is the registry record for one line.
-type regEntry struct {
-	class uint8
+// regView is a borrowed view of one registry record. The scalar fields
+// point into, and the per-core slices alias, the protocol's flat
+// backing arrays (slot s owns span [s*cores, (s+1)*cores)): taking a
+// view is free, but a view must not be used across a call that can
+// create a registry entry — creation may grow the arrays, leaving the
+// view pointing at the old backing storage.
+type regView struct {
+	class *uint8
 	// owner is the private owner (valid when class == classPrivate).
-	owner core.CoreID
+	owner *core.CoreID
 	// writerEver: some core has ever registered write bits; such a line
 	// can never (re)become read-only.
-	writerEver bool
+	writerEver *bool
 	// Registered access bits per core, tagged by region sequence. pend
 	// marks cores whose registered bits may be incomplete (the rest is
 	// resident in their L1 and must be recalled before a check);
@@ -80,18 +104,8 @@ type regEntry struct {
 	pendWrite []bool
 }
 
-func newRegEntry(cores int) *regEntry {
-	return &regEntry{
-		bits:      make([]core.AccessBits, cores),
-		tags:      make([]uint64, cores),
-		used:      make([]bool, cores),
-		pend:      make([]bool, cores),
-		pendWrite: make([]bool, cores),
-	}
-}
-
 // register merges complete (eager) bits for core c's region seq.
-func (e *regEntry) register(c core.CoreID, seq uint64, bits core.AccessBits) {
+func (e regView) register(c core.CoreID, seq uint64, bits core.AccessBits) {
 	i := int(c)
 	if e.used[i] && e.tags[i] == seq {
 		e.bits[i].Merge(bits)
@@ -103,13 +117,13 @@ func (e *regEntry) register(c core.CoreID, seq uint64, bits core.AccessBits) {
 	e.pend[i] = false
 	e.pendWrite[i] = false
 	if !bits.WriteMask.Empty() {
-		e.writerEver = true
+		*e.writerEver = true
 	}
 }
 
 // spill merges bits for core c without clearing its pend status (the
 // core may keep accumulating bits locally after a refetch).
-func (e *regEntry) spill(c core.CoreID, seq uint64, bits core.AccessBits) {
+func (e regView) spill(c core.CoreID, seq uint64, bits core.AccessBits) {
 	i := int(c)
 	if e.used[i] && e.tags[i] == seq {
 		e.bits[i].Merge(bits)
@@ -119,13 +133,13 @@ func (e *regEntry) spill(c core.CoreID, seq uint64, bits core.AccessBits) {
 		e.used[i] = true
 	}
 	if !bits.WriteMask.Empty() {
-		e.writerEver = true
+		*e.writerEver = true
 	}
 }
 
 // markPend records that core c's active region is touching the line with
 // its bits held locally; write notes whether those bits include writes.
-func (e *regEntry) markPend(c core.CoreID, seq uint64, write bool) {
+func (e regView) markPend(c core.CoreID, seq uint64, write bool) {
 	i := int(c)
 	if !(e.used[i] && e.tags[i] == seq) {
 		e.bits[i] = core.AccessBits{}
@@ -138,7 +152,7 @@ func (e *regEntry) markPend(c core.CoreID, seq uint64, write bool) {
 
 // scrubStale drops core o's registration if its region ended; it reports
 // whether a live registration remains.
-func (e *regEntry) scrubStale(o int, liveSeq uint64) bool {
+func (e regView) scrubStale(o int, liveSeq uint64) bool {
 	if !e.used[o] {
 		return false
 	}
@@ -170,8 +184,22 @@ type Protocol struct {
 	// granularity instead of bytes (experiment A3).
 	WordGranularity bool
 
-	opts     Options
-	registry map[core.Line]*regEntry
+	opts Options
+
+	// The registry, flattened: tab maps a line to a slot in the arrays
+	// below. class/owner/writerEver are per-slot; the rest are per-slot
+	// per-core spans (see regView). Slots are bump-allocated; the
+	// registry never deletes entries, so there is no free list.
+	tab        linetab.Table
+	class      []uint8
+	owner      []core.CoreID
+	writerEver []bool
+	bits       []core.AccessBits
+	tags       []uint64
+	used       []bool
+	pend       []bool
+	pendWrite  []bool
+	next       int32
 }
 
 // New builds the ARC protocol over m with the full design.
@@ -179,7 +207,15 @@ func New(m *machine.Machine) *Protocol { return NewWithOptions(m, Options{}) }
 
 // NewWithOptions builds ARC with ablation options.
 func NewWithOptions(m *machine.Machine, opts Options) *Protocol {
-	return &Protocol{M: m, opts: opts, registry: make(map[core.Line]*regEntry)}
+	return &Protocol{M: m, opts: opts}
+}
+
+// Reset returns the protocol to its freshly-built state, keeping the
+// registry capacity, so a pooled machine+protocol pair can be reused
+// across runs (see DESIGN.md, "Memory discipline").
+func (p *Protocol) Reset() {
+	p.tab.Reset()
+	p.next = 0
 }
 
 // Name implements machine.Protocol; ablated variants are suffixed.
@@ -195,14 +231,62 @@ func (p *Protocol) Name() string {
 	return "arc"
 }
 
-// entry returns (creating if needed) the registry record for line.
-func (p *Protocol) entry(line core.Line) *regEntry {
-	e, ok := p.registry[line]
+// entry returns (creating if needed) the registry record for line. See
+// the aliasing caveat on regView.
+func (p *Protocol) entry(line core.Line) regView {
+	s, ok := p.tab.Get(line)
 	if !ok {
-		e = newRegEntry(p.M.Cfg.Cores)
-		p.registry[line] = e
+		s = p.alloc()
+		p.tab.Put(line, s)
 	}
-	return e
+	return p.view(s)
+}
+
+// view returns slot s's record.
+func (p *Protocol) view(s int32) regView {
+	cores := p.M.Cfg.Cores
+	lo := int(s) * cores
+	return regView{
+		class:      &p.class[s],
+		owner:      &p.owner[s],
+		writerEver: &p.writerEver[s],
+		bits:       p.bits[lo : lo+cores],
+		tags:       p.tags[lo : lo+cores],
+		used:       p.used[lo : lo+cores],
+		pend:       p.pend[lo : lo+cores],
+		pendWrite:  p.pendWrite[lo : lo+cores],
+	}
+}
+
+// alloc claims the next slot, growing the backing arrays when the
+// high-water mark passes their length and clearing reused storage
+// (after a Reset the bump allocator walks over previous-run state).
+// bits/tags need no clearing: they are written before being read once
+// the cleared used flag is set.
+func (p *Protocol) alloc() int32 {
+	cores := p.M.Cfg.Cores
+	s := p.next
+	p.next++
+	if int(p.next) > len(p.class) {
+		p.class = append(p.class, 0)
+		p.owner = append(p.owner, 0)
+		p.writerEver = append(p.writerEver, false)
+	}
+	for len(p.used) < int(p.next)*cores {
+		p.bits = append(p.bits, core.AccessBits{})
+		p.tags = append(p.tags, 0)
+		p.used = append(p.used, false)
+		p.pend = append(p.pend, false)
+		p.pendWrite = append(p.pendWrite, false)
+	}
+	p.class[s] = 0
+	p.owner[s] = 0
+	p.writerEver[s] = false
+	lo := int(s) * cores
+	clear(p.used[lo : lo+cores])
+	clear(p.pend[lo : lo+cores])
+	clear(p.pendWrite[lo : lo+cores])
+	return s
 }
 
 // Access implements machine.Protocol.
@@ -284,7 +368,7 @@ func (p *Protocol) registerFull(now uint64, c core.CoreID, kind core.AccessKind,
 	lat := m.Send(now, int(c), home, machine.MaskBytes)
 	m.Send(now+lat, home, int(c), machine.CtrlBytes) // ack, overlapped
 	lat += m.MetaAccess(now+lat, line, true, false)
-	m.Inc("arc.registrations", 1)
+	m.IncID(ctrRegistrations, 1)
 
 	e := p.entry(line)
 	lat += p.recallPends(now+lat, c, line, e)
@@ -311,7 +395,7 @@ func (p *Protocol) fetch(now uint64, c core.CoreID, acc core.Access, line core.L
 		slot, victim, evicted := m.LLC[home].Insert(line)
 		if evicted && victim.Dirty {
 			m.DRAMData(now+lat, victim.Tag, true) // off critical path
-			m.Inc("arc.llc_writebacks", 1)
+			m.IncID(ctrLLCWritebacks, 1)
 		}
 		slot.Dirty = false
 		lat += m.DRAMData(now+lat, line, false)
@@ -323,50 +407,50 @@ func (p *Protocol) fetch(now uint64, c core.CoreID, acc core.Access, line core.L
 	e := p.entry(line)
 	var class uint8
 	switch {
-	case e.class == 0:
+	case *e.class == 0:
 		// Untouched: becomes private to the requester (or joins the
 		// shared protocol immediately under the DisablePrivate
 		// ablation).
 		if p.opts.DisablePrivate {
-			e.class = classShared
+			*e.class = classShared
 			var jl uint64
 			class, jl = p.joinShared(now+lat, c, acc.Kind, line, seq, mask, e)
 			lat += jl
 		} else {
-			e.class = classPrivate
-			e.owner = c
+			*e.class = classPrivate
+			*e.owner = c
 			class = classPrivate
 		}
-	case e.class == classPrivate && e.owner == c:
+	case *e.class == classPrivate && *e.owner == c:
 		class = classPrivate // refetch by the owner
-	case e.class == classPrivate:
+	case *e.class == classPrivate:
 		// Second toucher: recall the owner's bits, reclassify.
-		lat += p.recall(now+lat, e.owner, line, e)
-		if e.writerEver || acc.Kind == core.Write || p.opts.DisableReadOnly {
-			e.class = classShared
+		lat += p.recall(now+lat, *e.owner, line, e)
+		if *e.writerEver || acc.Kind == core.Write || p.opts.DisableReadOnly {
+			*e.class = classShared
 			// Concurrency has materialized: the requester joins eager
 			// (joinShared sees the owner's live bits if any).
 			var jl uint64
 			class, jl = p.joinShared(now+lat, c, acc.Kind, line, seq, mask, e)
 			lat += jl
 		} else {
-			e.class = classReadOnly
+			*e.class = classReadOnly
 			class = classReadOnly
 		}
 		// The former owner's copy (if resident) takes the new class;
 		// under contention it operates eagerly.
-		if ol := m.L1[int(e.owner)].Peek(line); ol != nil {
-			ol.State = e.class
-			if e.class == classShared {
+		if ol := m.L1[int(*e.owner)].Peek(line); ol != nil {
+			ol.State = *e.class
+			if *e.class == classShared {
 				ol.State = lineSharedEager
 			}
 		}
-	case e.class == classReadOnly && acc.Kind == core.Write:
+	case *e.class == classReadOnly && acc.Kind == core.Write:
 		lat += p.broadcastCollect(now+lat, c, line)
 		var jl uint64
 		class, jl = p.joinShared(now+lat, c, acc.Kind, line, seq, mask, e)
 		lat += jl
-	case e.class == classReadOnly:
+	case *e.class == classReadOnly:
 		class = classReadOnly // free: no bits tracked for readers
 	default: // shared
 		var jl uint64
@@ -398,7 +482,7 @@ func (p *Protocol) fetch(now uint64, c core.CoreID, acc core.Access, line core.L
 // region with writes — all pend bits are recalled, the incoming access is
 // checked against every live region's bits, and everyone operates eagerly
 // from then on. Returns the L1 state for c's copy.
-func (p *Protocol) joinShared(now uint64, c core.CoreID, kind core.AccessKind, line core.Line, seq uint64, mask core.ByteMask, e *regEntry) (uint8, uint64) {
+func (p *Protocol) joinShared(now uint64, c core.CoreID, kind core.AccessKind, line core.Line, seq uint64, mask core.ByteMask, e regView) (uint8, uint64) {
 	m := p.M
 	var lat uint64
 	liveAny, liveWriter := false, false
@@ -421,7 +505,7 @@ func (p *Protocol) joinShared(now uint64, c core.CoreID, kind core.AccessKind, l
 		// Defer: leave a pend marker (a dirty-allocated table touch).
 		lat += m.MetaAccess(now, line, true, true)
 		e.markPend(c, seq, kind == core.Write)
-		m.Inc("arc.pends", 1)
+		m.IncID(ctrPends, 1)
 		return classShared, lat
 	}
 	// A writer is in play: gather pend bits, check, register eagerly.
@@ -431,7 +515,7 @@ func (p *Protocol) joinShared(now uint64, c core.CoreID, kind core.AccessKind, l
 	var bits core.AccessBits
 	bits.Add(kind, mask)
 	e.register(c, seq, bits)
-	m.Inc("arc.eager_joins", 1)
+	m.IncID(ctrEagerJoins, 1)
 	return lineSharedEager, lat
 }
 
@@ -442,7 +526,7 @@ func (p *Protocol) pendUpgrade(now uint64, c core.CoreID, line core.Line, seq ui
 	m := p.M
 	home := m.HomeTile(line)
 	lat := m.Send(now, int(c), home, machine.MaskBytes)
-	m.Inc("arc.pend_upgrades", 1)
+	m.IncID(ctrPendUpgrades, 1)
 
 	e := p.entry(line)
 	liveAny := false
@@ -466,13 +550,13 @@ func (p *Protocol) pendUpgrade(now uint64, c core.CoreID, line core.Line, seq ui
 	p.checkConflicts(now+lat, c, core.Write, line, mask, e)
 	e.register(c, seq, l1.Bits) // full local bits become visible
 	l1.State = lineSharedEager
-	m.Inc("arc.eager_joins", 1)
+	m.IncID(ctrEagerJoins, 1)
 	return lat
 }
 
 // recallPends collects the locally-held bits of every live pend core
 // (other than c) and flips their resident copies to eager mode.
-func (p *Protocol) recallPends(now uint64, c core.CoreID, line core.Line, e *regEntry) uint64 {
+func (p *Protocol) recallPends(now uint64, c core.CoreID, line core.Line, e regView) uint64 {
 	m := p.M
 	home := m.HomeTile(line)
 	var worst uint64
@@ -489,7 +573,7 @@ func (p *Protocol) recallPends(now uint64, c core.CoreID, line core.Line, e *reg
 		if legA+legB > worst {
 			worst = legA + legB
 		}
-		m.Inc("arc.pend_recalls", 1)
+		m.IncID(ctrPendRecalls, 1)
 		if ol := m.L1[o].Peek(line); ol != nil {
 			if !ol.Bits.Empty() && ol.Aux == m.Seq(oc) {
 				e.spill(oc, ol.Aux, ol.Bits)
@@ -509,11 +593,11 @@ func (p *Protocol) recallPends(now uint64, c core.CoreID, line core.Line, e *reg
 // recall collects the private owner's current bits (and dirty data) when
 // a second core touches the line. The caller reclassifies the owner's
 // resident copy once the new class is decided.
-func (p *Protocol) recall(now uint64, owner core.CoreID, line core.Line, e *regEntry) uint64 {
+func (p *Protocol) recall(now uint64, owner core.CoreID, line core.Line, e regView) uint64 {
 	m := p.M
 	home := m.HomeTile(line)
 	lat := m.Send(now, home, int(owner), machine.CtrlBytes)
-	m.Inc("arc.recalls", 1)
+	m.IncID(ctrRecalls, 1)
 
 	ol := m.L1[int(owner)].Peek(line)
 	if ol == nil {
@@ -527,13 +611,13 @@ func (p *Protocol) recall(now uint64, owner core.CoreID, line core.Line, e *regE
 		resp += machine.DataBytes
 		p.writeThrough(now+lat, line)
 		ol.Dirty = false
-		m.Inc("arc.recall_downgrades", 1)
+		m.IncID(ctrRecallDowngrades, 1)
 	}
 	if !ol.Bits.Empty() && ol.Aux == m.Seq(owner) {
 		e.spill(owner, ol.Aux, ol.Bits)
 	}
 	if !ol.Bits.WriteMask.Empty() {
-		e.writerEver = true
+		*e.writerEver = true
 	}
 	// The owner's bits charge one table update.
 	m.MetaAccess(now+lat, line, true, true)
@@ -548,9 +632,9 @@ func (p *Protocol) broadcastCollect(now uint64, requester core.CoreID, line core
 	m := p.M
 	home := m.HomeTile(line)
 	e := p.entry(line)
-	e.class = classShared
-	e.writerEver = true
-	m.Inc("arc.broadcasts", 1)
+	*e.class = classShared
+	*e.writerEver = true
+	m.IncID(ctrBroadcasts, 1)
 
 	var worst uint64
 	for o := 0; o < m.Cfg.Cores; o++ {
@@ -577,7 +661,7 @@ func (p *Protocol) broadcastCollect(now uint64, requester core.CoreID, line core
 // checkConflicts compares an incoming access against every other core's
 // registered bits for the line and reports byte-overlapping conflicts.
 // Callers must have recalled pend bits first.
-func (p *Protocol) checkConflicts(now uint64, c core.CoreID, kind core.AccessKind, line core.Line, mask core.ByteMask, e *regEntry) {
+func (p *Protocol) checkConflicts(now uint64, c core.CoreID, kind core.AccessKind, line core.Line, mask core.ByteMask, e regView) {
 	m := p.M
 	for o := range e.used {
 		oc := core.CoreID(o)
@@ -597,7 +681,7 @@ func (p *Protocol) checkConflicts(now uint64, c core.CoreID, kind core.AccessKin
 			Bytes:      clash,
 		}
 		if m.Report(now, c, conflict) {
-			m.Inc("arc.conflicts", 1)
+			m.IncID(ctrConflicts, 1)
 		}
 	}
 }
@@ -628,14 +712,14 @@ func (p *Protocol) evict(now uint64, c core.CoreID, victim cache.Line) {
 	if victim.Dirty {
 		payload += machine.DataBytes
 		p.writeThrough(now, victim.Tag)
-		m.Inc("arc.evict_writethroughs", 1)
+		m.IncID(ctrEvictWritethroughs, 1)
 	}
 	if liveBits && victim.State != lineSharedEager {
 		payload += machine.MetaBytes
 		e := p.entry(victim.Tag)
 		e.spill(c, victim.Aux, victim.Bits)
 		m.MetaAccess(now, victim.Tag, true, true)
-		m.Inc("arc.bit_spills", 1)
+		m.IncID(ctrBitSpills, 1)
 	}
 	if payload > 0 {
 		m.Send(now, int(c), home, payload)
@@ -663,7 +747,7 @@ func (p *Protocol) Boundary(now uint64, c core.CoreID) uint64 {
 		sendLat := m.Send(now+lat, r, home, payload)
 		p.writeThrough(now+lat, l.Tag)
 		l.Dirty = false
-		m.Inc("arc.downgrades", 1)
+		m.IncID(ctrDowngrades, 1)
 		if first {
 			lat += sendLat
 			first = false
@@ -674,10 +758,10 @@ func (p *Protocol) Boundary(now uint64, c core.CoreID) uint64 {
 	n := m.L1[r].InvalidateIf(func(l *cache.Line) bool {
 		return l.State == classShared || l.State == lineSharedEager
 	})
-	m.Inc("arc.selfinvalidations", uint64(n))
+	m.IncID(ctrSelfInvalidations, uint64(n))
 	return lat
 }
 
 // RegistrySize reports the number of live registry entries (for tests and
 // diagnostics).
-func (p *Protocol) RegistrySize() int { return len(p.registry) }
+func (p *Protocol) RegistrySize() int { return p.tab.Len() }

@@ -36,7 +36,7 @@ func TestPrivateLinesAreFree(t *testing.T) {
 	if m.Mesh.Stats.Messages != msgs {
 		t.Errorf("private hits generated %d messages", m.Mesh.Stats.Messages-msgs)
 	}
-	if m.Counters["arc.registrations"] != 0 {
+	if m.Counter("arc.registrations") != 0 {
 		t.Error("private accesses registered eagerly")
 	}
 }
@@ -61,8 +61,8 @@ func TestRecallOnSecondToucher(t *testing.T) {
 	p := New(m)
 	p.Access(0, 0, acc(core.Write, 0x1000, 8))
 	p.Access(10, 1, acc(core.Read, 0x1008, 8)) // disjoint bytes: no conflict
-	if m.Counters["arc.recalls"] != 1 {
-		t.Fatalf("recalls = %d, want 1", m.Counters["arc.recalls"])
+	if m.Counter("arc.recalls") != 1 {
+		t.Fatalf("recalls = %d, want 1", m.Counter("arc.recalls"))
 	}
 	if m.Conflicts.Len() != 0 {
 		t.Fatalf("disjoint bytes flagged: %v", m.Conflicts.Conflicts())
@@ -92,7 +92,7 @@ func TestReadOnlyClassification(t *testing.T) {
 	for c := core.CoreID(0); c < 4; c++ {
 		p.Access(uint64(c)*10, c, acc(core.Read, 0x2000, 8))
 	}
-	regs := m.Counters["arc.registrations"]
+	regs := m.Counter("arc.registrations")
 	// Read-only hits are free and survive boundaries.
 	for c := core.CoreID(0); c < 4; c++ {
 		p.Boundary(100+uint64(c), c)
@@ -104,7 +104,7 @@ func TestReadOnlyClassification(t *testing.T) {
 		}
 		p.Access(200+uint64(c), c, acc(core.Read, 0x2000, 8))
 	}
-	if m.Counters["arc.registrations"] != regs {
+	if m.Counter("arc.registrations") != regs {
 		t.Error("read-only reads registered")
 	}
 	if m.Conflicts.Len() != 0 {
@@ -121,8 +121,8 @@ func TestWriteToReadOnlyBroadcasts(t *testing.T) {
 	// Core 3 writes: must broadcast, collect the readers' bits, and
 	// detect all three conflicts.
 	p.Access(100, 3, acc(core.Write, 0x2000, 8))
-	if m.Counters["arc.broadcasts"] != 1 {
-		t.Fatalf("broadcasts = %d", m.Counters["arc.broadcasts"])
+	if m.Counter("arc.broadcasts") != 1 {
+		t.Fatalf("broadcasts = %d", m.Counter("arc.broadcasts"))
 	}
 	if m.Conflicts.Len() != 3 {
 		t.Fatalf("conflicts = %d, want 3 (one per reader)", m.Conflicts.Len())
@@ -141,11 +141,11 @@ func TestSharedWriteRegistersEagerly(t *testing.T) {
 	// Make the line shared via write + recall.
 	p.Access(0, 0, acc(core.Write, 0x3000, 8))
 	p.Access(10, 1, acc(core.Write, 0x3008, 8)) // recall, shared now
-	regs := m.Counters["arc.registrations"]
+	regs := m.Counter("arc.registrations")
 	// Core 1 hit-writes new bytes: extension registration, and the
 	// conflict with core 0's live write bits is caught at the registry.
 	p.Access(20, 1, acc(core.Write, 0x3004, 4))
-	if m.Counters["arc.registrations"] != regs+1 {
+	if m.Counter("arc.registrations") != regs+1 {
 		t.Error("extension registration not sent")
 	}
 	if m.Conflicts.Len() != 1 {
@@ -153,7 +153,7 @@ func TestSharedWriteRegistersEagerly(t *testing.T) {
 	}
 	// Re-touching the same bytes must not re-register.
 	p.Access(30, 1, acc(core.Write, 0x3004, 4))
-	if m.Counters["arc.registrations"] != regs+1 {
+	if m.Counter("arc.registrations") != regs+1 {
 		t.Error("duplicate registration for same bytes")
 	}
 }
@@ -166,13 +166,13 @@ func TestBoundaryDowngradesDirtySharedLines(t *testing.T) {
 	p.Access(20, 0, acc(core.Write, 0x3010, 8)) // dirty again (shared)
 	lat := p.Boundary(30, 0)
 	m.NextRegion(0)
-	if m.Counters["arc.downgrades"] != 1 {
-		t.Errorf("downgrades = %d, want 1", m.Counters["arc.downgrades"])
+	if m.Counter("arc.downgrades") != 1 {
+		t.Errorf("downgrades = %d, want 1", m.Counter("arc.downgrades"))
 	}
 	if lat <= flashInvalidateCycles {
 		t.Error("downgrade latency not charged")
 	}
-	if m.Counters["arc.selfinvalidations"] == 0 {
+	if m.Counter("arc.selfinvalidations") == 0 {
 		t.Error("no self-invalidation")
 	}
 }
@@ -184,7 +184,7 @@ func TestEvictionSpillsPrivateBits(t *testing.T) {
 	p.Access(0, 0, acc(core.Write, 0, 8))
 	p.Access(10, 0, acc(core.Read, 4*64, 8))
 	p.Access(20, 0, acc(core.Read, 8*64, 8))
-	if m.Counters["arc.bit_spills"] == 0 {
+	if m.Counter("arc.bit_spills") == 0 {
 		t.Fatal("private eviction did not spill bits")
 	}
 	// Second core touches the evicted line: recall finds nothing

@@ -23,18 +23,18 @@ func TestConcurrentReadersAllPend(t *testing.T) {
 	}
 	// Now four concurrent readers: every one must defer (pend), with no
 	// recalls and no eager joins.
-	recalls := m.Counters["arc.pend_recalls"]
-	joins := m.Counters["arc.eager_joins"]
+	recalls := m.Counter("arc.pend_recalls")
+	joins := m.Counter("arc.eager_joins")
 	for c := core.CoreID(0); c < 4; c++ {
 		p.Access(100+uint64(c)*10, c, acc(core.Read, 0x1000, 8))
 	}
-	if got := m.Counters["arc.pends"]; got < 4 {
+	if got := m.Counter("arc.pends"); got < 4 {
 		t.Errorf("pends = %d, want >= 4 (all readers defer)", got)
 	}
-	if m.Counters["arc.pend_recalls"] != recalls {
+	if m.Counter("arc.pend_recalls") != recalls {
 		t.Error("concurrent readers triggered recalls")
 	}
-	if m.Counters["arc.eager_joins"] != joins {
+	if m.Counter("arc.eager_joins") != joins {
 		t.Error("concurrent readers joined eagerly")
 	}
 	if m.Conflicts.Len() != 0 {
@@ -58,7 +58,7 @@ func TestWriterJoinRecallsAllReadPends(t *testing.T) {
 	// Core 3 writes: all three pends must be recalled and the byte
 	// overlap with core 0's read detected.
 	p.Access(200, 3, acc(core.Write, 0x1000, 8))
-	if got := m.Counters["arc.pend_recalls"]; got < 3 {
+	if got := m.Counter("arc.pend_recalls"); got < 3 {
 		t.Errorf("pend recalls = %d, want >= 3", got)
 	}
 	if m.Conflicts.Len() != 1 {
@@ -84,14 +84,14 @@ func TestPendUpgradeOnFirstLocalWrite(t *testing.T) {
 	}
 	p.Access(100, 0, acc(core.Read, 0x2000, 8))
 	p.Access(110, 1, acc(core.Read, 0x2010, 8))
-	if m.Counters["arc.pend_upgrades"] != 0 {
+	if m.Counter("arc.pend_upgrades") != 0 {
 		t.Fatal("reads caused pend upgrades")
 	}
 	// c0's first local write: upgrade, recall of c1's pend, conflict
 	// check of the write against c1's reads (no overlap here).
 	p.Access(120, 0, acc(core.Write, 0x2008, 8))
-	if m.Counters["arc.pend_upgrades"] != 1 {
-		t.Errorf("pend upgrades = %d, want 1", m.Counters["arc.pend_upgrades"])
+	if m.Counter("arc.pend_upgrades") != 1 {
+		t.Errorf("pend upgrades = %d, want 1", m.Counter("arc.pend_upgrades"))
 	}
 	if m.Conflicts.Len() != 0 {
 		t.Fatalf("disjoint write flagged: %v", m.Conflicts.Conflicts())
@@ -102,9 +102,9 @@ func TestPendUpgradeOnFirstLocalWrite(t *testing.T) {
 		t.Fatalf("conflicts = %d, want 1 (eager write vs c1's read)", m.Conflicts.Len())
 	}
 	// c0's further writes to the same bytes send nothing new.
-	regs := m.Counters["arc.registrations"]
+	regs := m.Counter("arc.registrations")
 	p.Access(140, 0, acc(core.Write, 0x2010, 8))
-	if m.Counters["arc.registrations"] != regs {
+	if m.Counter("arc.registrations") != regs {
 		t.Error("re-write re-registered")
 	}
 }
@@ -119,13 +119,13 @@ func TestPendUpgradeAloneStaysDeferred(t *testing.T) {
 		p.Boundary(20+uint64(c), c)
 		m.NextRegion(c)
 	}
-	joinsBefore := m.Counters["arc.eager_joins"]
+	joinsBefore := m.Counter("arc.eager_joins")
 	p.Access(100, 0, acc(core.Read, 0x3000, 8)) // read-pend
 	p.Access(110, 0, acc(core.Write, 0x3000, 8))
-	if m.Counters["arc.pend_upgrades"] != 1 {
-		t.Fatalf("pend upgrades = %d", m.Counters["arc.pend_upgrades"])
+	if m.Counter("arc.pend_upgrades") != 1 {
+		t.Fatalf("pend upgrades = %d", m.Counter("arc.pend_upgrades"))
 	}
-	if m.Counters["arc.eager_joins"] != joinsBefore {
+	if m.Counter("arc.eager_joins") != joinsBefore {
 		t.Error("lone writer went eager")
 	}
 	// The copy stays deferred: further writes are silent.

@@ -176,6 +176,38 @@ type anEntry struct {
 	err  error
 }
 
+// trEntry is the trace memo's singleflight slot: one trace identity
+// under a runner is (workload, cores) — scale and seed are fixed by the
+// config — and generation is deterministic, so every run and analysis of
+// that identity shares one immutable build instead of regenerating it.
+type trEntry struct {
+	done chan struct{}
+	tr   *trace.Trace
+	err  error
+}
+
+// poolKey identifies interchangeable machine+protocol builds: everything
+// that flows into protocols.Build for a run except the workload.
+type poolKey struct {
+	proto string
+	cores int
+	aim   int
+}
+
+// pooledPair is one reusable simulation substrate. Pairs are recycled
+// through Runner.acquire/release: Machine.Reset plus the protocol's
+// Reset restore the freshly-built state (byte-identical results — see
+// TestPooledRunsMatchFresh) while keeping the multi-megabyte cache-line
+// arrays and metadata tables allocated.
+type pooledPair struct {
+	m *machine.Machine
+	p machine.Protocol
+}
+
+// resettable is the protocol-side pooling contract; pairs whose protocol
+// does not implement it are never pooled.
+type resettable interface{ Reset() }
+
 // Timing summarizes the simulations a Runner actually executed
 // (memo and singleflight hits excluded).
 type Timing struct {
@@ -223,6 +255,17 @@ type Runner struct {
 	anMu   sync.Mutex
 	anMemo map[anKey]*anEntry
 
+	// trMu/trMemo singleflight workload trace generation (shared by
+	// execution and analysis; traces are immutable once built).
+	trMu   sync.Mutex
+	trMemo map[anKey]*trEntry
+
+	// poolMu/pool recycle machine+protocol pairs across runs that share
+	// a poolKey, so a sweep pays the ~tens-of-MB machine build once per
+	// configuration instead of once per run.
+	poolMu sync.Mutex
+	pool   map[poolKey][]pooledPair
+
 	// progressMu keeps concurrent runs from interleaving Progress lines.
 	progressMu sync.Mutex
 
@@ -236,6 +279,8 @@ func NewRunner(cfg Config) *Runner {
 		cfg:    cfg.normalized(),
 		memo:   make(map[runKey]*memoEntry),
 		anMemo: make(map[anKey]*anEntry),
+		trMemo: make(map[anKey]*trEntry),
+		pool:   make(map[poolKey][]pooledPair),
 	}
 }
 
@@ -446,6 +491,61 @@ func buildTrace(wl string, params workload.Params) (*trace.Trace, error) {
 	}
 }
 
+// trace returns the memoized trace of the named workload at the given
+// core count, generating it on first use. The returned trace is shared
+// and must be treated as immutable (the simulator only reads it).
+func (r *Runner) trace(wl string, cores int) (*trace.Trace, error) {
+	key := anKey{wl, cores}
+	r.trMu.Lock()
+	if e, ok := r.trMemo[key]; ok {
+		r.trMu.Unlock()
+		<-e.done
+		return e.tr, e.err
+	}
+	e := &trEntry{done: make(chan struct{})}
+	r.trMemo[key] = e
+	r.trMu.Unlock()
+
+	e.tr, e.err = buildTrace(wl, workload.Params{Threads: cores, Seed: r.cfg.Seed, Scale: r.cfg.Scale})
+	close(e.done)
+	return e.tr, e.err
+}
+
+// acquire hands out a machine+protocol pair for the given coordinates:
+// from the recycle pool when a compatible pair is idle (reset to the
+// freshly-built state), freshly built otherwise.
+func (r *Runner) acquire(proto string, cores, aimEntries int) (*machine.Machine, machine.Protocol, error) {
+	pk := poolKey{proto, cores, aimEntries}
+	r.poolMu.Lock()
+	if s := r.pool[pk]; len(s) > 0 {
+		pair := s[len(s)-1]
+		r.pool[pk] = s[:len(s)-1]
+		r.poolMu.Unlock()
+		pair.m.Reset()
+		pair.p.(resettable).Reset()
+		return pair.m, pair.p, nil
+	}
+	r.poolMu.Unlock()
+	mcfg := machine.Default(cores)
+	if aimEntries > 0 {
+		mcfg.AIM.Entries = aimEntries
+	}
+	return protocols.Build(proto, mcfg)
+}
+
+// release returns a pair to the recycle pool. Results never alias
+// machine state (sim.fill copies everything), so a finished run's pair
+// is immediately reusable; state is scrubbed on the next acquire.
+func (r *Runner) release(proto string, cores, aimEntries int, m *machine.Machine, p machine.Protocol) {
+	if _, ok := p.(resettable); !ok {
+		return
+	}
+	pk := poolKey{proto, cores, aimEntries}
+	r.poolMu.Lock()
+	r.pool[pk] = append(r.pool[pk], pooledPair{m, p})
+	r.poolMu.Unlock()
+}
+
 // Analysis returns the memoized static analysis of the named workload's
 // trace at the given core count — under one runner a trace identity is
 // (workload, cores), since scale and seed are fixed by the config. The
@@ -464,7 +564,7 @@ func (r *Runner) Analysis(wl string, cores int) (*static.Analysis, error) {
 	r.anMu.Unlock()
 
 	start := time.Now()
-	tr, err := buildTrace(wl, workload.Params{Threads: cores, Seed: r.cfg.Seed, Scale: r.cfg.Scale})
+	tr, err := r.trace(wl, cores)
 	if err != nil {
 		e.err = err
 	} else {
@@ -481,8 +581,7 @@ func (r *Runner) Analysis(wl string, cores int) (*static.Analysis, error) {
 // execute performs one simulation (no memo interaction).
 func (r *Runner) execute(ctx context.Context, key runKey) (*sim.Result, error) {
 	wl, proto, cores := key.workload, key.proto, key.cores
-	params := workload.Params{Threads: cores, Seed: r.cfg.Seed, Scale: r.cfg.Scale}
-	tr, err := buildTrace(wl, params)
+	tr, err := r.trace(wl, cores)
 	if err != nil {
 		return nil, err
 	}
@@ -513,11 +612,12 @@ func (r *Runner) execute(ctx context.Context, key runKey) (*sim.Result, error) {
 			r.statMu.Unlock()
 		}
 	} else {
-		m, p, berr := protocols.Build(proto, mcfg)
+		m, p, berr := r.acquire(proto, cores, key.aim)
 		if berr != nil {
 			return nil, berr
 		}
 		res, err = sim.RunContext(ctx, m, p, tr, sim.Options{CheckWithOracle: key.oracle})
+		r.release(proto, cores, key.aim, m, p)
 	}
 	elapsed := time.Since(start)
 	if err != nil {

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestPooledRunsMatchFresh proves the pooling contract: a run on a
+// recycled (Reset) machine+protocol pair is byte-identical to the same
+// run on a freshly built pair. Runner A simulates a first workload to
+// dirty a pair, then the probe workload on the recycled pair; Runner B
+// simulates only the probe workload, so its build is fresh.
+func TestPooledRunsMatchFresh(t *testing.T) {
+	cfg := Config{Scale: 0.02, Seed: 1, Cores: 4}
+	for _, proto := range []string{"mesi", "ce", "ce+", "arc"} {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			a := NewRunner(cfg)
+			if _, err := a.Result("canneal", proto, 4, 0); err != nil {
+				t.Fatalf("priming run: %v", err)
+			}
+			if len(a.pool[poolKey{proto, 4, 0}]) != 1 {
+				t.Fatalf("priming run did not pool its pair")
+			}
+			pooled, err := a.Result("dedup", proto, 4, 0)
+			if err != nil {
+				t.Fatalf("pooled run: %v", err)
+			}
+
+			b := NewRunner(cfg)
+			fresh, err := b.Result("dedup", proto, 4, 0)
+			if err != nil {
+				t.Fatalf("fresh run: %v", err)
+			}
+
+			pj, err := json.Marshal(pooled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fj, err := json.Marshal(fresh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(pj) != string(fj) {
+				t.Errorf("pooled result diverges from fresh build:\npooled: %s\nfresh:  %s", pj, fj)
+			}
+		})
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"arcsim/internal/cache"
 	"arcsim/internal/coherence"
 	"arcsim/internal/core"
+	"arcsim/internal/linetab"
 	"arcsim/internal/machine"
 )
 
@@ -35,20 +36,25 @@ import (
 // the L1 metadata array at a region boundary.
 const gangClearCycles = 2
 
-// metaEntry is one in-memory metadata table record: the spilled access
-// bits of each core for one line, tagged with the region they belong to.
-type metaEntry struct {
+// Pre-interned counter IDs (see machine.RegisterCounter).
+var (
+	ctrMetaReads    = machine.RegisterCounter("ce.meta_reads")
+	ctrMetaPiggy    = machine.RegisterCounter("ce.meta_piggyback")
+	ctrHitSuspects  = machine.RegisterCounter("ce.hit_suspects")
+	ctrConflicts    = machine.RegisterCounter("ce.conflicts")
+	ctrSpills       = machine.RegisterCounter("ce.spills")
+	ctrRegionClears = machine.RegisterCounter("ce.region_clears")
+)
+
+// metaView is a borrowed view of one metadata-table record: the spilled
+// access bits of each core for one line, tagged with the region they
+// belong to. The slices alias the protocol's flat backing arrays —
+// taking a view is free, but a view must not be used across a call that
+// can create a table entry (creation may grow the arrays).
+type metaView struct {
 	bits []core.AccessBits
 	tags []uint64
 	used []bool
-}
-
-func newMetaEntry(cores int) *metaEntry {
-	return &metaEntry{
-		bits: make([]core.AccessBits, cores),
-		tags: make([]uint64, cores),
-		used: make([]bool, cores),
-	}
 }
 
 // Protocol implements machine.Protocol for CE/CE+.
@@ -66,12 +72,21 @@ type Protocol struct {
 
 	mesi *coherence.Engine
 
-	memTable map[core.Line]*metaEntry
+	// The in-memory metadata table, flattened: tab maps a line to a
+	// slot; slot s owns the span [s*cores, (s+1)*cores) of each backing
+	// array. Slots are bump-allocated and recycled through free.
+	tab  linetab.Table
+	bits []core.AccessBits
+	tags []uint64
+	used []bool
+	next int32
+	free []int32
+
 	// spilled[c] lists the lines core c spilled metadata for during its
-	// current region (insertion-ordered for determinism, deduplicated
-	// by spilledSet); region end must scrub them.
-	spilled    [][]core.Line
-	spilledSet []map[core.Line]struct{}
+	// current region (insertion-ordered for determinism; appended only
+	// when a fresh registration is created, which dedups it); region
+	// end must scrub them.
+	spilled [][]core.Line
 }
 
 // New builds the CE protocol over m. With the machine's AIM enabled the
@@ -81,17 +96,85 @@ func New(m *machine.Machine) *Protocol {
 	// In CE the access bits are part of the line state and travel with
 	// every coherence message.
 	engine.MetaTax = machine.MetaBytes
-	p := &Protocol{
-		M:          m,
-		mesi:       engine,
-		memTable:   make(map[core.Line]*metaEntry),
-		spilled:    make([][]core.Line, m.Cfg.Cores),
-		spilledSet: make([]map[core.Line]struct{}, m.Cfg.Cores),
+	return &Protocol{
+		M:       m,
+		mesi:    engine,
+		spilled: make([][]core.Line, m.Cfg.Cores),
 	}
-	for i := range p.spilledSet {
-		p.spilledSet[i] = make(map[core.Line]struct{})
+}
+
+// Reset returns the protocol to its freshly-built state, keeping the
+// table capacity, so a pooled machine+protocol pair can be reused
+// across runs (see DESIGN.md, "Memory discipline").
+func (p *Protocol) Reset() {
+	p.mesi.Reset()
+	p.tab.Reset()
+	p.next = 0
+	p.free = p.free[:0]
+	for i := range p.spilled {
+		p.spilled[i] = p.spilled[i][:0]
 	}
-	return p
+}
+
+// view returns slot s's record. See the aliasing caveat on metaView.
+func (p *Protocol) view(s int32) metaView {
+	cores := p.M.Cfg.Cores
+	lo := int(s) * cores
+	return metaView{
+		bits: p.bits[lo : lo+cores],
+		tags: p.tags[lo : lo+cores],
+		used: p.used[lo : lo+cores],
+	}
+}
+
+// lookup returns the record for line if one exists.
+func (p *Protocol) lookup(line core.Line) (metaView, bool) {
+	s, ok := p.tab.Get(line)
+	if !ok {
+		return metaView{}, false
+	}
+	return p.view(s), true
+}
+
+// entry returns (creating if needed) the record for line.
+func (p *Protocol) entry(line core.Line) metaView {
+	s, ok := p.tab.Get(line)
+	if !ok {
+		s = p.alloc()
+		p.tab.Put(line, s)
+	}
+	return p.view(s)
+}
+
+// alloc claims a slot: recycled from the free list, or bump-allocated
+// (growing the backing arrays when the high-water mark passes their
+// length). Only the used flags need clearing — bits/tags are written
+// before they are read once used is set.
+func (p *Protocol) alloc() int32 {
+	cores := p.M.Cfg.Cores
+	var s int32
+	if n := len(p.free); n > 0 {
+		s = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		s = p.next
+		p.next++
+		for len(p.used) < int(p.next)*cores {
+			p.bits = append(p.bits, core.AccessBits{})
+			p.tags = append(p.tags, 0)
+			p.used = append(p.used, false)
+		}
+	}
+	lo := int(s) * cores
+	clear(p.used[lo : lo+cores])
+	return s
+}
+
+// remove drops line's record and recycles its slot.
+func (p *Protocol) remove(line core.Line) {
+	if s, ok := p.tab.Delete(line); ok {
+		p.free = append(p.free, s)
+	}
 }
 
 // Name implements machine.Protocol.
@@ -174,9 +257,9 @@ func (p *Protocol) directoryCheck(now uint64, c core.CoreID, acc core.Access, tr
 	// 1. Bits previously spilled to the in-memory table. (Read before
 	// this transaction's own spills land, so the table access reflects
 	// pre-existing metadata only.)
-	if entry, ok := p.memTable[tr.Line]; ok {
+	if entry, ok := p.lookup(tr.Line); ok {
 		lat += m.MetaAccess(now, tr.Line, false, false)
-		m.Inc("ce.meta_reads", 1)
+		m.IncID(ctrMetaReads, 1)
 		live := false
 		for o := 0; o < m.Cfg.Cores; o++ {
 			if !entry.used[o] {
@@ -194,7 +277,7 @@ func (p *Protocol) directoryCheck(now uint64, c core.CoreID, acc core.Access, tr
 			p.checkAgainst(now, c, acc, tr.Line, core.CoreID(o), entry.tags[o], entry.bits[o], mask)
 		}
 		if !live {
-			delete(p.memTable, tr.Line)
+			p.remove(tr.Line)
 		}
 	}
 
@@ -206,7 +289,7 @@ func (p *Protocol) directoryCheck(now uint64, c core.CoreID, acc core.Access, tr
 			remote.Merge(bits)
 			// The bits arrived with the coherence response (the
 			// engine's MetaTax pays their transport).
-			m.Inc("ce.meta_piggyback", 1)
+			m.IncID(ctrMetaPiggy, 1)
 			p.checkAgainst(now, c, acc, tr.Line, rc.Core, rc.Snapshot.Aux, bits, mask)
 		}
 		// Metadata leaves the line's protection whenever the copy is
@@ -229,10 +312,10 @@ func (p *Protocol) hitCheck(now uint64, c core.CoreID, acc core.Access, line cor
 	if _, suspect := l1.Remote.ConflictsWith(acc.Kind, mask); !suspect {
 		return 0
 	}
-	m.Inc("ce.hit_suspects", 1)
-	entry, ok := p.memTable[line]
+	m.IncID(ctrHitSuspects, 1)
+	entry, ok := p.lookup(line)
 	lat := m.MetaAccess(now, line, false, false)
-	m.Inc("ce.meta_reads", 1)
+	m.IncID(ctrMetaReads, 1)
 	var fresh core.AccessBits
 	if ok {
 		for o := 0; o < m.Cfg.Cores; o++ {
@@ -268,7 +351,7 @@ func (p *Protocol) checkAgainst(now uint64, c core.CoreID, acc core.Access, line
 		Bytes:      clash,
 	}
 	if p.M.Report(now, c, conflict) {
-		p.M.Inc("ce.conflicts", 1)
+		p.M.IncID(ctrConflicts, 1)
 	}
 }
 
@@ -282,11 +365,7 @@ func (p *Protocol) spillVictim(now uint64, c core.CoreID, victim cache.Line) {
 	if p.DropReadBitsOnSpill {
 		victim.Bits.ReadMask = 0
 	}
-	entry, ok := p.memTable[victim.Tag]
-	if !ok {
-		entry = newMetaEntry(m.Cfg.Cores)
-		p.memTable[victim.Tag] = entry
-	}
+	entry := p.entry(victim.Tag)
 	o := int(c)
 	if entry.used[o] && entry.tags[o] == victim.Aux {
 		entry.bits[o].Merge(victim.Bits)
@@ -294,16 +373,16 @@ func (p *Protocol) spillVictim(now uint64, c core.CoreID, victim cache.Line) {
 		entry.bits[o] = victim.Bits
 		entry.tags[o] = victim.Aux
 		entry.used[o] = true
-	}
-	if _, dup := p.spilledSet[o][victim.Tag]; !dup {
-		p.spilledSet[o][victim.Tag] = struct{}{}
+		// A fresh registration is created exactly once per (line,
+		// region) — nothing else scrubs or deletes a live registration
+		// mid-region — so this branch is the spilled-list dedup.
 		p.spilled[o] = append(p.spilled[o], victim.Tag)
 	}
 	// Metadata write: to the home tile, then into the table/AIM. The
 	// latency hides behind the data writeback; traffic and energy count.
 	m.Send(now, o, m.HomeTile(victim.Tag), machine.MetaBytes)
 	m.MetaAccess(now, victim.Tag, true, true)
-	m.Inc("ce.spills", 1)
+	m.IncID(ctrSpills, 1)
 }
 
 // Boundary implements machine.Protocol: flash-clear resident bits and
@@ -316,7 +395,7 @@ func (p *Protocol) Boundary(now uint64, c core.CoreID) uint64 {
 	seq := m.Seq(c)
 	first := true
 	for _, line := range p.spilled[c] {
-		entry, ok := p.memTable[line]
+		entry, ok := p.lookup(line)
 		if ok && entry.used[c] && entry.tags[c] == seq {
 			entry.used[c] = false
 			empty := true
@@ -327,11 +406,11 @@ func (p *Protocol) Boundary(now uint64, c core.CoreID) uint64 {
 				}
 			}
 			if empty {
-				delete(p.memTable, line)
+				p.remove(line)
 			}
 		}
 		l := m.MetaAccess(now+lat, line, true, true)
-		m.Inc("ce.region_clears", 1)
+		m.IncID(ctrRegionClears, 1)
 		if first {
 			lat += l
 			first = false
@@ -340,8 +419,5 @@ func (p *Protocol) Boundary(now uint64, c core.CoreID) uint64 {
 		}
 	}
 	p.spilled[c] = p.spilled[c][:0]
-	for line := range p.spilledSet[c] {
-		delete(p.spilledSet[c], line)
-	}
 	return lat
 }

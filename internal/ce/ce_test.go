@@ -105,7 +105,7 @@ func TestHitTimeDetectionViaRemoteBits(t *testing.T) {
 	if m.Conflicts.Len() != 1 {
 		t.Fatalf("hit-time conflict missed (conflicts=%d)", m.Conflicts.Len())
 	}
-	if m.Counters["ce.hit_suspects"] == 0 {
+	if m.Counter("ce.hit_suspects") == 0 {
 		t.Error("hit-suspect path not exercised")
 	}
 }
@@ -118,7 +118,7 @@ func TestEvictionSpillPreservesDetection(t *testing.T) {
 	p.Access(0, 0, acc(core.Read, 0, 8))
 	p.Access(10, 0, acc(core.Read, 4*64, 8))
 	p.Access(20, 0, acc(core.Read, 8*64, 8))
-	if m.Counters["ce.spills"] == 0 {
+	if m.Counter("ce.spills") == 0 {
 		t.Fatal("eviction did not spill metadata")
 	}
 	if m.Mem.Stats.MetadataBytes == 0 {
@@ -138,20 +138,20 @@ func TestBoundaryScrubsSpills(t *testing.T) {
 	p.Access(0, 0, acc(core.Write, 0, 8))
 	p.Access(10, 0, acc(core.Read, 4*64, 8))
 	p.Access(20, 0, acc(core.Read, 8*64, 8)) // spills line 0
-	spills := m.Counters["ce.spills"]
+	spills := m.Counter("ce.spills")
 	if spills == 0 {
 		t.Fatal("setup: no spill")
 	}
 	lat := p.Boundary(30, 0)
 	m.NextRegion(0)
-	if m.Counters["ce.region_clears"] == 0 {
+	if m.Counter("ce.region_clears") == 0 {
 		t.Error("boundary did not scrub the table")
 	}
 	if lat <= gangClearCycles {
 		t.Error("scrub latency not charged")
 	}
-	if len(p.memTable) != 0 {
-		t.Errorf("memTable still has %d entries after scrub", len(p.memTable))
+	if p.tab.Len() != 0 {
+		t.Errorf("metadata table still has %d entries after scrub", p.tab.Len())
 	}
 	// After the scrub, core 1 writing line 0 must be conflict-free.
 	p.Access(40, 1, acc(core.Write, 0, 8))

@@ -46,6 +46,22 @@ func StateName(s uint8) string {
 	return fmt.Sprintf("?%d", s)
 }
 
+// Pre-interned counter IDs: the hot loop bumps integer slots, never a
+// map (see machine.RegisterCounter).
+var (
+	ctrMesiUpgrades           = machine.RegisterCounter("mesi.upgrades")
+	ctrMesiInvalidations      = machine.RegisterCounter("mesi.invalidations")
+	ctrMesiInclusionInvals    = machine.RegisterCounter("mesi.inclusion_invalidations")
+	ctrMesiLLCEvictions       = machine.RegisterCounter("mesi.llc_evictions")
+	ctrMesiStaleOwner         = machine.RegisterCounter("mesi.stale_owner")
+	ctrMesiOwnerWritebacks    = machine.RegisterCounter("mesi.owner_writebacks")
+	ctrMesiOwnedRetains       = machine.RegisterCounter("mesi.owned_retains")
+	ctrMesiInterventions      = machine.RegisterCounter("mesi.interventions")
+	ctrMesiSilentEvictions    = machine.RegisterCounter("mesi.silent_evictions")
+	ctrMesiL1Writebacks       = machine.RegisterCounter("mesi.l1_writebacks")
+	ctrMesiInclusionAnomalies = machine.RegisterCounter("mesi.inclusion_anomalies")
+)
+
 // RemoteCopy is a snapshot of another core's L1 line that the current
 // transaction invalidated or downgraded, taken before the action. The CE
 // layer reads the snapshot's access bits.
@@ -119,10 +135,27 @@ type Engine struct {
 	// Trace is the trace of the most recent Access call. It is a reused
 	// buffer: layered designs must consume it before the next Access.
 	Trace AccessTrace
+
+	// invHolders is reusable scratch for CheckInvariants, which the
+	// conformance suite calls after every simulated event; rebuilding
+	// the table per call dominated that suite's wall time.
+	invHolders map[core.Line][]invHolder
+}
+
+// invHolder records one L1 copy of a line for invariant checking.
+type invHolder struct {
+	core  int
+	state uint8
 }
 
 // New builds an engine over m.
 func New(m *machine.Machine) *Engine { return &Engine{M: m} }
+
+// Reset returns the engine to its freshly-built state so a pooled
+// machine+engine pair can be reused across runs. All protocol state
+// lives in the machine's caches (which Machine.Reset clears); only the
+// reused trace buffer needs clearing here.
+func (e *Engine) Reset() { e.Trace.reset(0, 0) }
 
 // Name implements machine.Protocol.
 func (e *Engine) Name() string {
@@ -186,7 +219,7 @@ func (e *Engine) upgrade(now uint64, c core.CoreID, line core.Line, home int, l1
 	dir.Owner = int16(r)
 	l1.State = StateM
 	l1.Dirty = true
-	m.Inc("mesi.upgrades", 1)
+	m.IncID(ctrMesiUpgrades, 1)
 	return lat
 }
 
@@ -206,7 +239,7 @@ func (e *Engine) invalidateSharers(now uint64, c core.CoreID, line core.Line, ho
 		if legA+legB > worst {
 			worst = legA + legB
 		}
-		m.Inc("mesi.invalidations", 1)
+		m.IncID(ctrMesiInvalidations, 1)
 		if ol, ok := m.L1[o].Invalidate(line); ok {
 			e.Trace.Remote = append(e.Trace.Remote, RemoteCopy{
 				Core: core.CoreID(o), Snapshot: ol, Invalidated: true,
@@ -314,7 +347,7 @@ func (e *Engine) llcFill(now uint64, line core.Line, home int, lat0 uint64) (*ca
 				dirty = true
 			}
 			m.Send(now, o, home, resp)
-			m.Inc("mesi.inclusion_invalidations", 1)
+			m.IncID(ctrMesiInclusionInvals, 1)
 			e.Trace.InclusionVictims = append(e.Trace.InclusionVictims, RemoteCopy{
 				Core: core.CoreID(o), Snapshot: ol, Invalidated: true,
 			})
@@ -322,7 +355,7 @@ func (e *Engine) llcFill(now uint64, line core.Line, home int, lat0 uint64) (*ca
 		if dirty {
 			m.DRAMData(now, victim.Tag, true) // writeback, off critical path
 		}
-		m.Inc("mesi.llc_evictions", 1)
+		m.IncID(ctrMesiLLCEvictions, 1)
 	}
 
 	lat += m.DRAMData(now, line, false)
@@ -346,7 +379,7 @@ func (e *Engine) ownerIntervention(now uint64, c core.CoreID, line core.Line, ho
 		// ownership and let the home supply data.
 		dir.Owner = cache.NoOwner
 		dir.Sharers &^= 1 << uint(o)
-		m.Inc("mesi.stale_owner", 1)
+		m.IncID(ctrMesiStaleOwner, 1)
 		return legFwd + m.Send(now+legFwd, o, home, machine.CtrlBytes), false
 	}
 
@@ -357,7 +390,7 @@ func (e *Engine) ownerIntervention(now uint64, c core.CoreID, line core.Line, ho
 			// MOESI the writer takes the dirty data directly instead.
 			m.Send(now+legFwd, o, home, machine.DataBytes+e.MetaTax)
 			dir.Dirty = true
-			m.Inc("mesi.owner_writebacks", 1)
+			m.IncID(ctrMesiOwnerWritebacks, 1)
 		}
 		m.L1[o].Invalidate(line)
 		dir.Sharers &^= 1 << uint(o)
@@ -369,13 +402,13 @@ func (e *Engine) ownerIntervention(now uint64, c core.CoreID, line core.Line, ho
 		// retained at the directory.
 		ol.State = StateO
 		dir.Sharers |= 1 << uint(o)
-		m.Inc("mesi.owned_retains", 1)
+		m.IncID(ctrMesiOwnedRetains, 1)
 		e.Trace.Remote = append(e.Trace.Remote, RemoteCopy{Core: core.CoreID(o), Snapshot: snap, Invalidated: false})
 	} else {
 		if snap.Dirty {
 			m.Send(now+legFwd, o, home, machine.DataBytes+e.MetaTax)
 			dir.Dirty = true
-			m.Inc("mesi.owner_writebacks", 1)
+			m.IncID(ctrMesiOwnerWritebacks, 1)
 		}
 		ol.State = StateS
 		ol.Dirty = false
@@ -383,7 +416,7 @@ func (e *Engine) ownerIntervention(now uint64, c core.CoreID, line core.Line, ho
 		dir.Owner = cache.NoOwner
 		e.Trace.Remote = append(e.Trace.Remote, RemoteCopy{Core: core.CoreID(o), Snapshot: snap, Invalidated: false})
 	}
-	m.Inc("mesi.interventions", 1)
+	m.IncID(ctrMesiInterventions, 1)
 
 	// Cache-to-cache transfer to the requester.
 	legData := m.Send(now+legFwd, o, r, machine.DataBytes+e.MetaTax)
@@ -396,12 +429,12 @@ func (e *Engine) ownerIntervention(now uint64, c core.CoreID, line core.Line, ho
 func (e *Engine) writebackVictim(now uint64, r int, victim cache.Line) {
 	m := e.M
 	if !victim.Dirty {
-		m.Inc("mesi.silent_evictions", 1)
+		m.IncID(ctrMesiSilentEvictions, 1)
 		return
 	}
 	home := m.HomeTile(victim.Tag)
 	m.Send(now, r, home, machine.DataBytes+e.MetaTax)
-	m.Inc("mesi.l1_writebacks", 1)
+	m.IncID(ctrMesiL1Writebacks, 1)
 	if dir := m.LLC[home].Peek(victim.Tag); dir != nil {
 		dir.Dirty = true
 		if int(dir.Owner) == r {
@@ -412,7 +445,7 @@ func (e *Engine) writebackVictim(now uint64, r int, victim cache.Line) {
 		// Inclusion should make this impossible; tolerate by writing
 		// straight to memory and recording the anomaly.
 		m.DRAMData(now, victim.Tag, true)
-		m.Inc("mesi.inclusion_anomalies", 1)
+		m.IncID(ctrMesiInclusionAnomalies, 1)
 	}
 }
 
@@ -426,18 +459,22 @@ func (e *Engine) writebackVictim(now uint64, r int, victim cache.Line) {
 //     holders, and an E/M copy's holder is the registered owner.
 func (e *Engine) CheckInvariants() error {
 	m := e.M
-	type holder struct {
-		core  int
-		state uint8
+	if e.invHolders == nil {
+		e.invHolders = make(map[core.Line][]invHolder)
 	}
-	holders := make(map[core.Line][]holder)
+	holders := e.invHolders
+	// Truncate in place: keys persist across calls (their slices keep
+	// their capacity); empty entries are skipped below.
+	for k, v := range holders {
+		holders[k] = v[:0]
+	}
 	for c := 0; c < m.Cfg.Cores; c++ {
 		var err error
 		m.L1[c].ForEach(func(l *cache.Line) {
 			if err != nil {
 				return
 			}
-			holders[l.Tag] = append(holders[l.Tag], holder{c, l.State})
+			holders[l.Tag] = append(holders[l.Tag], invHolder{c, l.State})
 			dir := m.LLC[m.HomeTile(l.Tag)].Peek(l.Tag)
 			if dir == nil {
 				err = fmt.Errorf("inclusion violated: line %#x in L1 %d but not in LLC", uint64(l.Tag), c)
@@ -460,6 +497,9 @@ func (e *Engine) CheckInvariants() error {
 		}
 	}
 	for line, hs := range holders {
+		if len(hs) == 0 {
+			continue // stale scratch key, no live copies
+		}
 		exclusive, owned := 0, 0
 		for _, h := range hs {
 			switch h.state {

@@ -116,7 +116,7 @@ func TestUpgradeFromShared(t *testing.T) {
 	if m.L1[1].Peek(core.LineOf(0x3000)) != nil {
 		t.Error("sharer survived upgrade")
 	}
-	if m.Counters["mesi.upgrades"] != 1 {
+	if m.Counter("mesi.upgrades") != 1 {
 		t.Error("upgrade not counted")
 	}
 	if err := e.CheckInvariants(); err != nil {
@@ -144,7 +144,7 @@ func TestDirtyL1EvictionWritesBack(t *testing.T) {
 	if !e.Trace.L1Evicted || e.Trace.L1Victim.Tag != 0 {
 		t.Fatalf("eviction not traced: %+v", e.Trace)
 	}
-	if m.Counters["mesi.l1_writebacks"] != 1 {
+	if m.Counter("mesi.l1_writebacks") != 1 {
 		t.Error("dirty eviction did not write back")
 	}
 	// LLC copy must now be dirty and ownerless.
@@ -208,7 +208,7 @@ func TestStaleOwnerRecovery(t *testing.T) {
 	}
 	// Core 1 reads: directory still thinks core 0 owns it.
 	e.Access(30, 1, rd(0x5000))
-	if m.Counters["mesi.stale_owner"] != 1 {
+	if m.Counter("mesi.stale_owner") != 1 {
 		t.Error("stale owner path not exercised")
 	}
 	l1 := m.L1[1].Peek(base)

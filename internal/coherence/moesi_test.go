@@ -18,16 +18,16 @@ func TestMOESIReadKeepsOwnerDirty(t *testing.T) {
 	e, check := newMOESI(2)
 	m := e.M
 	e.Access(0, 0, wrAcc(0x1000)) // core 0: M
-	wbBefore := m.Counters["mesi.owner_writebacks"]
+	wbBefore := m.Counter("mesi.owner_writebacks")
 	e.Access(10, 1, rd(0x1000)) // core 1 reads
 	l0 := m.L1[0].Peek(core.LineOf(0x1000))
 	if l0 == nil || l0.State != StateO || !l0.Dirty {
 		t.Fatalf("owner state after read = %+v, want dirty O", l0)
 	}
-	if m.Counters["mesi.owner_writebacks"] != wbBefore {
+	if m.Counter("mesi.owner_writebacks") != wbBefore {
 		t.Error("MOESI downgrade wrote back to the LLC")
 	}
-	if m.Counters["mesi.owned_retains"] != 1 {
+	if m.Counter("mesi.owned_retains") != 1 {
 		t.Error("owned retain not counted")
 	}
 	// Directory still knows the owner.
@@ -51,7 +51,7 @@ func TestMOESIOwnerSuppliesLaterReaders(t *testing.T) {
 	if m.Mem.Stats.Reads != dram {
 		t.Error("reads of an owned line reached memory")
 	}
-	if got := m.Counters["mesi.interventions"]; got != 3 {
+	if got := m.Counter("mesi.interventions"); got != 3 {
 		t.Errorf("interventions = %d, want 3", got)
 	}
 	if err := check(); err != nil {
@@ -85,8 +85,8 @@ func TestMOESIOwnedWriteNeedsUpgrade(t *testing.T) {
 	// The owner writing again must upgrade (invalidate the sharer),
 	// not silently mutate a shared line.
 	e.Access(20, 0, wrAcc(0x4000))
-	if m.Counters["mesi.upgrades"] != 1 {
-		t.Errorf("upgrades = %d, want 1", m.Counters["mesi.upgrades"])
+	if m.Counter("mesi.upgrades") != 1 {
+		t.Errorf("upgrades = %d, want 1", m.Counter("mesi.upgrades"))
 	}
 	if m.L1[1].Peek(core.LineOf(0x4000)) != nil {
 		t.Error("sharer survived the owner's upgrade")
@@ -108,8 +108,8 @@ func TestMOESIOwnedEvictionWritesBack(t *testing.T) {
 	// Evict core 0's set-0 line: lines 0, 4, 8 collide (4-set L1).
 	e.Access(20, 0, rd(4*64))
 	e.Access(30, 0, rd(8*64))
-	if m.Counters["mesi.l1_writebacks"] != 1 {
-		t.Errorf("O eviction writebacks = %d, want 1", m.Counters["mesi.l1_writebacks"])
+	if m.Counter("mesi.l1_writebacks") != 1 {
+		t.Errorf("O eviction writebacks = %d, want 1", m.Counter("mesi.l1_writebacks"))
 	}
 	if err := check(); err != nil {
 		t.Error(err)

@@ -66,6 +66,13 @@ func NewConflictSet() *ConflictSet {
 	return &ConflictSet{byKey: make(map[ConflictKey]Conflict)}
 }
 
+// Reset empties the set, keeping its allocated capacity (machine
+// pooling).
+func (s *ConflictSet) Reset() {
+	clear(s.byKey)
+	s.order = s.order[:0]
+}
+
 // Add records c unless a conflict with the same canonical key was already
 // recorded; it reports whether c was new.
 func (s *ConflictSet) Add(c Conflict) bool {

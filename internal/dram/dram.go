@@ -194,6 +194,19 @@ func (m *Memory) Fence(now uint64) {
 	m.winStart = now
 }
 
+// Reset returns the memory model to its freshly-built state: all row
+// buffers closed, utilization tracking idle at cycle 0, peak cleared,
+// Stats zeroed. Machine pooling uses it between runs; Fence is the
+// in-run variant that keeps Stats.
+func (m *Memory) Reset() {
+	clear(m.openRow)
+	m.winStart = 0
+	m.winBytes = 0
+	m.util = 0
+	m.peakUtil = 0
+	m.Stats = Stats{}
+}
+
 func (m *Memory) queueDelay(base uint64) uint64 {
 	rho := m.util
 	if rho <= 0 {

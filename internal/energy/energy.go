@@ -115,6 +115,9 @@ func NewMeter(model Model) *Meter {
 // Model returns the meter's model.
 func (m *Meter) Model() Model { return m.model }
 
+// Reset zeroes the accumulated energy (machine pooling).
+func (m *Meter) Reset() { m.pj = [numComponents]float64{} }
+
 // L1Accesses charges n L1 accesses.
 func (m *Meter) L1Accesses(n uint64) { m.pj[L1] += float64(n) * m.model.L1AccessPJ }
 

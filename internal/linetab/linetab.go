@@ -1,0 +1,147 @@
+// Package linetab provides an open-addressed hash index from cache-line
+// addresses to small integer slots. The conflict-detection protocols use
+// it to keep per-line metadata in flat struct-of-arrays storage (indexed
+// by slot) instead of pointer-chased `map[core.Line]*entry` structures:
+// lookups touch one cache-resident probe sequence, entry storage never
+// allocates in steady state, and Reset() reuses the full capacity across
+// pooled runs.
+//
+// The table stores the mapping only; callers own slot allocation
+// (typically a bump index plus a free list). Deletion uses tombstones so
+// probe sequences stay intact; rehashing purges them.
+package linetab
+
+import "arcsim/internal/core"
+
+// Probe-slot states.
+const (
+	stEmpty uint8 = iota
+	stFull
+	stTomb
+)
+
+// Table maps core.Line keys to int32 slots. The zero value is an empty
+// table ready for use. Not safe for concurrent use.
+type Table struct {
+	keys  []core.Line
+	slots []int32
+	state []uint8
+	n     int // live entries
+	used  int // live entries + tombstones (probe-chain load)
+}
+
+// hash mixes the line address exactly like cache.Config.SetOf: a
+// Fibonacci multiplicative mix, deterministic and cheap.
+func hash(line core.Line) uint64 {
+	h := uint64(line)
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return h
+}
+
+// Len returns the number of live entries.
+func (t *Table) Len() int { return t.n }
+
+// Get returns the slot stored for line.
+func (t *Table) Get(line core.Line) (int32, bool) {
+	if t.n == 0 {
+		return 0, false
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := hash(line) & mask; ; i = (i + 1) & mask {
+		switch t.state[i] {
+		case stEmpty:
+			return 0, false
+		case stFull:
+			if t.keys[i] == line {
+				return t.slots[i], true
+			}
+		}
+	}
+}
+
+// Put stores slot for line, replacing any existing mapping.
+func (t *Table) Put(line core.Line, slot int32) {
+	// Grow/purge before the probe chains exceed 3/4 load (tombstones
+	// count: they lengthen chains just like live entries).
+	if 4*(t.used+1) > 3*len(t.keys) {
+		t.rehash()
+	}
+	mask := uint64(len(t.keys) - 1)
+	firstTomb := -1
+	for i := hash(line) & mask; ; i = (i + 1) & mask {
+		switch t.state[i] {
+		case stEmpty:
+			if firstTomb >= 0 {
+				i = uint64(firstTomb) // reuse the tombstone; used is unchanged
+			} else {
+				t.used++
+			}
+			t.keys[i] = line
+			t.slots[i] = slot
+			t.state[i] = stFull
+			t.n++
+			return
+		case stTomb:
+			if firstTomb < 0 {
+				firstTomb = int(i)
+			}
+		case stFull:
+			if t.keys[i] == line {
+				t.slots[i] = slot
+				return
+			}
+		}
+	}
+}
+
+// Delete removes line's mapping and returns the slot it held, so the
+// caller can recycle the slot's storage.
+func (t *Table) Delete(line core.Line) (int32, bool) {
+	if t.n == 0 {
+		return 0, false
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := hash(line) & mask; ; i = (i + 1) & mask {
+		switch t.state[i] {
+		case stEmpty:
+			return 0, false
+		case stFull:
+			if t.keys[i] == line {
+				t.state[i] = stTomb
+				t.n--
+				return t.slots[i], true
+			}
+		}
+	}
+}
+
+// Reset empties the table, keeping its allocated capacity (pooling).
+func (t *Table) Reset() {
+	clear(t.state)
+	t.n = 0
+	t.used = 0
+}
+
+// rehash resizes (or, when mostly tombstones, just purges) the table.
+func (t *Table) rehash() {
+	size := len(t.keys) * 2
+	if size < 16 {
+		size = 16
+	}
+	if len(t.keys) >= 16 && t.n*4 <= len(t.keys) {
+		// Load is tombstones, not entries: purge at the current size.
+		size = len(t.keys)
+	}
+	oldKeys, oldSlots, oldState := t.keys, t.slots, t.state
+	t.keys = make([]core.Line, size)
+	t.slots = make([]int32, size)
+	t.state = make([]uint8, size)
+	t.n = 0
+	t.used = 0
+	for i, s := range oldState {
+		if s == stFull {
+			t.Put(oldKeys[i], oldSlots[i])
+		}
+	}
+}

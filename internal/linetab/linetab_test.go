@@ -1,0 +1,121 @@
+package linetab
+
+import (
+	"math/rand"
+	"testing"
+
+	"arcsim/internal/core"
+)
+
+func TestBasicOps(t *testing.T) {
+	var tab Table
+	if _, ok := tab.Get(1); ok {
+		t.Fatal("empty table reported a hit")
+	}
+	tab.Put(1, 10)
+	tab.Put(2, 20)
+	if s, ok := tab.Get(1); !ok || s != 10 {
+		t.Fatalf("Get(1) = %d,%v, want 10,true", s, ok)
+	}
+	tab.Put(1, 11) // overwrite
+	if s, _ := tab.Get(1); s != 11 {
+		t.Fatalf("after overwrite Get(1) = %d, want 11", s)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+	if s, ok := tab.Delete(1); !ok || s != 11 {
+		t.Fatalf("Delete(1) = %d,%v, want 11,true", s, ok)
+	}
+	if _, ok := tab.Get(1); ok {
+		t.Fatal("deleted key still present")
+	}
+	if _, ok := tab.Delete(1); ok {
+		t.Fatal("double delete reported success")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+}
+
+// TestAgainstMap drives the table with random operations mirrored into a
+// Go map and checks full agreement, including across Reset.
+func TestAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var tab Table
+	ref := map[core.Line]int32{}
+	for i := 0; i < 200000; i++ {
+		line := core.Line(rng.Intn(512)) // small key space: plenty of collisions
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			slot := int32(rng.Intn(1 << 20))
+			tab.Put(line, slot)
+			ref[line] = slot
+		case 4, 5:
+			gs, gok := tab.Delete(line)
+			ws, wok := ref[line]
+			delete(ref, line)
+			if gok != wok || (gok && gs != ws) {
+				t.Fatalf("op %d: Delete(%d) = %d,%v, want %d,%v", i, line, gs, gok, ws, wok)
+			}
+		case 6:
+			if rng.Intn(1000) == 0 {
+				tab.Reset()
+				ref = map[core.Line]int32{}
+			}
+		default:
+			gs, gok := tab.Get(line)
+			ws, wok := ref[line]
+			if gok != wok || (gok && gs != ws) {
+				t.Fatalf("op %d: Get(%d) = %d,%v, want %d,%v", i, line, gs, gok, ws, wok)
+			}
+		}
+		if tab.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", i, tab.Len(), len(ref))
+		}
+	}
+	for line, ws := range ref {
+		if gs, ok := tab.Get(line); !ok || gs != ws {
+			t.Fatalf("final: Get(%d) = %d,%v, want %d,true", line, gs, ok, ws)
+		}
+	}
+}
+
+// TestTombstonePurge checks that delete-heavy churn on a fixed key count
+// stays bounded (the same-size purge path) and keeps answers correct.
+func TestTombstonePurge(t *testing.T) {
+	var tab Table
+	for i := 0; i < 100000; i++ {
+		line := core.Line(i)
+		tab.Put(line, int32(i))
+		if s, ok := tab.Get(line); !ok || s != int32(i) {
+			t.Fatalf("Get(%d) = %d,%v", i, s, ok)
+		}
+		if i >= 8 {
+			if _, ok := tab.Delete(core.Line(i - 8)); !ok {
+				t.Fatalf("Delete(%d) missed", i-8)
+			}
+		}
+		if tab.Len() > 9 {
+			t.Fatalf("Len = %d, want <= 9", tab.Len())
+		}
+	}
+	if len(tab.keys) > 1024 {
+		t.Fatalf("table grew to %d probe slots for 9 live entries", len(tab.keys))
+	}
+}
+
+func TestZeroAllocSteadyState(t *testing.T) {
+	var tab Table
+	for i := 0; i < 1000; i++ {
+		tab.Put(core.Line(i), int32(i))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		tab.Delete(500)
+		tab.Put(500, 7)
+		tab.Get(500)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ops allocated %v times per run", allocs)
+	}
+}

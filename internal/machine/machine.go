@@ -8,6 +8,7 @@ package machine
 
 import (
 	"fmt"
+	"sync"
 
 	"arcsim/internal/aim"
 	"arcsim/internal/cache"
@@ -123,6 +124,39 @@ func (c Config) Validate() error {
 	return c.Energy.Validate()
 }
 
+// CounterID indexes a pre-interned named counter. Protocol packages
+// register their counter names once (package initialization) and bump
+// integer slots from the hot loop; the string view is materialized only
+// when a report is serialized.
+type CounterID int32
+
+var (
+	counterMu    sync.Mutex
+	counterIndex = map[string]CounterID{}
+	counterNames []string
+)
+
+// RegisterCounter interns name and returns its stable ID. Safe for
+// concurrent use; registering the same name twice returns the same ID.
+func RegisterCounter(name string) CounterID {
+	counterMu.Lock()
+	defer counterMu.Unlock()
+	if id, ok := counterIndex[name]; ok {
+		return id
+	}
+	id := CounterID(len(counterNames))
+	counterNames = append(counterNames, name)
+	counterIndex[name] = id
+	return id
+}
+
+// counterRegistrySize returns the number of interned counter names.
+func counterRegistrySize() int {
+	counterMu.Lock()
+	defer counterMu.Unlock()
+	return len(counterNames)
+}
+
 // Machine is the assembled substrate. Not safe for concurrent use: the
 // simulator is single-goroutine and deterministic.
 type Machine struct {
@@ -136,9 +170,12 @@ type Machine struct {
 	Mem   *dram.Memory
 	Meter *energy.Meter
 
-	// Counters holds protocol-specific named counters (invalidations
-	// sent, metadata spills, registrations, ...).
-	Counters map[string]uint64
+	// counters holds protocol-specific counter slots indexed by
+	// CounterID; touched marks slots that were incremented (even by
+	// zero) so CounterMap reproduces the exact key set the old
+	// map-based counters serialized.
+	counters []uint64
+	touched  []bool
 
 	// Conflicts and Exceptions accumulate detection results.
 	Conflicts  *core.ConflictSet
@@ -156,6 +193,7 @@ func New(cfg Config) *Machine {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	n := counterRegistrySize()
 	m := &Machine{
 		Cfg:       cfg,
 		L1:        make([]*cache.Cache, cfg.Cores),
@@ -163,7 +201,8 @@ func New(cfg Config) *Machine {
 		Mesh:      noc.New(cfg.NoC),
 		Mem:       dram.New(cfg.DRAM),
 		Meter:     energy.NewMeter(cfg.Energy),
-		Counters:  make(map[string]uint64),
+		counters:  make([]uint64, n),
+		touched:   make([]bool, n),
 		Conflicts: core.NewConflictSet(),
 		regionSeq: make([]uint64, cfg.Cores),
 	}
@@ -192,8 +231,92 @@ func (m *Machine) HomeTile(line core.Line) int {
 // SyncHome returns the home tile of a lock or barrier variable.
 func (m *Machine) SyncHome(id uint32) int { return int(id) % m.Cfg.Cores }
 
-// Inc bumps a named counter.
-func (m *Machine) Inc(name string, n uint64) { m.Counters[name] += n }
+// IncID bumps a pre-interned counter. This is the hot path: no map
+// lookup, no allocation. A zero increment still marks the slot touched
+// so it appears in the serialized counter map, matching the historical
+// `map[name] += 0` behavior.
+func (m *Machine) IncID(id CounterID, n uint64) {
+	if int(id) >= len(m.counters) {
+		m.growCounters()
+	}
+	m.counters[id] += n
+	m.touched[id] = true
+}
+
+// growCounters resizes the slot arrays to the current registry size
+// (counters registered after this machine was built).
+func (m *Machine) growCounters() {
+	n := counterRegistrySize()
+	counters := make([]uint64, n)
+	touched := make([]bool, n)
+	copy(counters, m.counters)
+	copy(touched, m.touched)
+	m.counters, m.touched = counters, touched
+}
+
+// Inc bumps a named counter (slow path: interns the name first).
+func (m *Machine) Inc(name string, n uint64) { m.IncID(RegisterCounter(name), n) }
+
+// Counter returns the current value of a named counter (zero if never
+// touched). Intended for tests and reports, not the hot loop.
+func (m *Machine) Counter(name string) uint64 {
+	counterMu.Lock()
+	id, ok := counterIndex[name]
+	counterMu.Unlock()
+	if !ok || int(id) >= len(m.counters) {
+		return 0
+	}
+	return m.counters[id]
+}
+
+// CounterMap materializes the touched counters as a name→value map for
+// report serialization.
+func (m *Machine) CounterMap() map[string]uint64 {
+	counterMu.Lock()
+	names := counterNames
+	counterMu.Unlock()
+	out := make(map[string]uint64, len(m.counters))
+	for id, t := range m.touched {
+		if t {
+			out[names[id]] = m.counters[id]
+		}
+	}
+	return out
+}
+
+// Reset returns the machine to its freshly-built state so a pooled
+// machine can be reused for another run without reallocating the cache
+// arrays. The configuration and component topology are retained; all
+// simulated state — cache contents, statistics, energy, interconnect
+// and DRAM contention windows, counters, conflicts, exceptions, region
+// sequence numbers — is cleared. Results from a Reset machine are
+// byte-identical to results from a freshly built one.
+func (m *Machine) Reset() {
+	for i := range m.L1 {
+		m.L1[i].Reset()
+		m.LLC[i].Reset()
+	}
+	for _, b := range m.AIM {
+		b.Reset()
+	}
+	m.Mesh.Reset()
+	m.Mem.Reset()
+	m.Meter.Reset()
+	for i := range m.counters {
+		m.counters[i] = 0
+		m.touched[i] = false
+	}
+	m.Conflicts.Reset()
+	m.Exceptions = m.Exceptions[:0]
+	m.Halted = false
+	for i := range m.regionSeq {
+		m.regionSeq[i] = 0
+	}
+}
+
+// ctrMetaDRAM counts metadata-table accesses that go straight to DRAM
+// (the AIM-less CE configuration).
+var ctrMetaDRAM = RegisterCounter("meta.dram")
 
 // ---------------------------------------------------------------------------
 // Timed, energy-accounted primitives.
@@ -253,7 +376,7 @@ func (m *Machine) DRAMMeta(now uint64, line core.Line, write bool) uint64 {
 func (m *Machine) MetaAccess(now uint64, line core.Line, dirty, blind bool) uint64 {
 	tile := m.HomeTile(line)
 	if m.AIM == nil {
-		m.Inc("meta.dram", 1)
+		m.IncID(ctrMetaDRAM, 1)
 		if blind {
 			return m.DRAMMeta(now, line, true)
 		}

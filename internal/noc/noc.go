@@ -243,6 +243,17 @@ func (m *Mesh) Fence(now uint64) {
 	m.winStart = now
 }
 
+// Reset returns the mesh to its freshly-built state: utilization
+// tracking idle at cycle 0, peak cleared, Stats zeroed. Machine pooling
+// uses it between runs; Fence is the in-run variant that keeps Stats.
+func (m *Mesh) Reset() {
+	m.winStart = 0
+	m.winFlitHops = 0
+	m.util = 0
+	m.peakUtil = 0
+	m.Stats = Stats{}
+}
+
 // queueDelay converts current utilization into added delay for a message
 // with the given uncontended latency, using an M/D/1-style rho/(1-rho)
 // shape capped at MaxQueueFactor.

@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is active; allocation-
+// count tests skip under it (the detector intentionally randomizes
+// sync.Pool reuse, so AllocsPerRun is not deterministic).
+const raceEnabled = true

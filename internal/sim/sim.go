@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"arcsim/internal/aim"
 	"arcsim/internal/cache"
@@ -159,15 +160,101 @@ const (
 )
 
 type lockState struct {
-	holder  int // -1 when free
-	depth   int
-	waiters []int // FIFO
+	holder int // -1 when free
+	depth  int
+	// waiters is a FIFO: enqueue appends, dequeue advances head. The
+	// slice rewinds to [:0] whenever the queue drains, so a recycled
+	// lockState reuses one backing array forever instead of leaking
+	// capacity one slot per dequeue (waiters[1:] churn allocated on
+	// every contended acquire).
+	waiters []int
+	head    int
 }
 
 type barrierState struct {
 	arrived int
 	maxTime uint64
 	waiting []int
+}
+
+// runScratch holds the scheduler's per-run working state. None of it
+// escapes into the Result, so it is pooled across runs: concurrent
+// sweeps reuse a handful of arrays instead of allocating per run.
+type runScratch struct {
+	idx    []int
+	ready  []uint64
+	status []coreStatus
+
+	// Sync state, lazily created on the first lock/barrier event (most
+	// sweep runs never pay for it) and then retained across pooled
+	// runs: the maps are cleared on reuse, and the state structs are
+	// recycled through the slabs, so lock-heavy runs stop allocating
+	// once a slab covers the workload's distinct sync objects.
+	locks    map[uint32]*lockState
+	barriers map[uint32]*barrierState
+	lockSlab []*lockState
+	barSlab  []*barrierState
+	nLocks   int
+	nBars    int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+// getScratch returns zeroed scheduler arrays for n cores.
+func getScratch(n int) *runScratch {
+	s := scratchPool.Get().(*runScratch)
+	if cap(s.idx) < n {
+		s.idx = make([]int, n)
+		s.ready = make([]uint64, n)
+		s.status = make([]coreStatus, n)
+	}
+	s.idx = s.idx[:n]
+	s.ready = s.ready[:n]
+	s.status = s.status[:n]
+	clear(s.idx)
+	clear(s.ready)
+	clear(s.status)
+	clear(s.locks)
+	clear(s.barriers)
+	s.nLocks, s.nBars = 0, 0
+	return s
+}
+
+// newLock registers a recycled (or, past the slab, freshly allocated)
+// lockState under id.
+func (s *runScratch) newLock(id uint32) *lockState {
+	if s.locks == nil {
+		s.locks = make(map[uint32]*lockState)
+	}
+	var ls *lockState
+	if s.nLocks < len(s.lockSlab) {
+		ls = s.lockSlab[s.nLocks]
+		*ls = lockState{holder: -1, waiters: ls.waiters[:0]}
+	} else {
+		ls = &lockState{holder: -1}
+		s.lockSlab = append(s.lockSlab, ls)
+	}
+	s.nLocks++
+	s.locks[id] = ls
+	return ls
+}
+
+// newBarrier is newLock's barrierState analogue.
+func (s *runScratch) newBarrier(id uint32) *barrierState {
+	if s.barriers == nil {
+		s.barriers = make(map[uint32]*barrierState)
+	}
+	var bs *barrierState
+	if s.nBars < len(s.barSlab) {
+		bs = s.barSlab[s.nBars]
+		*bs = barrierState{waiting: bs.waiting[:0]}
+	} else {
+		bs = &barrierState{}
+		s.barSlab = append(s.barSlab, bs)
+	}
+	s.nBars++
+	s.barriers[id] = bs
+	return bs
 }
 
 // Run simulates tr on machine m under protocol proto. It cannot be
@@ -214,11 +301,13 @@ func runContext(ctx context.Context, m *machine.Machine, proto machine.Protocol,
 	}
 
 	n := m.Cfg.Cores
-	idx := make([]int, n)
-	ready := make([]uint64, n)
-	status := make([]coreStatus, n)
-	locks := make(map[uint32]*lockState)
-	barriers := make(map[uint32]*barrierState)
+	scratch := getScratch(n)
+	defer scratchPool.Put(scratch)
+	idx, ready, status := scratch.idx, scratch.ready, scratch.status
+	// Sync state lives on the scratch: lazily created on the first
+	// lock/barrier event (reads from the nil maps below just miss) and
+	// recycled across runs with the rest of the scheduler state.
+	locks, barriers := scratch.locks, scratch.barriers
 
 	var golden *core.Golden
 	if opt.CheckWithOracle {
@@ -340,8 +429,8 @@ func runContext(ctx context.Context, m *machine.Machine, proto machine.Protocol,
 
 			ls := locks[ev.Arg]
 			if ls == nil {
-				ls = &lockState{holder: -1}
-				locks[ev.Arg] = ls
+				ls = scratch.newLock(ev.Arg)
+				locks = scratch.locks
 			}
 			if ls.holder == -1 || ls.holder == pick {
 				ls.holder = pick
@@ -368,9 +457,13 @@ func runContext(ctx context.Context, m *machine.Machine, proto machine.Protocol,
 			ls.depth--
 			if ls.depth == 0 {
 				ls.holder = -1
-				if len(ls.waiters) > 0 {
-					w := ls.waiters[0]
-					ls.waiters = ls.waiters[1:]
+				if ls.head < len(ls.waiters) {
+					w := ls.waiters[ls.head]
+					ls.head++
+					if ls.head == len(ls.waiters) {
+						ls.waiters = ls.waiters[:0]
+						ls.head = 0
+					}
 					ls.holder = w
 					ls.depth = 1
 					status[w] = statusRunning
@@ -389,8 +482,8 @@ func runContext(ctx context.Context, m *machine.Machine, proto machine.Protocol,
 
 			bs := barriers[ev.Arg]
 			if bs == nil {
-				bs = &barrierState{}
-				barriers[ev.Arg] = bs
+				bs = scratch.newBarrier(ev.Arg)
+				barriers = scratch.barriers
 			}
 			bs.arrived++
 			if at > bs.maxTime {
@@ -480,8 +573,5 @@ func fill(res *Result, m *machine.Machine) {
 	res.TotalEnergyPJ = m.Meter.TotalPJ()
 	res.Conflicts = m.Conflicts.Len()
 	res.Exceptions = append([]core.Exception(nil), m.Exceptions...)
-	res.Counters = make(map[string]uint64, len(m.Counters))
-	for k, v := range m.Counters {
-		res.Counters[k] = v
-	}
+	res.Counters = m.CounterMap()
 }

@@ -6,8 +6,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"arcsim/internal/core"
+)
+
+// Codec buffers are pooled: daemons decode one trace per request, and a
+// fresh 4KB bufio buffer per call is avoidable garbage. The pools hand
+// back readers/writers already reset onto the caller's stream.
+var (
+	readerPool = sync.Pool{New: func() any { return bufio.NewReader(nil) }}
+	writerPool = sync.Pool{New: func() any { return bufio.NewWriter(nil) }}
 )
 
 // Binary trace format (little-endian):
@@ -35,7 +44,12 @@ var (
 
 // Write serializes t to w.
 func WriteTo(w io.Writer, t *Trace) error {
-	bw := bufio.NewWriter(w)
+	bw := writerPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	defer func() {
+		bw.Reset(nil) // drop the caller's stream before pooling
+		writerPool.Put(bw)
+	}()
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
@@ -77,7 +91,12 @@ func WriteTo(w io.Writer, t *Trace) error {
 
 // ReadFrom deserializes a trace written by WriteTo.
 func ReadFrom(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	defer func() {
+		br.Reset(nil)
+		readerPool.Put(br)
+	}()
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, err
