@@ -120,20 +120,26 @@ func (t *Trace) Analyze() (*AnalysisReport, error) {
 		ProvenDRF:   an.ProvenDRF(),
 	}
 	for _, c := range an.Conflicts() {
-		rep.Conflicts = append(rep.Conflicts, PredictedConflict{
-			LineAddr: uint64(c.Line.Base()),
-			Phase:    c.Phase,
-			ThreadA:  int(c.RegionA.Core),
-			RegionA:  c.RegionA.Seq,
-			ThreadB:  int(c.RegionB.Core),
-			RegionB:  c.RegionB.Seq,
-			AWrites:  c.AWrites,
-			BWrites:  c.BWrites,
-			Bytes:    c.Bytes.Count(),
-			Pairs:    c.Pairs,
-		})
+		rep.Conflicts = append(rep.Conflicts, predictedConflict(c))
 	}
 	return rep, nil
+}
+
+// predictedConflict adapts one analyzer record to the facade type
+// (shared by Trace.Analyze and Trace.Witness).
+func predictedConflict(c static.PredictedConflict) PredictedConflict {
+	return PredictedConflict{
+		LineAddr: uint64(c.Line.Base()),
+		Phase:    c.Phase,
+		ThreadA:  int(c.RegionA.Core),
+		RegionA:  c.RegionA.Seq,
+		ThreadB:  int(c.RegionB.Core),
+		RegionB:  c.RegionB.Seq,
+		AWrites:  c.AWrites,
+		BWrites:  c.BWrites,
+		Bytes:    c.Bytes.Count(),
+		Pairs:    c.Pairs,
+	}
 }
 
 // WorkloadTrace builds the trace Run would simulate under cfg —

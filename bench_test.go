@@ -62,6 +62,7 @@ func BenchmarkA1Ablations(b *testing.B)      { runExperiment(b, "A1") }
 func BenchmarkA2MOESI(b *testing.B)          { runExperiment(b, "A2") }
 func BenchmarkA3Granularity(b *testing.B)    { runExperiment(b, "A3") }
 func BenchmarkR1SeedRobustness(b *testing.B) { runExperiment(b, "R1") }
+func BenchmarkWITWitness(b *testing.B)       { runExperiment(b, "WIT") }
 func BenchmarkTIERTiered(b *testing.B)       { runExperiment(b, "TIER") }
 func BenchmarkSCHEDScheduler(b *testing.B)   { runExperiment(b, "SCHED") }
 

@@ -8,12 +8,17 @@
 //	arcsim -workload racy-sharing -protocol ce+ -failstop
 //	arcsim -trace run.arct -protocol mesi -cores 8 -json
 //	arcsim -workload racy-sharing -analyze
+//	arcsim -workload racy-sharing -witness
 //	arcsim -list
 //
 // With -analyze the workload or trace is not simulated: the static
 // region-conflict analyzer reports whether the program is provably
 // data-race-free under every schedule, and if not, which byte ranges
 // may race (see the "Static analysis" section of the README).
+// -witness goes one step further: every predicted conflict is
+// classified by the witness engine — confirmed with a replayable
+// directed schedule, refuted by acquisition-history reasoning, or left
+// unwitnessed within the replay budget.
 package main
 
 import (
@@ -42,6 +47,7 @@ func main() {
 		dumpM    = flag.Bool("dump-machine", false, "print the default machine JSON for -cores and exit")
 		compare  = flag.Bool("compare", false, "run the workload under all four designs and print a comparison")
 		analyze  = flag.Bool("analyze", false, "statically predict region conflicts instead of simulating")
+		witnessF = flag.Bool("witness", false, "classify every statically predicted conflict by directed replay — confirmed (with a replayable witness schedule), refuted, or unwitnessed — instead of simulating")
 	)
 	flag.Parse()
 
@@ -84,7 +90,11 @@ func main() {
 		cfg.MachineJSON = data
 	}
 
-	if *analyze {
+	if *analyze || *witnessF {
+		mode := "-analyze"
+		if *witnessF {
+			mode = "-witness"
+		}
 		var (
 			tr  *arcsim.Trace
 			err error
@@ -100,12 +110,17 @@ func main() {
 		case *workload != "":
 			tr, err = arcsim.WorkloadTrace(cfg)
 		default:
-			fatal(fmt.Errorf("-analyze needs -workload or -trace"))
+			fatal(fmt.Errorf("%s needs -workload or -trace", mode))
 		}
 		if err != nil {
 			fatal(err)
 		}
-		rep, err := tr.Analyze()
+		var rep fmt.Stringer
+		if *witnessF {
+			rep, err = tr.Witness()
+		} else {
+			rep, err = tr.Analyze()
+		}
 		if err != nil {
 			fatal(err)
 		}

@@ -248,8 +248,8 @@ func list(ctx context.Context, c *client.Client) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-16s %-10s %-14s %-8s %5s %9s %8s %-12s %s\n",
-		"id", "state", "workload", "proto", "cores", "cycles", "cache", "verdict", "error")
+	fmt.Printf("%-16s %-10s %-14s %-8s %5s %9s %8s %-12s %-14s %s\n",
+		"id", "state", "workload", "proto", "cores", "cycles", "cache", "verdict", "witness", "error")
 	for _, j := range jobs {
 		cache := ""
 		if j.CacheHit {
@@ -259,8 +259,14 @@ func list(ctx context.Context, c *client.Client) error {
 		if j.Tiered {
 			verdict += "*" // synthesized: answered by the analyzer, not a simulation
 		}
-		fmt.Printf("%-16s %-10s %-14s %-8s %5d %9d %8s %-12s %s\n",
-			j.ID, j.State, j.Spec.Workload, j.Spec.Protocol, j.Spec.Cores, j.Cycles, cache, verdict, j.Error)
+		// Witness column: confirmed/refuted/unwitnessed counts from the
+		// precision tier, blank when the daemon did not examine the job.
+		wit := ""
+		if w := j.Witness; w != nil {
+			wit = fmt.Sprintf("c%d/r%d/u%d", w.Confirmed, w.Refuted, w.Unwitnessed)
+		}
+		fmt.Printf("%-16s %-10s %-14s %-8s %5d %9d %8s %-12s %-14s %s\n",
+			j.ID, j.State, j.Spec.Workload, j.Spec.Protocol, j.Spec.Cores, j.Cycles, cache, verdict, wit, j.Error)
 	}
 	return nil
 }

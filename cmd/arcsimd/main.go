@@ -40,6 +40,7 @@ func main() {
 		queue    = flag.Int("queue", 64, "bounded job queue depth (full queue returns 429)")
 		drainFor = flag.Duration("drain-timeout", 10*time.Minute, "max wait for running jobs on shutdown")
 		tier     = flag.Bool("tier", true, "analyze-first tiered execution: record verdicts, short-circuit conflicts-only proven-DRF jobs, phase-parallel simulation")
+		witFlag  = flag.Bool("witness", false, "witness precision tier (implies -tier): classify every predicted conflict of may-conflict jobs — confirmed with a replayable schedule, refuted, or unwitnessed — on the job view and /metrics")
 		peers    = flag.String("peers", "", "comma-separated peer daemon addresses (host:port or URL): federate the result store — local misses read through to healthy peers before simulating (requires -store)")
 		meshSelf = flag.String("mesh-self", "", "this daemon's advertised address for rendezvous key ownership; every peer must use the same string (empty = unplaced: fetched blobs are all kept durably)")
 		meshL2   = flag.Int64("mesh-l2-bytes", 256<<20, "byte budget for peer-fetched blobs of keys this daemon does not own (LRU-compacted; 0 = unbounded)")
@@ -54,6 +55,7 @@ func main() {
 		QueueDepth: *queue,
 		Logf:       logger.Printf,
 		Tier:       *tier,
+		Witness:    *witFlag,
 	}
 	if *verbose {
 		cfg.Progress = os.Stderr

@@ -32,6 +32,7 @@ import (
 	"arcsim/internal/sched"
 	"arcsim/internal/sched/fleet"
 	"arcsim/internal/sim"
+	"arcsim/internal/static/witness"
 	"arcsim/internal/stats"
 	"arcsim/internal/store"
 )
@@ -198,9 +199,12 @@ func splitEndpoints(s string) []string {
 // run's cost is predicted from the same memoized static analysis the
 // tiered Runner consults (event count, proven-DRF verdict), so the
 // scheduler sees heavy may-conflict simulations and ~free short-circuit
-// candidates for what they are. The runner pointer is bound late: it is
-// nil until NewRunner returns, and the closure only executes afterwards
-// (Exec is called by that runner).
+// candidates for what they are. The witness tier's free refutation pass
+// refines may-conflict pricing one notch further: a fully refuted
+// program is dynamically DRF, so its mirror-run surcharge is waived —
+// without spending a single simulation at planning time. The runner
+// pointer is bound late: it is nil until NewRunner returns, and the
+// closure only executes afterwards (Exec is called by that runner).
 func schedExec(sch *fleet.Scheduler, cfg bench.Config, runner **bench.Runner) func(context.Context, bench.RunSpec) (*sim.Result, error) {
 	return func(ctx context.Context, spec bench.RunSpec) (*sim.Result, error) {
 		in := sched.CostInputs{Cores: spec.Cores, Oracle: spec.Oracle}
@@ -208,6 +212,9 @@ func schedExec(sch *fleet.Scheduler, cfg bench.Config, runner **bench.Runner) fu
 			if an, err := r.Analysis(spec.Workload, spec.Cores); err == nil {
 				in.Events = an.Stats().Events
 				in.ProvenDRF = an.ProvenDRF()
+				if !in.ProvenDRF && witness.RefutedDRF(an) {
+					in.WitnessRefined, in.RefutedDRF = true, true
+				}
 			}
 			// Analysis errors (engine specials outside the catalog) leave
 			// Events at zero: EstimateCost prices unknowns mid-sized.

@@ -20,6 +20,7 @@ import (
 	"arcsim/internal/protocols"
 	"arcsim/internal/sim"
 	"arcsim/internal/static"
+	"arcsim/internal/static/witness"
 	"arcsim/internal/trace"
 	"arcsim/internal/workload"
 )
@@ -176,6 +177,14 @@ type anEntry struct {
 	err  error
 }
 
+// wtEntry is the witness memo's singleflight slot: one entry per trace
+// identity, like anEntry.
+type wtEntry struct {
+	done chan struct{}
+	rep  *witness.Report
+	err  error
+}
+
 // trEntry is the trace memo's singleflight slot: one trace identity
 // under a runner is (workload, cores) — scale and seed are fixed by the
 // config — and generation is deterministic, so every run and analysis of
@@ -232,6 +241,12 @@ type Timing struct {
 	// OracleSkips counts oracle-checked requests the tier satisfied with
 	// an unchecked run because the analyzer proved the trace DRF.
 	OracleSkips int
+	// WitnessRuns/WitnessTime/WitnessReplays count witness examinations
+	// executed (memoized per trace identity) and the directed replays
+	// they spent.
+	WitnessRuns    int
+	WitnessTime    time.Duration
+	WitnessReplays int
 	// PhaseParRuns counts simulations executed phase-parallel
 	// (sim.RunPhased) rather than straight-line.
 	PhaseParRuns int
@@ -260,6 +275,12 @@ type Runner struct {
 	trMu   sync.Mutex
 	trMemo map[anKey]*trEntry
 
+	// wtMu/wtMemo singleflight witness examinations (classification of
+	// every predicted conflict — see WitnessReport). Examinations cost
+	// simulations, so at most one runs per trace identity.
+	wtMu   sync.Mutex
+	wtMemo map[anKey]*wtEntry
+
 	// poolMu/pool recycle machine+protocol pairs across runs that share
 	// a poolKey, so a sweep pays the ~tens-of-MB machine build once per
 	// configuration instead of once per run.
@@ -280,6 +301,7 @@ func NewRunner(cfg Config) *Runner {
 		memo:   make(map[runKey]*memoEntry),
 		anMemo: make(map[anKey]*anEntry),
 		trMemo: make(map[anKey]*trEntry),
+		wtMemo: make(map[anKey]*wtEntry),
 		pool:   make(map[poolKey][]pooledPair),
 	}
 }
@@ -578,6 +600,48 @@ func (r *Runner) Analysis(wl string, cores int) (*static.Analysis, error) {
 	return e.an, e.err
 }
 
+// WitnessReport returns the memoized witness classification of the
+// named workload's trace at the given core count (see
+// internal/static/witness): every predicted conflict is confirmed with
+// a replayable directed schedule, refuted by acquisition-history
+// reasoning, or left unwitnessed within the default budget. Unlike
+// Analysis, an examination costs simulations (one baseline plus the
+// directed replays), so the memo matters: however many experiments and
+// views consult a trace identity, it is examined once.
+func (r *Runner) WitnessReport(wl string, cores int) (*witness.Report, error) {
+	key := anKey{wl, cores}
+	r.wtMu.Lock()
+	if e, ok := r.wtMemo[key]; ok {
+		r.wtMu.Unlock()
+		<-e.done
+		return e.rep, e.err
+	}
+	e := &wtEntry{done: make(chan struct{})}
+	r.wtMemo[key] = e
+	r.wtMu.Unlock()
+
+	start := time.Now()
+	tr, err := r.trace(wl, cores)
+	if err == nil {
+		var an *static.Analysis
+		if an, err = r.Analysis(wl, cores); err == nil {
+			e.rep, e.err = witness.Examine(tr, an, witness.Options{})
+		}
+	}
+	if err != nil {
+		e.err = err
+	}
+	r.statMu.Lock()
+	r.timing.WitnessRuns++
+	r.timing.WitnessTime += time.Since(start)
+	if e.rep != nil {
+		r.timing.WitnessReplays += e.rep.Replays
+	}
+	r.statMu.Unlock()
+	close(e.done)
+	return e.rep, e.err
+}
+
 // execute performs one simulation (no memo interaction).
 func (r *Runner) execute(ctx context.Context, key runKey) (*sim.Result, error) {
 	wl, proto, cores := key.workload, key.proto, key.cores
@@ -746,6 +810,7 @@ func All() []Experiment {
 		{ID: "R1", Title: "Seed robustness", Run: runR1},
 		{ID: "CONF", Title: "Differential conformance of the conflict-detection designs", Run: runConformance},
 		{ID: "STAT", Title: "Static region-conflict analysis: precision and speed", Run: runStatic},
+		{ID: "WIT", Title: "Witness-directed precision: confirm or refute predicted conflicts", Run: runWitness},
 		{ID: "TIER", Title: "Analyze-first tiered execution: short-circuit and phase-parallel speedups", Run: runTier},
 		{ID: "SCHED", Title: "Cost-model scheduling vs round-robin on the daemon fleet", Run: runSched},
 	}
@@ -776,6 +841,9 @@ func ByID(id string) (Experiment, bool) {
 	}
 	if strings.EqualFold(id, "tiered") {
 		id = "TIER"
+	}
+	if strings.EqualFold(id, "witness") {
+		id = "WIT"
 	}
 	if strings.EqualFold(id, "sched") || strings.EqualFold(id, "scheduler") {
 		id = "SCHED"

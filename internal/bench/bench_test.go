@@ -17,8 +17,8 @@ func quickCfg() Config {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Fatalf("experiments = %d, want 19", len(all))
+	if len(all) != 20 {
+		t.Fatalf("experiments = %d, want 20", len(all))
 	}
 	ids := map[string]bool{}
 	for _, e := range all {
@@ -157,12 +157,12 @@ func TestParallelHarnessDeterminism(t *testing.T) {
 	serial := NewRunner(serialCfg)
 	want := map[string]string{}
 	for _, e := range All() {
-		// STAT's and TIER's artifacts report measured wall-clock timings
-		// (that is those experiments' point), so byte-identity cannot
-		// hold for them; their verdict and byte-identity columns are
-		// deterministic and covered by TestStaticExperiment and
-		// TestTierExperiment.
-		if e.ID == "STAT" || e.ID == "TIER" {
+		// STAT's, TIER's, and WIT's artifacts report measured wall-clock
+		// timings (that is those experiments' point), so byte-identity
+		// cannot hold for them; their verdict and byte-identity columns
+		// are deterministic and covered by TestStaticExperiment,
+		// TestTierExperiment, and TestWitnessExperiment.
+		if e.ID == "STAT" || e.ID == "TIER" || e.ID == "WIT" {
 			continue
 		}
 		out, err := e.Run(serial)
@@ -182,7 +182,7 @@ func TestParallelHarnessDeterminism(t *testing.T) {
 		got = map[string]string{}
 	)
 	for _, e := range All() {
-		if e.ID == "STAT" || e.ID == "TIER" {
+		if e.ID == "STAT" || e.ID == "TIER" || e.ID == "WIT" {
 			continue
 		}
 		e := e
@@ -322,6 +322,39 @@ func TestTierExperiment(t *testing.T) {
 	}
 	if strings.Contains(out.Body, "DIFFER") {
 		t.Error("TIER body reports a byte-identity violation")
+	}
+}
+
+// TestWitnessExperiment pins WIT's deterministic content — the
+// classification precision and the acquisition-history refutations — at
+// the quick scale. Its cost-fit check compares estimates against
+// measured wall-clock simulation times, which millisecond-scale quick
+// runs render noisy; TestShapeChecksFullScale asserts it at the
+// standard scale.
+func TestWitnessExperiment(t *testing.T) {
+	e, ok := ByID("WIT")
+	if !ok {
+		t.Fatal("WIT not registered")
+	}
+	out, err := e.Run(NewRunner(quickCfg()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range out.Checks {
+		if strings.Contains(c.Desc, "fit measured cost") {
+			continue
+		}
+		if !c.Pass {
+			t.Errorf("FAIL %s (%s)", c.Desc, c.Detail)
+		}
+	}
+	for _, want := range []string{"refuted-DRF", "may-conflict", "racy", "ah-refuted/64"} {
+		if !strings.Contains(out.Body, want) {
+			t.Errorf("missing %q in WIT body", want)
+		}
+	}
+	if strings.Contains(out.Body, "ERROR") {
+		t.Error("WIT body reports an examination error")
 	}
 }
 

@@ -119,3 +119,69 @@ func TestZeroAllocSteadyState(t *testing.T) {
 		t.Fatalf("steady-state ops allocated %v times per run", allocs)
 	}
 }
+
+// TestPurgeThenReinsertUnderTombstonePressure pins the tombstone
+// lifecycle end to end. Churn drives the table until a rehash fires with
+// the live count low — that must be the same-size purge (capacity
+// unchanged, probe load collapsed back to the live count) — and then
+// every key deleted along the way is reinserted and the full mapping
+// cross-checked, so a purge that corrupts probe chains or a reinsert
+// that resurrects stale slots cannot slip through.
+func TestPurgeThenReinsertUnderTombstonePressure(t *testing.T) {
+	var tab Table
+	const live = 8
+	ref := map[core.Line]int32{}
+	var deleted []core.Line
+	purged := false
+	i := 0
+	for ; !purged && i < 1<<16; i++ {
+		usedBefore, sizeBefore := tab.used, len(tab.keys)
+		line := core.Line(i)
+		tab.Put(line, int32(i))
+		ref[line] = int32(i)
+		// used only ever falls on a rehash; unchanged capacity means it
+		// was the tombstone purge, not growth.
+		if tab.used < usedBefore && len(tab.keys) == sizeBefore && sizeBefore >= 16 {
+			purged = true
+			if tab.used != tab.n {
+				t.Fatalf("purge left tombstones: used=%d n=%d", tab.used, tab.n)
+			}
+		}
+		if i >= live {
+			old := core.Line(i - live)
+			if _, ok := tab.Delete(old); !ok {
+				t.Fatalf("Delete(%d) missed", old)
+			}
+			delete(ref, old)
+			deleted = append(deleted, old)
+		}
+	}
+	if !purged {
+		t.Fatal("churn never hit the same-size purge path")
+	}
+	// Reinsert everything deleted so far with fresh slots.
+	for _, line := range deleted {
+		tab.Put(line, int32(line)+7)
+		ref[line] = int32(line) + 7
+	}
+	if tab.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tab.Len(), len(ref))
+	}
+	for line, want := range ref {
+		if s, ok := tab.Get(line); !ok || s != want {
+			t.Fatalf("Get(%d) = %d,%v, want %d,true", line, s, ok, want)
+		}
+	}
+	// The reinserted table must survive another purge cycle intact.
+	for j := i; j < i+4*len(tab.keys); j++ {
+		tab.Put(core.Line(j), int32(j))
+		if _, ok := tab.Delete(core.Line(j)); !ok {
+			t.Fatalf("churn Delete(%d) missed", j)
+		}
+	}
+	for line, want := range ref {
+		if s, ok := tab.Get(line); !ok || s != want {
+			t.Fatalf("after second churn: Get(%d) = %d,%v, want %d,true", line, s, ok, want)
+		}
+	}
+}

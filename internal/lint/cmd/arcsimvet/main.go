@@ -1,11 +1,15 @@
 // Command arcsimvet runs the repo's custom lint checks (internal/lint).
 // With no arguments it applies the standard policy from the repository
-// root — the mutexguard check over the concurrent service layers and the
-// determinism check over the simulation engine:
+// root — mutexguard over the concurrent service layers, determinism over
+// the simulation engine, counterreg over the protocol packages that
+// intern machine counters, and poolreset over the packages that recycle
+// state through sync.Pool:
 //
 //	arcsimvet                              # make lint
 //	arcsimvet -check mutexguard ./internal/server
 //	arcsimvet -check determinism ./internal/sim
+//	arcsimvet -check counterreg ./internal/ce
+//	arcsimvet -check poolreset ./internal/trace
 //
 // Issues print as file:line:col: [check] message; the exit status is 1
 // when any issue is found.
@@ -24,10 +28,15 @@ import (
 var policy = map[string][]string{
 	"mutexguard":  {"internal/server", "internal/client", "internal/store", "internal/mesh", "internal/bench", "internal/sched", "internal/sched/fleet"},
 	"determinism": {"internal/sim", "internal/core"},
+	"counterreg":  {"internal/machine", "internal/ce", "internal/arc", "internal/coherence", "internal/aim"},
+	"poolreset":   {"internal/trace", "internal/sim"},
 }
 
+// policyOrder fixes the output order of the default run.
+var policyOrder = []string{"mutexguard", "determinism", "counterreg", "poolreset"}
+
 func main() {
-	check := flag.String("check", "", "run one check (mutexguard or determinism) over the argument directories")
+	check := flag.String("check", "", "run one check (mutexguard, determinism, counterreg, or poolreset) over the argument directories")
 	flag.Parse()
 
 	var issues []lint.Issue
@@ -43,6 +52,10 @@ func main() {
 				issues = append(issues, lint.MutexGuards(p)...)
 			case "determinism":
 				issues = append(issues, lint.Determinism(p)...)
+			case "counterreg":
+				issues = append(issues, lint.CounterReg(p)...)
+			case "poolreset":
+				issues = append(issues, lint.PoolReset(p)...)
 			default:
 				fmt.Fprintf(os.Stderr, "arcsimvet: unknown check %q\n", check)
 				os.Exit(2)
@@ -57,7 +70,7 @@ func main() {
 		}
 		run(*check, flag.Args())
 	} else {
-		for _, name := range []string{"mutexguard", "determinism"} {
+		for _, name := range policyOrder {
 			run(name, policy[name])
 		}
 	}

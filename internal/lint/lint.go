@@ -23,7 +23,20 @@
 //     machines are what the persistent store and the distributed sweep
 //     client key on — so internal/sim is checked with this.
 //
-// Both checks are syntactic heuristics tuned to this repository's
+//   - counterreg: a package-level machine.CounterID var must be
+//     initialized with RegisterCounter in the same package. The interned
+//     counter table hands out IDs at init; a CounterID declared without
+//     registration holds the zero value, which silently aliases counter
+//     slot 0 instead of failing — every increment lands on someone
+//     else's counter.
+//
+//   - poolreset: a type stored in a sync.Pool that carries a Reset
+//     method must have Reset called on the pooled value in every
+//     function that Gets from or Puts to the pool. Skipping Reset leaks
+//     one use's state (buffered bytes, caller streams) into the next
+//     borrower.
+//
+// All checks are syntactic heuristics tuned to this repository's
 // conventions, not general-purpose analyses: they prefer missing an
 // exotic access path over flagging correct code.
 package lint
@@ -302,6 +315,310 @@ func Determinism(p *Package) []Issue {
 			})
 			return true
 		})
+	}
+	sortIssues(issues)
+	return issues
+}
+
+// counterIDType reports whether expr names the interned-counter ID type
+// — machine.CounterID from outside, bare CounterID inside the machine
+// package itself.
+func counterIDType(expr ast.Expr) bool {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name == "CounterID"
+	case *ast.SelectorExpr:
+		pkg, ok := t.X.(*ast.Ident)
+		return ok && pkg.Name == "machine" && t.Sel.Name == "CounterID"
+	}
+	return false
+}
+
+// registerCall reports whether expr is a RegisterCounter call (qualified
+// or package-local).
+func registerCall(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "RegisterCounter"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "RegisterCounter"
+	}
+	return false
+}
+
+// CounterReg checks that every package-level machine.CounterID var is
+// initialized via RegisterCounter: an unregistered ID is the zero value
+// and silently increments counter slot 0.
+func CounterReg(p *Package) []Issue {
+	var issues []Issue
+	flag := func(name *ast.Ident) {
+		if name.Name == "_" {
+			return
+		}
+		issues = append(issues, Issue{
+			Pos:   p.Fset.Position(name.Pos()),
+			Check: "counterreg",
+			Message: fmt.Sprintf("package-level CounterID %s is not initialized with RegisterCounter: the zero ID silently aliases counter slot 0",
+				name.Name),
+		})
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, s := range gd.Specs {
+				spec, ok := s.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				switch {
+				case spec.Type != nil && counterIDType(spec.Type):
+					// var x machine.CounterID [= expr]: the declared type
+					// says what it is; only a registration makes it valid.
+					for i, name := range spec.Names {
+						if i >= len(spec.Values) || !registerCall(spec.Values[i]) {
+							flag(name)
+						}
+					}
+				case spec.Type == nil:
+					// var x = machine.CounterID(7): a conversion mints an
+					// ID the registry never issued.
+					for i, name := range spec.Names {
+						if i >= len(spec.Values) {
+							break
+						}
+						if call, ok := spec.Values[i].(*ast.CallExpr); ok && counterIDType(call.Fun) {
+							flag(name)
+						}
+					}
+				}
+			}
+		}
+	}
+	sortIssues(issues)
+	return issues
+}
+
+// poolType reports whether the expression names sync.Pool.
+func poolType(expr ast.Expr) bool {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "sync" && sel.Sel.Name == "Pool"
+}
+
+// poolStoredType extracts the pooled type's local name from a pool
+// composite literal's New function (new(T) or &T{} returns), or "".
+func poolStoredType(lit *ast.CompositeLit) string {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "New" {
+			continue
+		}
+		fl, ok := kv.Value.(*ast.FuncLit)
+		if !ok {
+			return ""
+		}
+		name := ""
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				return true
+			}
+			switch r := ret.Results[0].(type) {
+			case *ast.CallExpr: // new(T)
+				if fun, ok := r.Fun.(*ast.Ident); ok && fun.Name == "new" && len(r.Args) == 1 {
+					if id, ok := r.Args[0].(*ast.Ident); ok {
+						name = id.Name
+					}
+				}
+			case *ast.UnaryExpr: // &T{}
+				if lit, ok := r.X.(*ast.CompositeLit); ok && r.Op == token.AND {
+					if id, ok := lit.Type.(*ast.Ident); ok {
+						name = id.Name
+					}
+				}
+			}
+			return true
+		})
+		return name
+	}
+	return ""
+}
+
+// poolUse ties one pooled variable to its pool within a function: the
+// var was assigned from pool.Get() or passed to pool.Put().
+type poolUse struct {
+	pool string
+	name string // pooled variable
+	pos  token.Pos
+	op   string // "Get" or "Put"
+}
+
+// poolUses walks one function body collecting pool ties and the set of
+// variables Reset is called on (nested function literals included: a
+// deferred cleanup counts as the enclosing function's path).
+func poolUses(body *ast.BlockStmt, pools map[string]string) (uses []poolUse, resets map[string]bool) {
+	resets = map[string]bool{}
+	poolCall := func(call *ast.CallExpr) (pool, op string, ok bool) {
+		sel, isSel := call.Fun.(*ast.SelectorExpr)
+		if !isSel {
+			return "", "", false
+		}
+		base, isIdent := sel.X.(*ast.Ident)
+		if !isIdent {
+			return "", "", false
+		}
+		if _, isPool := pools[base.Name]; !isPool {
+			return "", "", false
+		}
+		return base.Name, sel.Sel.Name, true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// v := pool.Get().(*T) — possibly through a type assertion.
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			lhs, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			rhs := n.Rhs[0]
+			if ta, isTA := rhs.(*ast.TypeAssertExpr); isTA {
+				rhs = ta.X
+			}
+			if call, isCall := rhs.(*ast.CallExpr); isCall {
+				if pool, op, isPool := poolCall(call); isPool && op == "Get" {
+					uses = append(uses, poolUse{pool, lhs.Name, n.Pos(), "Get"})
+				}
+			}
+		case *ast.CallExpr:
+			if pool, op, isPool := poolCall(n); isPool && op == "Put" && len(n.Args) == 1 {
+				if arg, ok := n.Args[0].(*ast.Ident); ok {
+					uses = append(uses, poolUse{pool, arg.Name, n.Pos(), "Put"})
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Reset" {
+				if base, ok := sel.X.(*ast.Ident); ok {
+					resets[base.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return uses, resets
+}
+
+// PoolReset checks that functions borrowing from (or returning to) a
+// sync.Pool whose element type carries Reset actually call Reset on the
+// pooled value. The element type "carries Reset" when the pool's New
+// function constructs a package-local type with a Reset method, or when
+// any function in the package calls Reset on a value tied to that pool
+// (which proves the method exists even for imported element types, e.g.
+// pooled bufio readers).
+func PoolReset(p *Package) []Issue {
+	// Pool variables (name -> stored local type, possibly "").
+	pools := map[string]string{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, s := range gd.Specs {
+				spec, ok := s.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range spec.Names {
+					if spec.Type != nil && poolType(spec.Type) {
+						pools[name.Name] = ""
+					}
+					if i < len(spec.Values) {
+						if lit, ok := spec.Values[i].(*ast.CompositeLit); ok && poolType(lit.Type) {
+							pools[name.Name] = poolStoredType(lit)
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(pools) == 0 {
+		return nil
+	}
+	// Package-local types with a Reset method.
+	localReset := map[string]bool{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Reset" {
+				continue
+			}
+			if typeName, _ := recvType(fd); typeName != "" {
+				localReset[typeName] = true
+			}
+		}
+	}
+	// First pass: which pools demonstrably hold Reset-carrying values.
+	type fnUses struct {
+		fn     *ast.FuncDecl
+		uses   []poolUse
+		resets map[string]bool
+	}
+	var fns []fnUses
+	hasReset := map[string]bool{}
+	for pool, stored := range pools {
+		if stored != "" && localReset[stored] {
+			hasReset[pool] = true
+		}
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			uses, resets := poolUses(fd.Body, pools)
+			if len(uses) == 0 {
+				continue
+			}
+			fns = append(fns, fnUses{fd, uses, resets})
+			for _, u := range uses {
+				if resets[u.name] {
+					hasReset[u.pool] = true
+				}
+			}
+		}
+	}
+	// Second pass: every tie to a Reset-carrying pool must Reset.
+	var issues []Issue
+	for _, fu := range fns {
+		reported := map[string]bool{}
+		for _, u := range fu.uses {
+			if !hasReset[u.pool] || fu.resets[u.name] || reported[u.pool+"."+u.name] {
+				continue
+			}
+			reported[u.pool+"."+u.name] = true
+			issues = append(issues, Issue{
+				Pos:   p.Fset.Position(u.pos),
+				Check: "poolreset",
+				Message: fmt.Sprintf("%s %ss pooled value %s from %s without calling %s.Reset: stale state leaks to the next borrower",
+					fu.fn.Name.Name, strings.ToLower(u.op), u.name, u.pool, u.name),
+			})
+		}
 	}
 	sortIssues(issues)
 	return issues

@@ -150,6 +150,164 @@ func scale(n int) time.Duration { return time.Duration(n) * tick }
 	}
 }
 
+func TestCounterRegFlagsUnregisteredIDs(t *testing.T) {
+	p := parse(t, `package x
+
+import "arcsim/internal/machine"
+
+var (
+	ctrGood  = machine.RegisterCounter("x.good")
+	ctrZero  machine.CounterID
+	ctrConst machine.CounterID = 3
+	ctrConv  = machine.CounterID(7)
+)
+
+func use() machine.CounterID {
+	var local machine.CounterID // function-local: not a package counter
+	return local + ctrGood + ctrZero + ctrConst + ctrConv
+}
+`)
+	issues := lint.CounterReg(p)
+	if len(issues) != 3 {
+		t.Fatalf("want ctrZero, ctrConst, ctrConv flagged, got %v", issues)
+	}
+	for i, name := range []string{"ctrZero", "ctrConst", "ctrConv"} {
+		if issues[i].Check != "counterreg" || !strings.Contains(issues[i].Message, name) {
+			t.Fatalf("issue %d does not name %s: %v", i, name, issues[i])
+		}
+	}
+}
+
+func TestCounterRegInsideMachinePackage(t *testing.T) {
+	// The machine package spells both the type and the constructor
+	// unqualified; the check must see through that.
+	p := parse(t, `package machine
+
+var ctrOK = RegisterCounter("meta.dram")
+
+var ctrBad CounterID
+`)
+	issues := lint.CounterReg(p)
+	if len(issues) != 1 || !strings.Contains(issues[0].Message, "ctrBad") {
+		t.Fatalf("want exactly ctrBad flagged, got %v", issues)
+	}
+}
+
+const pooledBuf = `package x
+
+import "sync"
+
+type buf struct{ b []byte }
+
+func (b *buf) Reset() { b.b = b.b[:0] }
+
+var bufPool = sync.Pool{New: func() any { return new(buf) }}
+`
+
+func TestPoolResetFlagsMissingReset(t *testing.T) {
+	p := parse(t, pooledBuf+`
+func leaky() *buf {
+	b := bufPool.Get().(*buf)
+	return b
+}
+
+func clean() *buf {
+	b := bufPool.Get().(*buf)
+	b.Reset()
+	return b
+}
+
+func cleanOnPut(b *buf) {
+	b.Reset()
+	bufPool.Put(b)
+}
+
+func leakyPut(b *buf) { bufPool.Put(b) }
+`)
+	issues := lint.PoolReset(p)
+	if len(issues) != 2 {
+		t.Fatalf("want leaky() and leakyPut() flagged, got %v", issues)
+	}
+	if !strings.Contains(issues[0].Message, "leaky ") || !strings.Contains(issues[1].Message, "leakyPut ") {
+		t.Fatalf("issues do not name the functions: %v", issues)
+	}
+	for _, i := range issues {
+		if i.Check != "poolreset" {
+			t.Fatalf("wrong check name: %v", i)
+		}
+	}
+}
+
+func TestPoolResetCountsDeferredCleanup(t *testing.T) {
+	// The codec idiom: Reset inside a deferred literal is the enclosing
+	// function's Put path.
+	p := parse(t, pooledBuf+`
+func roundTrip() {
+	b := bufPool.Get().(*buf)
+	defer func() {
+		b.Reset()
+		bufPool.Put(b)
+	}()
+	_ = b
+}
+`)
+	if issues := lint.PoolReset(p); len(issues) != 0 {
+		t.Fatalf("deferred Reset flagged: %v", issues)
+	}
+}
+
+func TestPoolResetExemptsResetFreeTypes(t *testing.T) {
+	// internal/sim's runScratch has no Reset method (slices are cleared
+	// in place): nothing to enforce.
+	p := parse(t, `package x
+
+import "sync"
+
+type scratch struct{ idx []int }
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func run() {
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
+	_ = s
+}
+`)
+	if issues := lint.PoolReset(p); len(issues) != 0 {
+		t.Fatalf("Reset-free pooled type flagged: %v", issues)
+	}
+}
+
+func TestPoolResetLearnsImportedElementTypes(t *testing.T) {
+	// The pooled type is imported (no local Reset method decl), but one
+	// function calling Reset on a pooled value proves the method exists;
+	// a sibling that skips it is then flagged.
+	p := parse(t, `package x
+
+import (
+	"bufio"
+	"sync"
+)
+
+var writerPool = sync.Pool{New: func() any { return bufio.NewWriter(nil) }}
+
+func good() *bufio.Writer {
+	bw := writerPool.Get().(*bufio.Writer)
+	bw.Reset(nil)
+	return bw
+}
+
+func bad() *bufio.Writer {
+	bw := writerPool.Get().(*bufio.Writer)
+	return bw
+}
+`)
+	issues := lint.PoolReset(p)
+	if len(issues) != 1 || !strings.Contains(issues[0].Message, "bad ") {
+		t.Fatalf("want exactly bad() flagged, got %v", issues)
+	}
+}
+
 // TestRepoIsClean runs the production policy over the real packages it
 // covers, pinning the repo-wide `make lint` contract in the unit tests.
 func TestRepoIsClean(t *testing.T) {
@@ -169,6 +327,24 @@ func TestRepoIsClean(t *testing.T) {
 		}
 		if issues := lint.Determinism(p); len(issues) != 0 {
 			t.Errorf("determinism issues in %s: %v", dir, issues)
+		}
+	}
+	for _, dir := range []string{"../machine", "../ce", "../arc", "../coherence"} {
+		p, err := lint.Load(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		if issues := lint.CounterReg(p); len(issues) != 0 {
+			t.Errorf("counterreg issues in %s: %v", dir, issues)
+		}
+	}
+	for _, dir := range []string{"../trace", "../sim"} {
+		p, err := lint.Load(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		if issues := lint.PoolReset(p); len(issues) != 0 {
+			t.Errorf("poolreset issues in %s: %v", dir, issues)
 		}
 	}
 }

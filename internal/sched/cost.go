@@ -27,6 +27,21 @@ type CostInputs struct {
 	// mesh then serves the job with one verified blob fetch instead of
 	// a simulation, whoever it lands on.
 	PeerCached bool
+	// WitnessRefined reports that the witness precision tier
+	// (internal/static/witness) classified this trace's predicted
+	// conflicts; the two fields below are meaningful only when set.
+	// Refinement replaces the flat may-conflict pricing: detection-side
+	// cost scales with the conflicts that can actually fire instead of
+	// every prediction being priced as live.
+	WitnessRefined bool
+	// ConfirmedConflicts counts predictions carrying a replayable
+	// witness (Status == Confirmed).
+	ConfirmedConflicts int
+	// RefutedDRF reports that every predicted conflict was refuted:
+	// the trace is dynamically DRF under every schedule even though
+	// ProvenDRF is false, so a witness-aware tier skips the oracle
+	// mirror exactly as it does for proven-DRF traces.
+	RefutedDRF bool
 }
 
 // Cost-model constants. The absolute scale is arbitrary (the scheduler
@@ -55,6 +70,14 @@ const (
 	// decode), independent of trace size. Slightly above minCost — a
 	// fetch still beats a tier short-circuit's protocol-only cost.
 	peerCachedCost = 2.0
+	// confirmedConflictCost prices each witness-confirmed conflict
+	// record: realizable conflicts sit on contended lines (invalidation
+	// churn, AIM pressure, exception bookkeeping) that a flat per-event
+	// price underestimates. Tuned on the WIT experiment's mixed job set
+	// (internal/bench/witness.go), where it roughly halves the geomean
+	// cost misprediction; the fit is flat between half and double this
+	// value, so the constant is not fragile.
+	confirmedConflictCost = 32.0
 )
 
 // EstimateCost predicts one job's service cost in abstract units
@@ -62,6 +85,9 @@ const (
 // dominate; proven-DRF conflicts-only jobs cost ~nothing because a
 // tiering daemon short-circuits them; proven-DRF jobs that still want
 // cycle-accurate output simulate but skip the oracle mirror fleet-wide.
+// When the witness tier has refined the static verdict, pricing follows
+// the refinement: an all-refuted trace earns the proven-DRF oracle
+// skip, and each confirmed conflict adds a fixed surcharge.
 func EstimateCost(in CostInputs) float64 {
 	if in.ProvenDRF && in.ConflictsOnly {
 		return shortCircuitCost
@@ -81,10 +107,18 @@ func EstimateCost(in CostInputs) float64 {
 	if in.Cores > 1 {
 		cost *= 1 + coreFactor*math.Log2(float64(in.Cores))
 	}
-	if in.Oracle && !in.ProvenDRF {
+	if in.Oracle && !in.ProvenDRF && !(in.WitnessRefined && in.RefutedDRF) {
 		// The tier skips the mirror on proven-DRF traces (soundness makes
-		// it redundant), so only may-conflict oracle runs pay it.
+		// it redundant), so only may-conflict oracle runs pay it. A
+		// witness-refined all-refuted verdict earns the same skip: no
+		// schedule can raise a conflict, so both conflict sets are
+		// provably empty despite the may-conflict static verdict.
 		cost *= oracleFactor
+	}
+	if in.WitnessRefined {
+		// Price by what can actually fire, not by the flat may-conflict
+		// verdict: each confirmed record adds detection-side cost.
+		cost += confirmedConflictCost * float64(in.ConfirmedConflicts)
 	}
 	if cost < minCost {
 		cost = minCost

@@ -303,6 +303,29 @@ func TestEstimateCost(t *testing.T) {
 					t.Errorf("peer-cached %v should exceed short-circuit %v", got, sc)
 				}
 			}},
+		{"witness all-refuted earns the oracle skip", CostInputs{Events: 10_000, Cores: 1, Oracle: true, WitnessRefined: true, RefutedDRF: true},
+			func(t *testing.T, got float64) {
+				if got != EstimateCost(base) {
+					t.Errorf("all-refuted oracle cost %v, want base %v (mirror provably redundant)", got, EstimateCost(base))
+				}
+			}},
+		{"witness confirmed conflicts surcharge", CostInputs{Events: 10_000, Cores: 1, WitnessRefined: true, ConfirmedConflicts: 3},
+			func(t *testing.T, got float64) {
+				b := EstimateCost(base)
+				one := EstimateCost(CostInputs{Events: 10_000, Cores: 1, WitnessRefined: true, ConfirmedConflicts: 1})
+				if got <= b || one <= b {
+					t.Errorf("confirmed conflicts added no cost: 3→%v 1→%v base %v", got, one, b)
+				}
+				if got-b != 3*(one-b) {
+					t.Errorf("surcharge not linear in confirmed count: 3→%v 1→%v base %v", got, one, b)
+				}
+			}},
+		{"refinement without refutation keeps the mirror price", CostInputs{Events: 10_000, Cores: 1, Oracle: true, WitnessRefined: true, ConfirmedConflicts: 0},
+			func(t *testing.T, got float64) {
+				if want := 2 * EstimateCost(base); got != want {
+					t.Errorf("unwitnessed oracle cost %v, want %v (only all-refuted skips)", got, want)
+				}
+			}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

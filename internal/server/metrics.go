@@ -75,6 +75,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "arcsimd_tier_skips_total %d\n", skips)
 	}
 
+	if s.cfg.Witness {
+		status, exams, replays := s.witnessCounts()
+
+		fmt.Fprintf(w, "# HELP arcsimd_witness_examinations_total Witness classifications attached to jobs.\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_witness_examinations_total counter\n")
+		fmt.Fprintf(w, "arcsimd_witness_examinations_total %d\n", exams)
+
+		fmt.Fprintf(w, "# HELP arcsimd_witness_predictions_total Predicted conflicts recorded on jobs, by witness status.\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_witness_predictions_total counter\n")
+		for _, st := range []string{"confirmed", "refuted", "unwitnessed"} {
+			fmt.Fprintf(w, "arcsimd_witness_predictions_total{status=%q} %d\n", st, status[st])
+		}
+
+		fmt.Fprintf(w, "# HELP arcsimd_witness_replays_total Directed witness replays executed.\n")
+		fmt.Fprintf(w, "# TYPE arcsimd_witness_replays_total counter\n")
+		fmt.Fprintf(w, "arcsimd_witness_replays_total %d\n", replays)
+	}
+
 	if s.cfg.Store != nil {
 		fmt.Fprintf(w, "# HELP arcsimd_store_results Results in the persistent store.\n")
 		fmt.Fprintf(w, "# TYPE arcsimd_store_results gauge\n")

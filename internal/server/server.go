@@ -109,6 +109,10 @@ type JobView struct {
 	// Tiered reports the result was synthesized from a proven-DRF
 	// verdict without simulating (conflicts-only request).
 	Tiered bool `json:"tiered,omitempty"`
+	// Witness is the witness tier's per-prediction classification of
+	// the job's trace, recorded on may-conflict jobs when the daemon
+	// runs with Config.Witness; nil otherwise.
+	Witness *WitnessView `json:"witness,omitempty"`
 }
 
 // job is the server-side record. The server's mu guards JobView's
@@ -161,6 +165,15 @@ type Config struct {
 	// (oracle skips, phase-parallel simulation). All simulated results
 	// stay byte-identical to straight-line execution.
 	Tier bool
+	// Witness enables the witness precision tier on top of Tier (which
+	// it implies): every may-conflict job's predicted conflicts are
+	// classified — confirmed with a replayable directed schedule,
+	// refuted by acquisition-history reasoning, or left unwitnessed
+	// within budget (internal/static/witness) — and the classification
+	// is surfaced on JobView.Witness and /metrics. Examinations cost
+	// simulations, so they are memoized per trace identity like the
+	// analyses.
+	Witness bool
 }
 
 func (c Config) normalized() Config {
@@ -172,6 +185,9 @@ func (c Config) normalized() Config {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if c.Witness {
+		c.Tier = true // witness classification refines the tier's verdicts
 	}
 	return c
 }
@@ -194,6 +210,11 @@ type Server struct {
 	// completed with a synthesized result instead of a simulation.
 	verdicts    map[string]int
 	tieredSkips int
+	// Witness accounting (under mu): prediction statuses recorded on
+	// jobs, examinations attached, and directed replays spent.
+	witnessStatus  map[string]int
+	witnessExams   int
+	witnessReplays int
 
 	running  atomic.Int64
 	draining atomic.Bool
@@ -222,16 +243,17 @@ type Server struct {
 // New builds a Server (workers not yet started).
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:       cfg.normalized(),
-		jobs:      make(map[string]*job),
-		runners:   make(map[string]*bench.Runner),
-		cycles:    make(map[string]uint64),
-		verdicts:  make(map[string]int),
-		epoch:     epochToken(),
-		drainCh:   make(chan struct{}),
-		started:   time.Now(),
-		now:       time.Now,
-		heartbeat: 5 * time.Second,
+		cfg:           cfg.normalized(),
+		jobs:          make(map[string]*job),
+		runners:       make(map[string]*bench.Runner),
+		cycles:        make(map[string]uint64),
+		verdicts:      make(map[string]int),
+		witnessStatus: make(map[string]int),
+		epoch:         epochToken(),
+		drainCh:       make(chan struct{}),
+		started:       time.Now(),
+		now:           time.Now,
+		heartbeat:     5 * time.Second,
 	}
 	s.queue = make(chan *job, s.cfg.QueueDepth)
 	s.runJob = s.simulate
@@ -330,6 +352,25 @@ func (s *Server) process(j *job) {
 					j.ID, j.Spec.Workload, verdict)
 				s.finish(j, synth, nil, StateDone)
 				return
+			}
+			if s.cfg.Witness && verdict == VerdictMayConflict {
+				// The precision tier: classify every predicted conflict
+				// before the simulation runs, so the job's final view
+				// carries the refined verdicts. The examination is memoized
+				// per trace identity; only the first job on an identity
+				// pays for it.
+				if v := s.examine(j); v != nil {
+					s.mu.Lock()
+					j.Witness = v
+					s.witnessExams++
+					s.witnessReplays += v.Replays
+					s.witnessStatus["confirmed"] += v.Confirmed
+					s.witnessStatus["refuted"] += v.Refuted
+					s.witnessStatus["unwitnessed"] += v.Unwitnessed
+					s.mu.Unlock()
+					s.cfg.Logf("job %s witness: %d predicted = %d confirmed + %d refuted + %d unwitnessed (%d replays)",
+						j.ID, v.Predicted, v.Confirmed, v.Refuted, v.Unwitnessed, v.Replays)
+				}
 			}
 		}
 	}
@@ -739,6 +780,18 @@ func (s *Server) tierCounts() (verdicts map[string]int, skips int) {
 		verdicts[k] = v
 	}
 	return verdicts, s.tieredSkips
+}
+
+// witnessCounts snapshots the witness-tier accounting: prediction
+// statuses recorded on jobs, examinations attached, replays spent.
+func (s *Server) witnessCounts() (status map[string]int, exams, replays int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	status = make(map[string]int, len(s.witnessStatus))
+	for k, v := range s.witnessStatus {
+		status[k] = v
+	}
+	return status, s.witnessExams, s.witnessReplays
 }
 
 // simsTotal counts the simulations this daemon actually executed

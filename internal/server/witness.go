@@ -1,0 +1,87 @@
+package server
+
+import (
+	"fmt"
+
+	"arcsim/internal/static/witness"
+)
+
+// witnessViewCap bounds the per-prediction detail serialized on a
+// JobView: racy traces can carry tens of thousands of predicted
+// records, and the view is inlined into every job listing and SSE done
+// event. The summary counts always cover the full record set.
+const witnessViewCap = 32
+
+// PredictionView is one predicted conflict's witness classification.
+type PredictionView struct {
+	// Line is the conflicting cache line's base address (hex).
+	Line string `json:"line"`
+	// Status is "confirmed", "refuted", or "unwitnessed".
+	Status string `json:"status"`
+	// Witness is the replayable schedule directive, present exactly
+	// when Status is "confirmed".
+	Witness string `json:"witness,omitempty"`
+}
+
+// WitnessView is the witness tier's classification of a job's trace
+// (Config.Witness): every statically predicted conflict is confirmed
+// with a replayable directed schedule, refuted by acquisition-history
+// reasoning, or left unwitnessed within the replay budget.
+type WitnessView struct {
+	Predicted   int `json:"predicted"`
+	Confirmed   int `json:"confirmed"`
+	Refuted     int `json:"refuted"`
+	Unwitnessed int `json:"unwitnessed"`
+	// Replays counts the directed replays the examination spent.
+	Replays int `json:"replays"`
+	// Precision is (confirmed+refuted)/predicted; 1 when nothing was
+	// predicted.
+	Precision float64 `json:"precision"`
+	// Predictions carries per-record status for the first
+	// witnessViewCap records (in the analyzer's documented conflict
+	// order); Truncated reports how many more the summary counts cover.
+	Predictions []PredictionView `json:"predictions,omitempty"`
+	Truncated   int              `json:"truncated,omitempty"`
+}
+
+// witnessView flattens a witness report into its client-facing form.
+func witnessView(rep *witness.Report) *WitnessView {
+	v := &WitnessView{
+		Predicted:   rep.Predicted,
+		Confirmed:   rep.Confirmed,
+		Refuted:     rep.Refuted,
+		Unwitnessed: rep.Unwitnessed,
+		Replays:     rep.Replays,
+		Precision:   rep.Precision(),
+	}
+	for _, p := range rep.Predictions {
+		if len(v.Predictions) >= witnessViewCap {
+			v.Truncated = rep.Predicted - witnessViewCap
+			break
+		}
+		pv := PredictionView{
+			Line:   fmt.Sprintf("%#x", uint64(p.Conflict.Line.Base())),
+			Status: p.Status.String(),
+		}
+		if p.Witness != nil {
+			pv.Witness = p.Witness.String()
+		}
+		v.Predictions = append(v.Predictions, pv)
+	}
+	return v
+}
+
+// examine runs the witness tier for one may-conflict job: the
+// examination (memoized per trace identity inside the shared runner, so
+// repeated jobs pay for it once) classifies every predicted conflict.
+// Failures are logged and leave the job without a witness view — the
+// tier refines reporting, it must never fail a job that would simulate
+// fine.
+func (s *Server) examine(j *job) *WitnessView {
+	rep, err := s.runner(j.Spec).WitnessReport(j.Spec.Workload, j.Spec.Cores)
+	if err != nil {
+		s.cfg.Logf("job %s witness examination failed: %v", j.ID, err)
+		return nil
+	}
+	return witnessView(rep)
+}

@@ -1,0 +1,118 @@
+// Schedule directors: an optional hook that lets a caller steer which
+// runnable core the scheduler steps next. The engine's default policy —
+// the runnable core with the smallest ready time, ties broken by lowest
+// core ID — is deterministic but fixed; a director turns the schedule
+// into an input, which is what the witness engine
+// (internal/static/witness) needs to co-time two specific regions and
+// what schedule fuzzing needs to probe interleavings the default policy
+// never produces.
+//
+// The determinism contract: a run's result is a pure function of
+// (machine config, protocol, trace, options, director). A deterministic
+// director therefore yields a replayable schedule — the director value
+// itself is the witness artifact. A nil Options.Director leaves the
+// engine on the exact legacy code path, and DefaultDirector (which
+// always defers) is byte-identical to it: directed infrastructure may
+// observe a run without perturbing it.
+package sim
+
+import (
+	"arcsim/internal/trace"
+)
+
+// CoreState is the scheduler-visible state of one core, passed to
+// Director.Pick each step.
+type CoreState struct {
+	// Ready is when the core can next execute an event.
+	Ready uint64
+	// Region is the core's current region sequence number (the number
+	// of boundary events it has processed), matching core.RegionID.Seq
+	// and the static analyzer's numbering.
+	Region uint64
+	// Runnable marks a core the director may pick this step.
+	Runnable bool
+	// Blocked marks a core waiting on a lock or a barrier.
+	Blocked bool
+	// Done marks a finished core.
+	Done bool
+	// Next is the core's next trace event, valid only when HasNext.
+	// HasNext is false on a live core whose explicit events are
+	// exhausted: its one remaining step is the implicit final region
+	// boundary.
+	Next    trace.Event
+	HasNext bool
+}
+
+// Director steers the scheduler. Pick receives every core's state and
+// returns the index of the runnable core to step next, or a negative
+// value to defer to the default policy. A pick that is out of range or
+// not currently runnable is treated as a deferral, never an error — a
+// director can therefore express "I only care about these two cores"
+// without tracking global runnability. Stepped observes each executed
+// event (the implicit final region boundary is reported as an OpEnd)
+// with the global time it executed at.
+//
+// Directors are invoked from a single goroutine and may carry state.
+type Director interface {
+	Pick(cores []CoreState) int
+	Stepped(c int, ev trace.Event, now uint64)
+}
+
+// DefaultDirector defers every pick, reproducing the engine's default
+// interleaving byte-identically (pinned by TestDefaultDirectorIdentity).
+type DefaultDirector struct{}
+
+// Pick defers to the default policy.
+func (DefaultDirector) Pick([]CoreState) int { return -1 }
+
+// Stepped ignores the observation.
+func (DefaultDirector) Stepped(int, trace.Event, uint64) {}
+
+// directorState is the engine-side bookkeeping for a directed run. It is
+// allocated only when Options.Director is non-nil, so undirected runs
+// keep the steady-state allocation budget (TestSteadyStateAllocs).
+type directorState struct {
+	d      Director
+	view   []CoreState
+	region []uint64
+	// clock is the directed global time: the max event start time so
+	// far. The default policy's picks are intrinsically monotone (each
+	// step runs the minimum ready time, which only grows), but a
+	// directed pick may run a core whose ready time precedes an event
+	// already executed; clamping such picks to the clock models the
+	// stall the direction imposes and keeps machine-model time (NoC
+	// idle fast-forward, energy accounting) monotone.
+	clock uint64
+}
+
+func newDirectorState(d Director, n int) *directorState {
+	return &directorState{d: d, view: make([]CoreState, n), region: make([]uint64, n)}
+}
+
+// choose builds the per-core view, asks the director, and validates the
+// answer. A deferral (or invalid pick) returns -1 and the engine's
+// default pick stands — the director can never deadlock or livelock the
+// scheduler, only reorder it.
+func (ds *directorState) choose(tr *trace.Trace, idx []int, ready []uint64, status []coreStatus) int {
+	for c := range ds.view {
+		cs := CoreState{Ready: ready[c], Region: ds.region[c]}
+		switch status[c] {
+		case statusRunning:
+			cs.Runnable = true
+		case statusDone:
+			cs.Done = true
+		default:
+			cs.Blocked = true
+		}
+		if !cs.Done && idx[c] < len(tr.Threads[c]) {
+			cs.Next = tr.Threads[c][idx[c]]
+			cs.HasNext = true
+		}
+		ds.view[c] = cs
+	}
+	p := ds.d.Pick(ds.view)
+	if p < 0 || p >= len(ds.view) || status[p] != statusRunning {
+		return -1
+	}
+	return p
+}

@@ -35,6 +35,10 @@ type Options struct {
 	CheckWithOracle bool
 	// MaxCycles aborts runaway simulations (0 = no limit).
 	MaxCycles uint64
+	// Director, when non-nil, steers which runnable core steps next
+	// (see director.go). nil keeps the engine on the default policy's
+	// exact legacy path; DefaultDirector reproduces it byte-identically.
+	Director Director
 }
 
 // Result summarizes one simulation run.
@@ -333,11 +337,19 @@ func runContext(ctx context.Context, m *machine.Machine, proto machine.Protocol,
 		}
 	}
 
+	var dir *directorState
+	if opt.Director != nil {
+		dir = newDirectorState(opt.Director, n)
+	}
+
 	boundary := func(now uint64, c core.CoreID) uint64 {
 		lat := proto.Boundary(now, c)
 		m.NextRegion(c)
 		if golden != nil {
 			golden.Boundary(c)
+		}
+		if dir != nil {
+			dir.region[c]++
 		}
 		return lat
 	}
@@ -379,8 +391,23 @@ func runContext(ctx context.Context, m *machine.Machine, proto machine.Protocol,
 		if pick == -1 {
 			return nil, ErrDeadlock
 		}
+		if dir != nil {
+			if p := dir.choose(tr, idx, ready, status); p >= 0 {
+				pick = p
+			}
+		}
 		c := core.CoreID(pick)
 		now := ready[pick]
+		if dir != nil {
+			// A directed pick may run a core whose ready time precedes
+			// events already executed; it stalls until the directed
+			// clock so machine-model time stays monotone. Default picks
+			// are monotone already, so this never changes them.
+			if now < dir.clock {
+				now = dir.clock
+			}
+			dir.clock = now
+		}
 		if opt.MaxCycles > 0 && now > opt.MaxCycles {
 			return nil, fmt.Errorf("%w (%d)", ErrMaxCycles, opt.MaxCycles)
 		}
@@ -390,6 +417,9 @@ func runContext(ctx context.Context, m *machine.Machine, proto machine.Protocol,
 			// was a blocking sync op): close the final region.
 			ready[pick] = now + boundary(now, c)
 			status[pick] = statusDone
+			if dir != nil {
+				dir.d.Stepped(pick, trace.Event{Op: trace.OpEnd}, now)
+			}
 			if ready[pick] > res.CoreFinish[pick] {
 				res.CoreFinish[pick] = ready[pick]
 			}
@@ -531,6 +561,10 @@ func runContext(ctx context.Context, m *machine.Machine, proto machine.Protocol,
 			bLat := boundary(now, c)
 			ready[pick] = now + bLat
 			status[pick] = statusDone
+		}
+
+		if dir != nil {
+			dir.d.Stepped(pick, ev, now)
 		}
 
 		if ready[pick] > res.CoreFinish[pick] {

@@ -1,0 +1,193 @@
+package static_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"arcsim/internal/core"
+	"arcsim/internal/trace"
+)
+
+// ahGadget is the canonical acquisition-history refutation program: each
+// thread's write region holds one lock and acquired the *other* lock
+// after its own hold began. Simultaneous occupancy of both write regions
+// would need T0's acquire of lock 2 to precede T1's outermost hold of
+// lock 2 AND follow it — a cycle — so the predicted pair is
+// unrealizable in every legal schedule.
+func ahGadget() *trace.Trace {
+	return twoThreads("ah-gadget",
+		[]trace.Event{
+			trace.Acquire(1), trace.Acquire(2), trace.Release(2), // region 3: holds {1}, AH(1)={2}
+			trace.Write(base, 8),
+			trace.Release(1),
+		},
+		[]trace.Event{
+			trace.Acquire(2), trace.Acquire(1), trace.Release(1), // region 3: holds {2}, AH(2)={1}
+			trace.Write(base, 8),
+			trace.Release(2),
+		},
+	)
+}
+
+// realizableGadget breaks one half of the cycle: T1 releases lock 1
+// before acquiring lock 2, so AH(2) is empty and the schedule
+// T1:acq1,rel1 → T0:acq1,acq2,rel2 → T1:acq2 co-opens both regions.
+func realizableGadget() *trace.Trace {
+	return twoThreads("ah-realizable",
+		[]trace.Event{
+			trace.Acquire(1), trace.Acquire(2), trace.Release(2),
+			trace.Write(base, 8),
+			trace.Release(1),
+		},
+		[]trace.Event{
+			trace.Acquire(1), trace.Release(1), trace.Acquire(2), // region 3: holds {2}, AH(2)={}
+			trace.Write(base, 8),
+			trace.Release(2),
+		},
+	)
+}
+
+func TestRefutesPairAcquisitionHistory(t *testing.T) {
+	an := analyze(t, ahGadget())
+	cs := an.Conflicts()
+	if len(cs) != 1 {
+		t.Fatalf("want 1 predicted record, got %v", cs)
+	}
+	r0 := core.RegionID{Core: 0, Seq: 3}
+	r1 := core.RegionID{Core: 1, Seq: 3}
+	if !an.PredictsPair(cs[0].Line, r0, r1) {
+		t.Fatal("gadget pair not predicted (lockset/phase reasoning regressed)")
+	}
+	if !an.RefutesPair(r0, r1) || !an.RefutesPair(r1, r0) {
+		t.Error("acquisition-history cycle not refuted (should be symmetric)")
+	}
+	pairs, clashing, refuted := an.WitnessPairs(cs[0], 0)
+	if len(pairs) != 0 || clashing != 1 || refuted != 1 {
+		t.Errorf("WitnessPairs = %v clashing=%d refuted=%d, want fully refuted record",
+			pairs, clashing, refuted)
+	}
+}
+
+func TestRefutesPairRealizableVariantNotRefuted(t *testing.T) {
+	an := analyze(t, realizableGadget())
+	r0 := core.RegionID{Core: 0, Seq: 3}
+	r1 := core.RegionID{Core: 1, Seq: 3}
+	if an.RefutesPair(r0, r1) {
+		t.Fatal("realizable pair refuted: the refutation predicate is unsound")
+	}
+	cs := an.Conflicts()
+	if len(cs) != 1 {
+		t.Fatalf("want 1 predicted record, got %v", cs)
+	}
+	pairs, clashing, refuted := an.WitnessPairs(cs[0], 0)
+	if refuted != 0 || clashing != 1 || !reflect.DeepEqual(pairs, [][2]core.RegionID{{r0, r1}}) {
+		t.Errorf("WitnessPairs = %v clashing=%d refuted=%d", pairs, clashing, refuted)
+	}
+}
+
+func TestRefutesPairReentrantAcquiresAreNotAcquisitions(t *testing.T) {
+	// T0 re-acquires lock 2 reentrantly while already holding it from
+	// before lock 1: the reentrant acquire never blocks, so it must not
+	// enter lock 1's acquisition history — refuting here would be
+	// unsound (T0 can sit in its region holding {1,2} from the start,
+	// and T1's region holding... nothing conflicting applies).
+	tr := twoThreads("reentrant",
+		[]trace.Event{
+			trace.Acquire(2), trace.Acquire(1), trace.Acquire(2), // reentrant
+			trace.Write(base, 8), // region 3: holds {1,2}
+			trace.Release(2), trace.Release(1), trace.Release(2),
+		},
+		[]trace.Event{
+			trace.Write(base, 8), // region 0: lock-free
+		},
+	)
+	an := analyze(t, tr)
+	r0 := core.RegionID{Core: 0, Seq: 3}
+	r1 := core.RegionID{Core: 1, Seq: 0}
+	if !an.PredictsPair(an.Conflicts()[0].Line, r0, r1) {
+		t.Fatal("pair not predicted")
+	}
+	if an.RefutesPair(r0, r1) {
+		t.Error("refuted a pair against a lock-free region")
+	}
+}
+
+func TestWitnessPairsExpandsAggregatesPairwise(t *testing.T) {
+	// T0's two lock-free regions write different bytes of the line; the
+	// aggregate clashes with T1's read of byte 0 but only the first
+	// member pair clashes pairwise — WitnessPairs must not offer the
+	// byte-disjoint pair as a replay target.
+	tr := twoThreads("agg",
+		[]trace.Event{
+			trace.Write(base, 1),
+			trace.Acquire(5), trace.Release(5),
+			trace.Write(base+1, 1),
+		},
+		[]trace.Event{
+			trace.Read(base, 1),
+		},
+	)
+	an := analyze(t, tr)
+	cs := an.Conflicts()
+	if len(cs) != 1 || cs[0].Pairs != 2 {
+		t.Fatalf("want one record aggregating 2 pairs, got %v", cs)
+	}
+	pairs, clashing, refuted := an.WitnessPairs(cs[0], 0)
+	want := [][2]core.RegionID{{{Core: 0, Seq: 0}, {Core: 1, Seq: 0}}}
+	if !reflect.DeepEqual(pairs, want) || clashing != 1 || refuted != 0 {
+		t.Errorf("WitnessPairs = %v clashing=%d refuted=%d, want %v/1/0", pairs, clashing, refuted, want)
+	}
+	// max truncates deterministically.
+	if p, _, _ := an.WitnessPairs(cs[0], 1); len(p) != 1 {
+		t.Errorf("max=1 returned %d pairs", len(p))
+	}
+	if !an.RecordContains(cs[0], want[0][0], want[0][1]) ||
+		!an.RecordContains(cs[0], want[0][1], want[0][0]) {
+		t.Error("RecordContains misses the clashing member pair (must be unordered)")
+	}
+	if an.RecordContains(cs[0], core.RegionID{Core: 0, Seq: 2}, core.RegionID{Core: 1, Seq: 0}) {
+		t.Error("RecordContains accepts the byte-disjoint member pair")
+	}
+}
+
+func TestConflictsSortedDocumentedOrder(t *testing.T) {
+	// Three lines, multiple thread pairs: Conflicts() must come back in
+	// (line, region pair, phase) order and identically across analyses.
+	mk := func() *trace.Trace {
+		return &trace.Trace{Name: "multi", Threads: [][]trace.Event{
+			{trace.Write(base, 8), trace.Write(base+128, 8), trace.End()},
+			{trace.Write(base, 8), trace.Write(base+256, 8), trace.End()},
+			{trace.Read(base+128, 8), trace.Read(base+256, 8), trace.End()},
+		}}
+	}
+	an := analyze(t, mk())
+	cs := an.Conflicts()
+	if len(cs) < 3 {
+		t.Fatalf("want >=3 records, got %v", cs)
+	}
+	if !sort.SliceIsSorted(cs, func(i, j int) bool {
+		x, y := cs[i], cs[j]
+		if x.Line != y.Line {
+			return x.Line < y.Line
+		}
+		if x.RegionA.Core != y.RegionA.Core {
+			return x.RegionA.Core < y.RegionA.Core
+		}
+		if x.RegionA.Seq != y.RegionA.Seq {
+			return x.RegionA.Seq < y.RegionA.Seq
+		}
+		if x.RegionB.Core != y.RegionB.Core {
+			return x.RegionB.Core < y.RegionB.Core
+		}
+		if x.RegionB.Seq != y.RegionB.Seq {
+			return x.RegionB.Seq < y.RegionB.Seq
+		}
+		return x.Phase < y.Phase
+	}) {
+		t.Errorf("Conflicts() not in documented order: %v", cs)
+	}
+	if again := analyze(t, mk()).Conflicts(); !reflect.DeepEqual(cs, again) {
+		t.Error("Conflicts() not byte-stable across analyses")
+	}
+}

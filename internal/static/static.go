@@ -153,6 +153,11 @@ type Analysis struct {
 	// phaseStart[t][p] is the seq of thread t's first region in phase p;
 	// see vclock.go for how this encodes the barrier-join vector clocks.
 	phaseStart [][]uint64
+	// regionAH[t][s] is region (t,s)'s acquisition-history snapshot: one
+	// interned lockset id per held lock, aligned with the region's sorted
+	// lockset, naming the locks freshly acquired since that lock's
+	// outermost hold began (see RefutesPair). nil for lock-free regions.
+	regionAH [][][]int32
 	// locksets[i] is interned lockset i, sorted ascending. Index 0 is
 	// the empty set. locksetIdx maps the byte encoding of a sorted set
 	// to its id (lock-heavy workloads intern on every acquire/release,
@@ -208,6 +213,7 @@ func Analyze(tr *trace.Trace) (*Analysis, error) {
 		regionPhase:   make([][]int32, len(tr.Threads)),
 		regionLockset: make([][]int32, len(tr.Threads)),
 		phaseStart:    make([][]uint64, len(tr.Threads)),
+		regionAH:      make([][][]int32, len(tr.Threads)),
 		lines:         make(map[core.Line]*lineBuf),
 	}
 	a.internLockset(nil) // index 0: empty set
@@ -237,10 +243,22 @@ func (a *Analysis) walkThread(tr *trace.Trace, t int) {
 		held  = map[uint32]int{} // lock -> reentrant acquire depth
 		cur   = make([]uint32, 0, 4)
 		curID int32 // interned id of cur
+		// ah[l] is lock l's acquisition history — the sorted set of locks
+		// freshly acquired since l's outermost hold began. Reentrant
+		// acquires never block, so they are not acquisitions here.
+		ah = map[uint32][]uint32{}
 	)
 	open := func() {
 		a.regionPhase[t] = append(a.regionPhase[t], phase)
 		a.regionLockset[t] = append(a.regionLockset[t], curID)
+		var snap []int32
+		if len(cur) > 0 {
+			snap = make([]int32, len(cur))
+			for i, l := range cur {
+				snap[i] = a.internLockset(ah[l])
+			}
+		}
+		a.regionAH[t] = append(a.regionAH[t], snap)
 	}
 	a.phaseStart[t] = append(a.phaseStart[t], 0)
 	open() // region 0: phase 0, no locks
@@ -253,6 +271,12 @@ func (a *Analysis) walkThread(tr *trace.Trace, t int) {
 		case trace.OpAcquire:
 			seq++
 			if held[ev.Arg]++; held[ev.Arg] == 1 {
+				for _, l := range cur {
+					if !containsLock(ah[l], ev.Arg) {
+						ah[l] = insertLock(ah[l], ev.Arg)
+					}
+				}
+				ah[ev.Arg] = nil
 				cur = insertLock(cur, ev.Arg)
 				curID = a.internLockset(cur)
 			}
@@ -261,6 +285,7 @@ func (a *Analysis) walkThread(tr *trace.Trace, t int) {
 			seq++
 			if held[ev.Arg]--; held[ev.Arg] == 0 {
 				delete(held, ev.Arg)
+				delete(ah, ev.Arg)
 				cur = removeLock(cur, ev.Arg)
 				curID = a.internLockset(cur)
 			}
@@ -444,6 +469,30 @@ func (a *Analysis) enumerate() {
 			}
 		}
 	}
+	// The documented deterministic report order: line, then region pair
+	// (A's core/seq, then B's), then phase. Emission above is already
+	// deterministic, but downstream artifacts (-analyze JSON, witness
+	// reports) pin this explicit order, independent of how enumeration
+	// groups records.
+	sort.Slice(a.conflicts, func(i, j int) bool {
+		x, y := a.conflicts[i], a.conflicts[j]
+		if x.Line != y.Line {
+			return x.Line < y.Line
+		}
+		if x.RegionA.Core != y.RegionA.Core {
+			return x.RegionA.Core < y.RegionA.Core
+		}
+		if x.RegionA.Seq != y.RegionA.Seq {
+			return x.RegionA.Seq < y.RegionA.Seq
+		}
+		if x.RegionB.Core != y.RegionB.Core {
+			return x.RegionB.Core < y.RegionB.Core
+		}
+		if x.RegionB.Seq != y.RegionB.Seq {
+			return x.RegionB.Seq < y.RegionB.Seq
+		}
+		return x.Phase < y.Phase
+	})
 }
 
 // Verdict returns ProvenDRF when no conflict is predicted.
@@ -458,8 +507,11 @@ func (a *Analysis) Verdict() Verdict {
 // all schedules.
 func (a *Analysis) ProvenDRF() bool { return a.Verdict() == ProvenDRF }
 
-// Conflicts returns the predicted conflicts in deterministic order
-// (by line, then phase, then threads). The slice is a copy.
+// Conflicts returns the predicted conflicts in the documented
+// deterministic order: ascending line, then region pair (RegionA's core
+// and seq, then RegionB's), then phase. The order is byte-stable across
+// runs and map-iteration orders, so JSON artifacts built from it
+// (-analyze output, witness reports) diff cleanly. The slice is a copy.
 func (a *Analysis) Conflicts() []PredictedConflict {
 	return append([]PredictedConflict(nil), a.conflicts...)
 }
@@ -556,6 +608,129 @@ func (a *Analysis) ForEachLineTouch(fn func(line core.Line, thread, phase int, w
 			fn(line, int(e.thread), int(a.regionPhase[e.thread][e.seq]), e.bits.WriteMask != 0)
 		}
 	}
+}
+
+// RefutesPair reports whether the predicted pair (r1, r2) is provably
+// unrealizable: no legal schedule can have both regions open at once, so
+// no dynamic design can ever detect a conflict between them. The proof
+// is the classic acquisition-history argument (Kahlon et al.): if r1
+// holds lock la and freshly acquired lb after la's outermost hold began
+// (lb is in la's acquisition history), while r2 holds lb and
+// symmetrically has la in lb's history, then simultaneous occupancy
+// yields a timestamp cycle — r1's lb-acquire must precede r2's
+// lb-outermost-hold, which precedes r2's la-acquire, which precedes r1's
+// la-outermost-hold, which precedes r1's lb-acquire. Reentrant acquires
+// never block, so they are not history entries; locks never span
+// barriers (trace.Validate), so histories are self-contained per phase.
+//
+// RefutesPair refines PredictsPair — the soundness contract (detected ⊆
+// predicted) is untouched; refutation carves a provably-undetectable
+// subset out of the predicted set. FuzzWitness (internal/conformance)
+// cross-checks it: refuted pairs must never be detected under any fuzzed
+// schedule.
+func (a *Analysis) RefutesPair(r1, r2 core.RegionID) bool {
+	if r1.Core == r2.Core || !a.regionKnown(r1) || !a.regionKnown(r2) {
+		return false
+	}
+	ls1 := a.locksets[a.regionLockset[r1.Core][r1.Seq]]
+	ls2 := a.locksets[a.regionLockset[r2.Core][r2.Seq]]
+	ah1 := a.regionAH[r1.Core][r1.Seq]
+	ah2 := a.regionAH[r2.Core][r2.Seq]
+	for i, la := range ls1 {
+		h1 := a.locksets[ah1[i]]
+		for j, lb := range ls2 {
+			if la == lb {
+				// A common lock is mutual exclusion, not an acquisition
+				// ordering (and PredictsPair already excludes the pair).
+				continue
+			}
+			if containsLock(h1, lb) && containsLock(a.locksets[ah2[j]], la) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// WitnessPairs expands one aggregated conflict record into its concrete
+// clashing region pairs — the targets a witness replay can aim at. A
+// record aggregates regions by (phase, thread, lockset) and clashes the
+// groups' merged footprints, so an individual member pair need not clash
+// byte-wise; only pairs that do are realizable witnesses. Returned pairs
+// keep RegionA's side first and follow the entries' deterministic order
+// (ascending seq per side); refuted pairs (RefutesPair) are counted but
+// not returned, and max bounds the returned slice (<=0 means no bound).
+// clashing counts all byte-clashing pairs, so clashing == refuted means
+// the whole record is provably unrealizable.
+func (a *Analysis) WitnessPairs(pc PredictedConflict, max int) (pairs [][2]core.RegionID, clashing, refuted int) {
+	b := a.lines[pc.Line]
+	if b == nil || !a.regionKnown(pc.RegionA) || !a.regionKnown(pc.RegionB) {
+		return nil, 0, 0
+	}
+	side := func(ref core.RegionID) []lineEntry {
+		var out []lineEntry
+		ls := a.regionLockset[ref.Core][ref.Seq]
+		for _, e := range b.entries {
+			if e.thread != int32(ref.Core) {
+				continue
+			}
+			if a.regionPhase[e.thread][e.seq] == int32(pc.Phase) && a.regionLockset[e.thread][e.seq] == ls {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	for _, ea := range side(pc.RegionA) {
+		for _, eb := range side(pc.RegionB) {
+			if clashBytes(ea.bits, eb.bits) == 0 {
+				continue
+			}
+			clashing++
+			ra := core.RegionID{Core: pc.RegionA.Core, Seq: ea.seq}
+			rb := core.RegionID{Core: pc.RegionB.Core, Seq: eb.seq}
+			if a.RefutesPair(ra, rb) {
+				refuted++
+				continue
+			}
+			if max <= 0 || len(pairs) < max {
+				pairs = append(pairs, [2]core.RegionID{ra, rb})
+			}
+		}
+	}
+	return pairs, clashing, refuted
+}
+
+// RecordContains reports whether the unordered region pair (r1, r2)
+// belongs to record pc: one region on each side, matching the side's
+// thread, phase, and lockset, with byte-clashing footprints on the
+// record's line. The witness engine uses it to credit a detected
+// conflict to the record it confirms.
+func (a *Analysis) RecordContains(pc PredictedConflict, r1, r2 core.RegionID) bool {
+	if !a.regionKnown(r1) || !a.regionKnown(r2) {
+		return false
+	}
+	if r1.Core == pc.RegionB.Core {
+		r1, r2 = r2, r1
+	}
+	if r1.Core != pc.RegionA.Core || r2.Core != pc.RegionB.Core {
+		return false
+	}
+	inSide := func(ref, r core.RegionID) bool {
+		return a.regionPhase[r.Core][r.Seq] == int32(pc.Phase) &&
+			a.regionLockset[r.Core][r.Seq] == a.regionLockset[ref.Core][ref.Seq]
+	}
+	if !inSide(pc.RegionA, r1) || !inSide(pc.RegionB, r2) {
+		return false
+	}
+	b1, ok1 := a.footprint(pc.Line, r1)
+	b2, ok2 := a.footprint(pc.Line, r2)
+	return ok1 && ok2 && clashBytes(b1, b2) != 0
+}
+
+// containsLock reports whether the sorted set ls contains l.
+func containsLock(ls []uint32, l uint32) bool {
+	i := sort.Search(len(ls), func(i int) bool { return ls[i] >= l })
+	return i < len(ls) && ls[i] == l
 }
 
 // insertLock adds l to the sorted set ls (no-op duplicates are never

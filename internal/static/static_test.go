@@ -324,3 +324,64 @@ func BenchmarkAnalyze(b *testing.B) {
 		}
 	}
 }
+
+// TestPredictsPairFootprintEdges probes the binary search behind the
+// per-pair predicate. A line's entries are sorted by (thread, seq); the
+// search must hit the span's first and last entries, miss seqs that fall
+// between entries (lock-held regions that skipped the line), miss
+// out-of-range regions, handle a single-entry span, and answer false for
+// a line nobody touched.
+func TestPredictsPairFootprintEdges(t *testing.T) {
+	// T0 touches the target line in regions 0 (first entry), 2, and 4
+	// (last entry); regions 1 and 3 hold a lock and write a different
+	// line. T1's span on the line has exactly one entry.
+	tr := twoThreads("footprint-edges",
+		[]trace.Event{
+			trace.Write(base, 1),
+			trace.Acquire(7), trace.Write(base+256, 8), trace.Release(7),
+			trace.Write(base+1, 1),
+			trace.Acquire(7), trace.Write(base+256, 8), trace.Release(7),
+			trace.Write(base+2, 1),
+		},
+		[]trace.Event{trace.Read(base, 8)},
+	)
+	an := analyze(t, tr)
+	cs := an.Conflicts()
+	if len(cs) == 0 {
+		t.Fatal("no conflicts predicted")
+	}
+	line := cs[0].Line
+	t1 := core.RegionID{Core: 1, Seq: 0}
+	for _, seq := range []uint64{0, 2, 4} {
+		r := core.RegionID{Core: 0, Seq: seq}
+		if !an.PredictsPair(line, r, t1) {
+			t.Errorf("PredictsPair(line, %v, %v) = false, want true", r, t1)
+		}
+		if !an.PredictsPair(line, t1, r) {
+			t.Errorf("PredictsPair is not symmetric for %v", r)
+		}
+	}
+	// Known regions whose seq falls between the span's entries: the
+	// search lands on the next entry and must reject the seq mismatch.
+	for _, seq := range []uint64{1, 3} {
+		r := core.RegionID{Core: 0, Seq: seq}
+		if an.PredictsPair(line, r, t1) {
+			t.Errorf("PredictsPair(line, %v, %v) = true for an off-line region", r, t1)
+		}
+	}
+	// Past the last entry of the span / unknown regions.
+	if an.PredictsPair(line, core.RegionID{Core: 0, Seq: 5}, t1) {
+		t.Error("out-of-range region predicted")
+	}
+	if an.PredictsPair(line, core.RegionID{Core: 1, Seq: 1}, core.RegionID{Core: 0, Seq: 0}) {
+		t.Error("unknown region on the single-entry side predicted")
+	}
+	// A line nobody touched has no entry table at all.
+	if an.PredictsPair(line+1, core.RegionID{Core: 0, Seq: 0}, t1) {
+		t.Error("absent line predicted")
+	}
+	// Same-core pairs are never conflicts.
+	if an.PredictsPair(line, core.RegionID{Core: 0, Seq: 0}, core.RegionID{Core: 0, Seq: 2}) {
+		t.Error("same-core pair predicted")
+	}
+}

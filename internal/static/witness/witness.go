@@ -1,0 +1,344 @@
+// Package witness implements the analyzer's precision tier: it takes
+// the static analyzer's predicted conflicts — sound but deliberately
+// conservative — and spends directed dynamic effort to classify each
+// prediction.
+//
+//   - Confirmed: some legal schedule raises the conflict, and we hold a
+//     replayable witness for it — a Directive naming the region pair and
+//     entry order, executed by a deterministic schedule director
+//     (sim.Director), so the directive alone reproduces the detection.
+//   - Refuted: provably unrealizable under every schedule
+//     (static.RefutesPair's acquisition-history argument, applied to
+//     every byte-clashing member pair of the record).
+//   - Unwitnessed: neither, within budget. Soundness is unaffected —
+//     an unwitnessed prediction is still a prediction.
+//
+// Classification is tiered by cost: refutation is free (static), one
+// default-schedule run confirms everything today's interleaving already
+// detects, and only the remainder pays for directed replays that
+// co-time the two target regions. The resulting precision metric
+// (confirmed+refuted over predicted) and the refined per-job
+// confirmed-conflict counts feed the WIT experiment and the scheduler
+// cost model (sched.EstimateCost).
+package witness
+
+import (
+	"errors"
+	"fmt"
+
+	"arcsim/internal/core"
+	"arcsim/internal/machine"
+	"arcsim/internal/protocols"
+	"arcsim/internal/sim"
+	"arcsim/internal/static"
+	"arcsim/internal/trace"
+)
+
+// Order selects which target region the directed schedule opens first.
+type Order uint8
+
+const (
+	// OrderDefault marks a witness needing no direction: the engine's
+	// default schedule already detects the conflict.
+	OrderDefault Order = iota
+	// OrderAFirst holds region A open until B co-times with it.
+	OrderAFirst
+	// OrderBFirst is the mirror: B enters first.
+	OrderBFirst
+)
+
+func (o Order) String() string {
+	switch o {
+	case OrderAFirst:
+		return "a-first"
+	case OrderBFirst:
+		return "b-first"
+	}
+	return "default"
+}
+
+// Directive is a replayable witness schedule: co-time regions A and B
+// on Line, opening Order's side first. Because the co-timing director is
+// a deterministic function of the directive, this small value is the
+// whole artifact — Replay re-derives the schedule and the detection.
+type Directive struct {
+	Line  core.Line     `json:"line"`
+	A     core.RegionID `json:"a"`
+	B     core.RegionID `json:"b"`
+	Order Order         `json:"order"`
+}
+
+func (d Directive) String() string {
+	return fmt.Sprintf("line %#x %v/%v %s", uint64(d.Line.Base()), d.A, d.B, d.Order)
+}
+
+// Status classifies one prediction.
+type Status uint8
+
+const (
+	// Unwitnessed predictions exhausted the replay budget unresolved.
+	Unwitnessed Status = iota
+	// Confirmed predictions carry a replayable witness directive.
+	Confirmed
+	// Refuted predictions are provably unrealizable in any schedule.
+	Refuted
+)
+
+func (s Status) String() string {
+	switch s {
+	case Confirmed:
+		return "confirmed"
+	case Refuted:
+		return "refuted"
+	}
+	return "unwitnessed"
+}
+
+// Prediction is one record's classification.
+type Prediction struct {
+	Conflict static.PredictedConflict
+	Status   Status
+	// Witness is the replayable schedule, non-nil exactly when
+	// Status == Confirmed.
+	Witness *Directive
+	// Clashing and RefutedPairs count the record's byte-clashing member
+	// pairs and how many of those the acquisition-history pass refuted.
+	Clashing     int
+	RefutedPairs int
+	// Replays is how many directed replays this record consumed.
+	Replays int
+}
+
+// Report is the witness engine's output for one program.
+type Report struct {
+	Protocol    string
+	Predicted   int
+	Confirmed   int
+	Refuted     int
+	Unwitnessed int
+	// Replays counts directed replays executed (the default-schedule
+	// run and refutations are not replays).
+	Replays     int
+	Predictions []Prediction
+}
+
+// Precision is the fraction of predictions classified either way —
+// confirmed (realizable, with a witness) or refuted (unrealizable,
+// with a proof). 1 for programs with no predictions.
+func (r *Report) Precision() float64 {
+	if r.Predicted == 0 {
+		return 1
+	}
+	return float64(r.Confirmed+r.Refuted) / float64(r.Predicted)
+}
+
+// Options tunes an examination.
+type Options struct {
+	// Protocol is the detecting design replays run under (default
+	// protocols.CE).
+	Protocol string
+	// MaxReplays bounds the total directed replays across all
+	// predictions (default 64). The budget policy is deliberately
+	// global, not per-record: racy programs concentrate predictions on
+	// a few lines, and a global budget degrades to Unwitnessed tails
+	// instead of multiplying run time by the record count.
+	MaxReplays int
+	// PairLimit bounds the member pairs tried per record (default 4);
+	// each pair costs up to two replays (both orders).
+	PairLimit int
+	// MaxCycles aborts a runaway replay (default 50M, the conformance
+	// bound).
+	MaxCycles uint64
+	// Oracle mirrors every replay into the golden detector, turning
+	// each witness run into a conformance check too.
+	Oracle bool
+}
+
+func (o Options) normalized() Options {
+	if o.Protocol == "" {
+		o.Protocol = protocols.CE
+	}
+	if o.MaxReplays == 0 {
+		o.MaxReplays = 64
+	}
+	if o.PairLimit == 0 {
+		o.PairLimit = 4
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 50_000_000
+	}
+	return o
+}
+
+// machineConfig adapts the default machine to arbitrary thread counts
+// the same way internal/conformance does: trim the AIM entry count to
+// the nearest per-tile power-of-two multiple of the associativity so
+// generated programs (any thread count) build valid machines.
+func machineConfig(cores int) machine.Config {
+	cfg := machine.Default(cores)
+	sets := 1
+	for sets*2*cfg.AIM.Ways*cores <= cfg.AIM.Entries {
+		sets *= 2
+	}
+	cfg.AIM.Entries = sets * cfg.AIM.Ways * cores
+	return cfg
+}
+
+// run executes tr under opt's protocol with the given director (nil for
+// the default schedule).
+func run(tr *trace.Trace, dir sim.Director, opt Options) (*sim.Result, error) {
+	m, p, err := protocols.Build(opt.Protocol, machineConfig(tr.NumThreads()))
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(m, p, tr, sim.Options{
+		CheckWithOracle: opt.Oracle,
+		MaxCycles:       opt.MaxCycles,
+		Director:        dir,
+	})
+}
+
+// scheduleFault reports errors that condemn one schedule, not the
+// examination: a program (or a directed interleaving of it) may
+// genuinely deadlock — the AH refutation gadget is the classic deadly
+// embrace — or exceed the cycle bound. Such a run simply detected
+// nothing.
+func scheduleFault(err error) bool {
+	return errors.Is(err, sim.ErrDeadlock) || errors.Is(err, sim.ErrMaxCycles)
+}
+
+// confirmsRecord reports whether res detected a conflict belonging to
+// record pc, and if so which region pair.
+func confirmsRecord(an *static.Analysis, pc static.PredictedConflict, res *sim.Result) (core.RegionID, core.RegionID, bool) {
+	for _, ex := range res.Exceptions {
+		c := ex.Conflict
+		if c.Line == pc.Line && an.RecordContains(pc, c.First, c.Second) {
+			return c.First, c.Second, true
+		}
+	}
+	return core.RegionID{}, core.RegionID{}, false
+}
+
+// Replay executes d's schedule and reports whether it raised a conflict
+// belonging to record pc — the verification half of the witness
+// contract: every Confirmed prediction's directive must Replay true.
+func Replay(tr *trace.Trace, an *static.Analysis, pc static.PredictedConflict, d Directive, opt Options) (bool, *sim.Result, error) {
+	opt = opt.normalized()
+	var dir sim.Director
+	if d.Order != OrderDefault {
+		dir = newCoTimer(d)
+	}
+	res, err := run(tr, dir, opt)
+	if err != nil {
+		if scheduleFault(err) {
+			return false, nil, nil
+		}
+		return false, nil, err
+	}
+	_, _, ok := confirmsRecord(an, pc, res)
+	return ok, res, nil
+}
+
+// RefutedDRF reports whether every predicted conflict record of an is
+// statically refuted — the free tier of the examination, costing no
+// simulation. Such a program is dynamically DRF (no schedule realizes
+// any prediction) even though the analyzer could not prove DRF; callers
+// that cannot afford an Examine (e.g. the scheduler's cost model) can
+// still claim the refinement this check grants. False when the program
+// is proven DRF outright (nothing was predicted, nothing refined).
+func RefutedDRF(an *static.Analysis) bool {
+	records := an.Conflicts()
+	if len(records) == 0 {
+		return false
+	}
+	for _, pc := range records {
+		_, clashing, refuted := an.WitnessPairs(pc, 1)
+		if clashing == 0 || refuted != clashing {
+			return false
+		}
+	}
+	return true
+}
+
+// Examine classifies every predicted conflict of an (which must be tr's
+// analysis). See the package comment for the tiering.
+func Examine(tr *trace.Trace, an *static.Analysis, opt Options) (*Report, error) {
+	opt = opt.normalized()
+	records := an.Conflicts()
+	rep := &Report{Protocol: opt.Protocol, Predicted: len(records)}
+	if len(records) == 0 {
+		return rep, nil
+	}
+	// Tier 2 (tier 1 is the per-record refutation below, which is
+	// free): one default-schedule run confirms, at the cost of a single
+	// simulation, every record today's interleaving already detects.
+	// Lazy — a fully refuted program never simulates — and tolerant of
+	// programs whose default schedule deadlocks (they just detect
+	// nothing by default).
+	var base *sim.Result
+	baseline := func() (*sim.Result, error) {
+		if base != nil {
+			return base, nil
+		}
+		res, err := run(tr, nil, opt)
+		if err != nil && !scheduleFault(err) {
+			return nil, fmt.Errorf("witness: baseline run: %w", err)
+		}
+		if res == nil {
+			res = &sim.Result{}
+		}
+		base = res
+		return base, nil
+	}
+	for _, pc := range records {
+		p := Prediction{Conflict: pc, Status: Unwitnessed}
+		pairs, clashing, refuted := an.WitnessPairs(pc, opt.PairLimit)
+		p.Clashing, p.RefutedPairs = clashing, refuted
+		switch {
+		case clashing > 0 && refuted == clashing:
+			p.Status = Refuted
+		default:
+			b0, err := baseline()
+			if err != nil {
+				return nil, err
+			}
+			if a, b, ok := confirmsRecord(an, pc, b0); ok {
+				p.Status = Confirmed
+				p.Witness = &Directive{Line: pc.Line, A: a, B: b, Order: OrderDefault}
+				break
+			}
+			// Tier 3: directed replays, co-timing one member pair per
+			// attempt, both entry orders, within the global budget.
+		replay:
+			for _, pair := range pairs {
+				for _, ord := range []Order{OrderAFirst, OrderBFirst} {
+					if rep.Replays >= opt.MaxReplays {
+						break replay
+					}
+					d := Directive{Line: pc.Line, A: pair[0], B: pair[1], Order: ord}
+					rep.Replays++
+					p.Replays++
+					ok, _, err := Replay(tr, an, pc, d, opt)
+					if err != nil {
+						return nil, fmt.Errorf("witness: replay %v: %w", d, err)
+					}
+					if ok {
+						p.Status = Confirmed
+						p.Witness = &d
+						break replay
+					}
+				}
+			}
+		}
+		switch p.Status {
+		case Confirmed:
+			rep.Confirmed++
+		case Refuted:
+			rep.Refuted++
+		default:
+			rep.Unwitnessed++
+		}
+		rep.Predictions = append(rep.Predictions, p)
+	}
+	return rep, nil
+}

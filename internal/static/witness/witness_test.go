@@ -1,0 +1,225 @@
+package witness_test
+
+import (
+	"testing"
+
+	"arcsim/internal/core"
+	"arcsim/internal/machine"
+	"arcsim/internal/protocols"
+	"arcsim/internal/sim"
+	"arcsim/internal/static"
+	"arcsim/internal/static/witness"
+	"arcsim/internal/trace"
+	"arcsim/internal/workload"
+)
+
+func twoThreads(name string, t0, t1 []trace.Event) *trace.Trace {
+	return &trace.Trace{Name: name, Threads: [][]trace.Event{
+		append(t0, trace.End()),
+		append(t1, trace.End()),
+	}}
+}
+
+const base = core.Addr(0x1000)
+
+func examine(t *testing.T, tr *trace.Trace, opt witness.Options) (*static.Analysis, *witness.Report) {
+	t.Helper()
+	an, err := static.Analyze(tr)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	rep, err := witness.Examine(tr, an, opt)
+	if err != nil {
+		t.Fatalf("Examine: %v", err)
+	}
+	return an, rep
+}
+
+// TestConfirmsDefaultScheduleConflict: a plain unsynchronized write-write
+// race manifests under the default schedule, so the record confirms from
+// the baseline run alone (OrderDefault, zero replays).
+func TestConfirmsDefaultScheduleConflict(t *testing.T) {
+	tr := twoThreads("racy",
+		[]trace.Event{trace.Write(base, 8)},
+		[]trace.Event{trace.Write(base+4, 8)},
+	)
+	an, rep := examine(t, tr, witness.Options{Oracle: true})
+	if rep.Predicted != 1 || rep.Confirmed != 1 {
+		t.Fatalf("want 1 predicted/confirmed, got %+v", rep)
+	}
+	p := rep.Predictions[0]
+	if p.Witness == nil || p.Witness.Order != witness.OrderDefault || rep.Replays != 0 {
+		t.Fatalf("default-schedule conflict should confirm without replays: %+v (replays %d)",
+			p.Witness, rep.Replays)
+	}
+	// The witness contract: the shipped directive replays to a detection.
+	ok, _, err := witness.Replay(tr, an, p.Conflict, *p.Witness, witness.Options{Oracle: true})
+	if err != nil || !ok {
+		t.Fatalf("witness replay did not detect the conflict (ok=%v err=%v)", ok, err)
+	}
+}
+
+// TestRefutesAcquisitionHistoryGadget: the canonical AH cycle is
+// classified Refuted without spending any replay.
+func TestRefutesAcquisitionHistoryGadget(t *testing.T) {
+	tr := twoThreads("ah-gadget",
+		[]trace.Event{
+			trace.Acquire(1), trace.Acquire(2), trace.Release(2),
+			trace.Write(base, 8),
+			trace.Release(1),
+		},
+		[]trace.Event{
+			trace.Acquire(2), trace.Acquire(1), trace.Release(1),
+			trace.Write(base, 8),
+			trace.Release(2),
+		},
+	)
+	_, rep := examine(t, tr, witness.Options{})
+	if rep.Predicted != 1 || rep.Refuted != 1 || rep.Replays != 0 {
+		t.Fatalf("want 1 refuted with 0 replays, got %+v", rep)
+	}
+}
+
+// TestDirectedReplayConfirmsLockGatedPair: T0's write region holds lock
+// 1 after passing through lock 2; T1's write region holds lock 2 after
+// releasing lock 1. The default schedule serializes the regions (T0 wins
+// the tie on lock 1 and finishes before T1's region opens), so only a
+// directed co-timing — T1 through acq1/rel1 first, then T0 held open in
+// its region until T1 enters — raises the conflict. This is the
+// tentpole's reason to exist: a prediction neither refutable nor visible
+// in today's interleaving, confirmed by schedule direction.
+func TestDirectedReplayConfirmsLockGatedPair(t *testing.T) {
+	tr := twoThreads("lock-gated",
+		[]trace.Event{
+			trace.Acquire(1), trace.Acquire(2), trace.Release(2),
+			trace.Write(base, 8),
+			trace.Release(1),
+		},
+		[]trace.Event{
+			trace.Acquire(1), trace.Release(1), trace.Acquire(2),
+			trace.Write(base, 8),
+			trace.Release(2),
+		},
+	)
+	an, rep := examine(t, tr, witness.Options{Oracle: true})
+	if rep.Predicted != 1 {
+		t.Fatalf("want 1 prediction, got %+v", rep)
+	}
+	p := rep.Predictions[0]
+	if p.Status != witness.Confirmed {
+		t.Fatalf("lock-gated pair not confirmed: %+v", p)
+	}
+	if p.Witness.Order == witness.OrderDefault || rep.Replays == 0 {
+		t.Fatalf("confirmation should have required a directed replay: %+v (replays %d)",
+			p.Witness, rep.Replays)
+	}
+	ok, _, err := witness.Replay(tr, an, p.Conflict, *p.Witness, witness.Options{Oracle: true})
+	if err != nil || !ok {
+		t.Fatalf("directed witness did not replay (ok=%v err=%v)", ok, err)
+	}
+	// Sanity: the default schedule really does NOT detect this pair —
+	// otherwise the test is vacuous.
+	if ok, _, _ := witness.Replay(tr, an, p.Conflict,
+		witness.Directive{Line: p.Conflict.Line, Order: witness.OrderDefault}, witness.Options{}); ok {
+		t.Fatal("default schedule detects the pair; the directed case is untested")
+	}
+}
+
+// TestBudgetExhaustionLeavesUnwitnessed: with a zero-replay budget the
+// lock-gated pair stays Unwitnessed (not misclassified).
+func TestBudgetExhaustionLeavesUnwitnessed(t *testing.T) {
+	tr := twoThreads("lock-gated",
+		[]trace.Event{
+			trace.Acquire(1), trace.Acquire(2), trace.Release(2),
+			trace.Write(base, 8),
+			trace.Release(1),
+		},
+		[]trace.Event{
+			trace.Acquire(1), trace.Release(1), trace.Acquire(2),
+			trace.Write(base, 8),
+			trace.Release(2),
+		},
+	)
+	_, rep := examine(t, tr, witness.Options{MaxReplays: -1})
+	if rep.Unwitnessed != 1 || rep.Replays != 0 {
+		t.Fatalf("want 1 unwitnessed with 0 replays, got %+v", rep)
+	}
+	if rep.Precision() != 0 {
+		t.Fatalf("precision with nothing classified should be 0, got %g", rep.Precision())
+	}
+}
+
+// TestExamineRacyWorkloads: catalog racy workloads classify with high
+// precision under the default budget, every confirmed witness replays,
+// and replays stay within budget.
+func TestExamineRacyWorkloads(t *testing.T) {
+	for _, spec := range workload.RacySuite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			tr := spec.Build(workload.Params{Threads: 4, Seed: 2, Scale: 0.05})
+			an, rep := examine(t, tr, witness.Options{})
+			if rep.Predicted == 0 {
+				t.Fatal("racy workload predicted no conflicts")
+			}
+			if rep.Confirmed == 0 {
+				t.Error("racy workload confirmed no conflicts")
+			}
+			if rep.Replays > 64 {
+				t.Errorf("budget exceeded: %d replays", rep.Replays)
+			}
+			for _, p := range rep.Predictions {
+				if (p.Status == witness.Confirmed) != (p.Witness != nil) {
+					t.Fatalf("witness presence disagrees with status: %+v", p)
+				}
+			}
+			// Replay a couple of confirmed witnesses end-to-end.
+			checked := 0
+			for _, p := range rep.Predictions {
+				if p.Status != witness.Confirmed || checked >= 2 {
+					continue
+				}
+				checked++
+				ok, _, err := witness.Replay(tr, an, p.Conflict, *p.Witness, witness.Options{})
+				if err != nil || !ok {
+					t.Fatalf("confirmed witness %v did not replay (ok=%v err=%v)", p.Witness, ok, err)
+				}
+			}
+		})
+	}
+}
+
+// TestProvenDRFNeedsNoRuns: an empty prediction set costs nothing.
+func TestProvenDRFNeedsNoRuns(t *testing.T) {
+	tr := twoThreads("drf",
+		[]trace.Event{trace.Write(base, 8)},
+		[]trace.Event{trace.Write(base+128, 8)},
+	)
+	_, rep := examine(t, tr, witness.Options{})
+	if rep.Predicted != 0 || rep.Precision() != 1 {
+		t.Fatalf("DRF program misreported: %+v", rep)
+	}
+}
+
+// TestRandomDirectorDeterminism: equal seeds replay equal schedules
+// (cycle-identical runs), the property FuzzWitness's reproducibility
+// rests on.
+func TestRandomDirectorDeterminism(t *testing.T) {
+	spec, _ := workload.ByName("racy-sharing")
+	tr := spec.Build(workload.Params{Threads: 4, Seed: 2, Scale: 0.04})
+	run := func(seed uint64) *sim.Result {
+		m, p, err := protocols.Build(protocols.CE, machine.Default(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(m, p, tr, sim.Options{Director: witness.NewRandomDirector(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a1, a2 := run(7), run(7)
+	if a1.Cycles != a2.Cycles || a1.Conflicts != a2.Conflicts || a1.TotalEnergyPJ != a2.TotalEnergyPJ {
+		t.Errorf("equal seeds diverged: %d/%d conflicts, %d/%d cycles",
+			a1.Conflicts, a2.Conflicts, a1.Cycles, a2.Cycles)
+	}
+}

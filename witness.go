@@ -1,0 +1,101 @@
+package arcsim
+
+import (
+	"fmt"
+	"strings"
+
+	"arcsim/internal/static"
+	"arcsim/internal/static/witness"
+)
+
+// WitnessedConflict is one predicted conflict together with the witness
+// engine's verdict on it.
+type WitnessedConflict struct {
+	Conflict PredictedConflict
+	// Status is "confirmed", "refuted", or "unwitnessed".
+	Status string
+	// Witness is the replayable schedule directive that reproduces the
+	// conflict, present exactly when Status is "confirmed".
+	Witness string `json:",omitempty"`
+	// Replays is how many directed replays this record consumed.
+	Replays int
+}
+
+// WitnessReport is the witness engine's classification of a trace's
+// predicted conflicts. The static analyzer is sound but conservative;
+// the witness tier spends directed dynamic effort to confirm each
+// prediction with a replayable schedule, refute it by
+// acquisition-history reasoning, or leave it unwitnessed within the
+// replay budget. Precision = (confirmed+refuted)/predicted measures how
+// much of the prediction set was classified either way.
+type WitnessReport struct {
+	Trace       string
+	Predicted   int
+	Confirmed   int
+	Refuted     int
+	Unwitnessed int
+	// Replays counts directed replays executed across the examination.
+	Replays   int
+	Precision float64
+	Conflicts []WitnessedConflict
+}
+
+// String renders the report for terminals.
+func (r *WitnessReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "witness examination of %s: %d predicted, %d confirmed, %d refuted, %d unwitnessed (precision %.0f%%, %d replays)\n",
+		r.Trace, r.Predicted, r.Confirmed, r.Refuted, r.Unwitnessed, 100*r.Precision, r.Replays)
+	for i, wc := range r.Conflicts {
+		if i == 16 {
+			fmt.Fprintf(&b, "    ... %d more\n", len(r.Conflicts)-i)
+			break
+		}
+		fmt.Fprintf(&b, "    %-11s %s", wc.Status, wc.Conflict)
+		if wc.Witness != "" {
+			fmt.Fprintf(&b, "  [witness: %s]", wc.Witness)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Witness statically analyzes the trace, then classifies every
+// predicted conflict: confirmed (some legal schedule raises it, and the
+// report carries a replayable witness directive), refuted (provably
+// unrealizable under every schedule), or unwitnessed (unresolved within
+// the default replay budget). A proven-DRF trace returns an empty
+// report with precision 1.
+func (t *Trace) Witness() (*WitnessReport, error) {
+	if t == nil || t.inner == nil {
+		return nil, fmt.Errorf("arcsim: nil trace")
+	}
+	an, err := static.Analyze(t.inner)
+	if err != nil {
+		return nil, err
+	}
+	wrep, err := witness.Examine(t.inner, an, witness.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rep := &WitnessReport{
+		Trace:       t.inner.Name,
+		Predicted:   wrep.Predicted,
+		Confirmed:   wrep.Confirmed,
+		Refuted:     wrep.Refuted,
+		Unwitnessed: wrep.Unwitnessed,
+		Replays:     wrep.Replays,
+		Precision:   wrep.Precision(),
+	}
+	for _, p := range wrep.Predictions {
+		wc := WitnessedConflict{
+			Conflict: predictedConflict(p.Conflict),
+			Status:   p.Status.String(),
+			Replays:  p.Replays,
+		}
+		if p.Witness != nil {
+			wc.Witness = p.Witness.String()
+		}
+		rep.Conflicts = append(rep.Conflicts, wc)
+	}
+	return rep, nil
+}
